@@ -1,0 +1,203 @@
+//! Shared helpers for the clustering applications: deterministic
+//! rayon-parallel partial sums and center bookkeeping.
+
+use prs_data::matrix::MatrixF32;
+use prs_data::rng::SplitMix64;
+use rayon::prelude::*;
+use std::ops::Range;
+
+/// Deterministic parallel fold over fixed chunks of `range`: each chunk is
+/// processed independently, then chunk results are combined **in index
+/// order**, so the floating-point result is independent of thread
+/// scheduling.
+pub fn par_block_fold<T, FMap, FMerge>(
+    range: Range<usize>,
+    chunk: usize,
+    map: FMap,
+    zero: T,
+    merge: FMerge,
+) -> T
+where
+    T: Send,
+    FMap: Fn(Range<usize>) -> T + Send + Sync,
+    FMerge: Fn(T, T) -> T,
+{
+    assert!(chunk > 0);
+    let chunks: Vec<Range<usize>> = {
+        let mut v = Vec::new();
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + chunk).min(range.end);
+            v.push(start..end);
+            start = end;
+        }
+        v
+    };
+    let partials: Vec<T> = chunks.into_par_iter().map(map).collect();
+    partials.into_iter().fold(zero, merge)
+}
+
+/// Per-cluster accumulator used by C-means/K-means/GMM partial sums: a
+/// weighted coordinate sum and the total weight, plus an objective term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterPartial {
+    /// Σ w·x, length `d`.
+    pub weighted_sum: Vec<f64>,
+    /// Σ w.
+    pub weight: f64,
+}
+
+impl ClusterPartial {
+    /// A zeroed accumulator of dimension `d`.
+    pub fn zero(d: usize) -> Self {
+        ClusterPartial {
+            weighted_sum: vec![0.0; d],
+            weight: 0.0,
+        }
+    }
+
+    /// Adds `w · x`.
+    pub fn add(&mut self, w: f64, x: &[f32]) {
+        debug_assert_eq!(x.len(), self.weighted_sum.len());
+        for (s, &xi) in self.weighted_sum.iter_mut().zip(x) {
+            *s += w * xi as f64;
+        }
+        self.weight += w;
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &ClusterPartial) {
+        debug_assert_eq!(self.weighted_sum.len(), other.weighted_sum.len());
+        for (a, b) in self.weighted_sum.iter_mut().zip(&other.weighted_sum) {
+            *a += b;
+        }
+        self.weight += other.weight;
+    }
+
+    /// The center this accumulator implies, or `None` if it is empty.
+    pub fn center(&self) -> Option<Vec<f64>> {
+        if self.weight <= 0.0 {
+            return None;
+        }
+        Some(self.weighted_sum.iter().map(|s| s / self.weight).collect())
+    }
+
+    /// Serialized wire size in bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        (self.weighted_sum.len() as u64 + 1) * 8
+    }
+}
+
+/// Picks `k` distinct random rows of `points` as initial centers
+/// (deterministic in `seed`).
+pub fn random_centers(points: &MatrixF32, k: usize, seed: u64) -> MatrixF32 {
+    let n = points.rows();
+    assert!(k <= n, "cannot pick {k} centers from {n} points");
+    let mut rng = SplitMix64::new(seed ^ 0xCE117E85);
+    let mut picked = Vec::with_capacity(k);
+    let mut seen = std::collections::HashSet::new();
+    while picked.len() < k {
+        let idx = rng.next_below(n as u64) as usize;
+        if seen.insert(idx) {
+            picked.push(idx);
+        }
+    }
+    let mut centers = MatrixF32::zeros(k, points.cols());
+    for (j, &idx) in picked.iter().enumerate() {
+        centers.row_mut(j).copy_from_slice(points.row(idx));
+    }
+    centers
+}
+
+/// Max per-coordinate movement between two center matrices — the
+/// convergence criterion (a center-based stand-in for the paper's
+/// max |u_ij^(k+1) − u_ij^(k)| membership criterion; see DESIGN.md).
+pub fn max_center_shift(old: &MatrixF32, new: &MatrixF32) -> f64 {
+    assert_eq!(old.rows(), new.rows());
+    assert_eq!(old.cols(), new.cols());
+    old.as_slice()
+        .iter()
+        .zip(new.as_slice())
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_fold_is_deterministic_and_correct() {
+        let sum = |r: Range<usize>| r.map(|i| i as f64).sum::<f64>();
+        let a = par_block_fold(0..10_000, 97, sum, 0.0, |x, y| x + y);
+        let b = par_block_fold(0..10_000, 97, sum, 0.0, |x, y| x + y);
+        assert_eq!(a, b);
+        assert_eq!(a, (0..10_000u64).sum::<u64>() as f64);
+    }
+
+    #[test]
+    fn par_fold_respects_chunk_order() {
+        // Collect chunk starts in merge order: must be ascending.
+        let starts = par_block_fold(
+            0..100,
+            7,
+            |r| vec![r.start],
+            Vec::new(),
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        );
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn cluster_partial_accumulates() {
+        let mut p = ClusterPartial::zero(2);
+        p.add(2.0, &[1.0, 3.0]);
+        p.add(1.0, &[4.0, 0.0]);
+        assert_eq!(p.weight, 3.0);
+        assert_eq!(p.weighted_sum, vec![6.0, 6.0]);
+        assert_eq!(p.center(), Some(vec![2.0, 2.0]));
+        assert_eq!(p.wire_bytes(), 24);
+    }
+
+    #[test]
+    fn empty_partial_has_no_center() {
+        assert_eq!(ClusterPartial::zero(3).center(), None);
+    }
+
+    #[test]
+    fn merge_equals_sequential_adds() {
+        let mut a = ClusterPartial::zero(1);
+        a.add(1.0, &[2.0]);
+        let mut b = ClusterPartial::zero(1);
+        b.add(3.0, &[4.0]);
+        a.merge(&b);
+        assert_eq!(a.weight, 4.0);
+        assert_eq!(a.weighted_sum, vec![14.0]);
+    }
+
+    #[test]
+    fn random_centers_are_rows_of_input() {
+        let pts = MatrixF32::from_fn(10, 2, |r, c| (r * 2 + c) as f32);
+        let centers = random_centers(&pts, 3, 1);
+        assert_eq!(centers.rows(), 3);
+        for j in 0..3 {
+            let row = centers.row(j);
+            assert!((0..10).any(|i| pts.row(i) == row));
+        }
+        // Distinct rows.
+        assert_ne!(centers.row(0), centers.row(1));
+    }
+
+    #[test]
+    fn center_shift_metric() {
+        let a = MatrixF32::from_vec(1, 2, vec![0.0, 0.0]);
+        let b = MatrixF32::from_vec(1, 2, vec![0.5, -2.0]);
+        assert_eq!(max_center_shift(&a, &b), 2.0);
+        assert_eq!(max_center_shift(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Dense matrix-vector multiplication (paper §IV.A.3): row-wise
+//! block-striped decomposition, one map task per row block, reduce
+//! concatenates the pieces of the result vector.
+//!
+//! GEMV is the paper's low-arithmetic-intensity representative (A = 2):
+//! staged over PCI-E, it is the workload where the CPU should receive
+//! nearly all the work (Table 5: p = 97.3 %).
+
+use prs_core::{DeviceClass, Key, SpmdApp};
+use prs_data::matrix::{dot, MatrixF32};
+use rayon::prelude::*;
+use roofline::model::DataResidency;
+use roofline::schedule::Workload;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A contiguous slice of the output vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YBlock {
+    /// First row index this block covers.
+    pub start: usize,
+    /// The computed components `y[start .. start+len]`.
+    pub values: Vec<f32>,
+}
+
+/// `y = A·x` on the PRS.
+pub struct Gemv {
+    a: Arc<MatrixF32>,
+    x: Arc<Vec<f32>>,
+}
+
+impl Gemv {
+    /// Creates the job; `x.len()` must equal `a.cols()`.
+    pub fn new(a: Arc<MatrixF32>, x: Arc<Vec<f32>>) -> Self {
+        assert_eq!(a.cols(), x.len(), "dimension mismatch");
+        Gemv { a, x }
+    }
+
+    /// Rows of the matrix (= output length).
+    pub fn rows(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Assembles gathered job outputs into the full result vector.
+    pub fn assemble(&self, outputs: &[(Key, YBlock)]) -> Vec<f32> {
+        let mut y = vec![0.0f32; self.a.rows()];
+        for (_, block) in outputs {
+            y[block.start..block.start + block.values.len()].copy_from_slice(&block.values);
+        }
+        y
+    }
+
+    fn compute_block(&self, range: Range<usize>) -> YBlock {
+        let start = range.start;
+        let a = &self.a;
+        let x = &self.x;
+        let values: Vec<f32> = range
+            .into_par_iter()
+            .map(|r| dot(a.row(r), x) as f32)
+            .collect();
+        YBlock { start, values }
+    }
+}
+
+impl SpmdApp for Gemv {
+    type Inter = YBlock;
+    type Output = YBlock;
+
+    fn num_items(&self) -> usize {
+        self.a.rows()
+    }
+
+    fn item_bytes(&self) -> u64 {
+        4 * self.a.cols() as u64
+    }
+
+    fn workload(&self) -> Workload {
+        // Table 5: GEMV arithmetic intensity is 2 flops/byte; the matrix
+        // is staged from host memory for every call.
+        Workload::uniform(2.0, DataResidency::Staged)
+    }
+
+    fn cpu_map(&self, _node: usize, range: Range<usize>) -> Vec<(Key, YBlock)> {
+        let block = self.compute_block(range);
+        vec![(block.start as Key, block)]
+    }
+
+    fn gpu_map(&self, node: usize, range: Range<usize>) -> Vec<(Key, YBlock)> {
+        // cuBLAS-style whole-block kernel (the paper uses gpu_host_map with
+        // cuBLAS); numerically identical here.
+        self.cpu_map(node, range)
+    }
+
+    fn reduce(&self, _d: DeviceClass, _key: Key, mut values: Vec<YBlock>) -> YBlock {
+        // Keys are unique block starts, so reduce sees exactly one value.
+        debug_assert_eq!(values.len(), 1);
+        values.pop().expect("one block per key")
+    }
+
+    fn inter_bytes(&self, value: &YBlock) -> u64 {
+        4 * value.values.len() as u64 + 8
+    }
+
+    fn output_bytes(&self, value: &YBlock) -> u64 {
+        self.inter_bytes(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prs_data::matrix::gemv_seq;
+    use prs_data::rng::SplitMix64;
+
+    fn setup(rows: usize, cols: usize) -> (Gemv, Vec<f32>) {
+        let mut rng = SplitMix64::new(77);
+        let a = Arc::new(MatrixF32::from_fn(rows, cols, |_, _| rng.next_f32() - 0.5));
+        let x: Arc<Vec<f32>> = Arc::new((0..cols).map(|_| rng.next_f32()).collect());
+        let mut expect = vec![0.0; rows];
+        gemv_seq(&a, &x, &mut expect);
+        (Gemv::new(a, x), expect)
+    }
+
+    #[test]
+    fn single_block_matches_reference() {
+        let (app, expect) = setup(64, 40);
+        let out = app.cpu_map(0, 0..64);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.values, expect);
+    }
+
+    #[test]
+    fn split_blocks_assemble_to_reference() {
+        let (app, expect) = setup(100, 30);
+        let mut outputs = Vec::new();
+        for range in [0..33, 33..70, 70..100] {
+            for (k, b) in app.cpu_map(0, range) {
+                outputs.push((k, app.reduce(DeviceClass::Cpu, k, vec![b])));
+            }
+        }
+        let y = app.assemble(&outputs);
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn gpu_flavour_matches_cpu() {
+        let (app, _) = setup(50, 20);
+        assert_eq!(app.gpu_map(0, 10..30), app.cpu_map(0, 10..30));
+    }
+
+    #[test]
+    fn workload_is_low_intensity_staged() {
+        let (app, _) = setup(10, 10);
+        let w = app.workload();
+        assert_eq!(w.ai_cpu, 2.0);
+        assert_eq!(w.residency, DataResidency::Staged);
+        assert_eq!(app.item_bytes(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_check() {
+        let a = Arc::new(MatrixF32::zeros(3, 4));
+        let x = Arc::new(vec![0.0; 5]);
+        let _ = Gemv::new(a, x);
+    }
+}

@@ -1,0 +1,152 @@
+//! Word count — the paper's canonical *low* arithmetic-intensity
+//! application (Figure 4's left end, "the CPU may provide better
+//! performance than the GPU"). Input is a pre-tokenized stream of word
+//! ids; map counts occurrences, reduce sums.
+
+use prs_core::{DeviceClass, Key, SpmdApp};
+use prs_data::rng::SplitMix64;
+use roofline::model::DataResidency;
+use roofline::schedule::Workload;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Word count over a tokenized corpus.
+pub struct WordCount {
+    words: Arc<Vec<u32>>,
+    vocab: u32,
+}
+
+impl WordCount {
+    /// Wraps an existing token stream.
+    pub fn new(words: Arc<Vec<u32>>, vocab: u32) -> Self {
+        assert!(vocab > 0);
+        WordCount { words, vocab }
+    }
+
+    /// Generates a synthetic Zipf-ish corpus of `n` tokens over `vocab`
+    /// distinct words (rank r has weight 1/(r+1)).
+    pub fn synthetic(n: usize, vocab: u32, seed: u64) -> Self {
+        let weights: Vec<f64> = (0..vocab).map(|r| 1.0 / (r as f64 + 1.0)).collect();
+        let mut rng = SplitMix64::new(seed ^ 0x77C0);
+        let words = (0..n).map(|_| rng.next_weighted(&weights) as u32).collect();
+        WordCount {
+            words: Arc::new(words),
+            vocab,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> u32 {
+        self.vocab
+    }
+
+    /// Serial reference histogram.
+    pub fn serial_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.vocab as usize];
+        for &w in self.words.iter() {
+            counts[w as usize] += 1;
+        }
+        counts
+    }
+}
+
+impl SpmdApp for WordCount {
+    type Inter = u64;
+    type Output = u64;
+
+    fn num_items(&self) -> usize {
+        self.words.len()
+    }
+
+    fn item_bytes(&self) -> u64 {
+        4
+    }
+
+    fn workload(&self) -> Workload {
+        // Figure 4's left end: ~0.1 "flops" per byte, staged.
+        Workload::uniform(0.1, DataResidency::Staged)
+    }
+
+    fn cpu_map(&self, _node: usize, range: Range<usize>) -> Vec<(Key, u64)> {
+        let mut local: HashMap<u32, u64> = HashMap::new();
+        for i in range {
+            *local.entry(self.words[i]).or_insert(0) += 1;
+        }
+        let mut out: Vec<(Key, u64)> = local
+            .into_iter()
+            .map(|(w, c)| (w as Key, c))
+            .collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+
+    fn gpu_map(&self, node: usize, range: Range<usize>) -> Vec<(Key, u64)> {
+        self.cpu_map(node, range)
+    }
+
+    fn reduce(&self, _d: DeviceClass, _key: Key, values: Vec<u64>) -> u64 {
+        values.iter().sum()
+    }
+
+    fn combine(&self, _key: Key, values: Vec<u64>) -> Vec<u64> {
+        vec![values.iter().sum()]
+    }
+
+    fn inter_bytes(&self, _value: &u64) -> u64 {
+        12 // key + count on the wire
+    }
+
+    fn output_bytes(&self, _value: &u64) -> u64 {
+        12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_corpus_is_zipfish() {
+        let wc = WordCount::synthetic(50_000, 10, 3);
+        let counts = wc.serial_counts();
+        // Rank 0 strictly more frequent than rank 9.
+        assert!(counts[0] > counts[9] * 3);
+        assert_eq!(counts.iter().sum::<u64>(), 50_000);
+    }
+
+    #[test]
+    fn map_counts_match_serial_on_blocks() {
+        let wc = WordCount::synthetic(10_000, 20, 5);
+        let mut counts = vec![0u64; 20];
+        for range in [0..4000, 4000..10_000] {
+            for (k, c) in wc.cpu_map(0, range) {
+                counts[k as usize] += c;
+            }
+        }
+        assert_eq!(counts, wc.serial_counts());
+    }
+
+    #[test]
+    fn map_output_is_sorted_and_unique() {
+        let wc = WordCount::synthetic(1000, 8, 7);
+        let pairs = wc.cpu_map(0, 0..1000);
+        for w in pairs.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn reduce_and_combine_sum() {
+        let wc = WordCount::synthetic(10, 2, 1);
+        assert_eq!(wc.reduce(DeviceClass::Cpu, 0, vec![1, 2, 3]), 6);
+        assert_eq!(wc.combine(0, vec![4, 5]), vec![9]);
+    }
+
+    #[test]
+    fn low_intensity_staged_workload() {
+        let wc = WordCount::synthetic(10, 2, 1);
+        assert!(wc.workload().ai_cpu < 1.0);
+        assert_eq!(wc.workload().residency, DataResidency::Staged);
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the real numerical kernels (host-side compute
+//! that runs inside simulated launches).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prs_apps::CMeans;
+use prs_core::SpmdApp;
+use prs_data::matrix::{gemm_par, gemm_seq, gemv_par, gemv_seq, MatrixF32};
+use prs_data::rng::SplitMix64;
+use std::sync::Arc;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> MatrixF32 {
+    let mut rng = SplitMix64::new(seed);
+    MatrixF32::from_fn(rows, cols, |_, _| rng.next_f32() - 0.5)
+}
+
+fn bench_gemv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/gemv");
+    for n in [256usize, 1024] {
+        let a = random_matrix(n, n, 1);
+        let x: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        let mut y = vec![0.0f32; n];
+        g.bench_with_input(BenchmarkId::new("seq", n), &n, |b, _| {
+            b.iter(|| gemv_seq(&a, &x, &mut y));
+        });
+        g.bench_with_input(BenchmarkId::new("par", n), &n, |b, _| {
+            b.iter(|| gemv_par(&a, &x, &mut y));
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/gemm");
+    g.sample_size(10);
+    for n in [64usize, 128] {
+        let a = random_matrix(n, n, 2);
+        let bm = random_matrix(n, n, 3);
+        let mut cm = MatrixF32::zeros(n, n);
+        g.bench_with_input(BenchmarkId::new("seq", n), &n, |b, _| {
+            b.iter(|| gemm_seq(&a, &bm, &mut cm));
+        });
+        g.bench_with_input(BenchmarkId::new("par", n), &n, |b, _| {
+            b.iter(|| gemm_par(&a, &bm, &mut cm));
+        });
+    }
+    g.finish();
+}
+
+fn bench_cmeans_block(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/cmeans_map_block");
+    g.sample_size(10);
+    let pts = Arc::new(random_matrix(20_000, 32, 4));
+    let app = CMeans::new(pts, 8, 2.0, 1e-6, 5);
+    for block in [1_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(block), &block, |b, &block| {
+            b.iter(|| app.cpu_map(0, 0..block));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemv, bench_gemm, bench_cmeans_block);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the analytic scheduler: Equation (8)
+//! evaluation cost (the paper's "no extra performance overhead" claim —
+//! the split is a closed-form computation, not a test run) and a full
+//! small PRS job end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prs_core::{run_job, ClusterSpec, DeviceClass, JobConfig, Key, SpmdApp};
+use roofline::model::DataResidency;
+use roofline::profiles::DeviceProfile;
+use roofline::schedule::{split, Workload};
+use std::hint::black_box;
+use std::ops::Range;
+use std::sync::Arc;
+
+fn bench_equation8(c: &mut Criterion) {
+    let delta = DeviceProfile::delta_node();
+    c.bench_function("scheduler/equation8_split", |b| {
+        b.iter(|| {
+            let w = Workload::uniform(black_box(500.0), DataResidency::Resident);
+            black_box(split(&delta, &w))
+        });
+    });
+}
+
+struct TinyApp;
+
+impl SpmdApp for TinyApp {
+    type Inter = u64;
+    type Output = u64;
+    fn num_items(&self) -> usize {
+        10_000
+    }
+    fn item_bytes(&self) -> u64 {
+        8
+    }
+    fn workload(&self) -> Workload {
+        Workload::uniform(50.0, DataResidency::Resident)
+    }
+    fn cpu_map(&self, _n: usize, r: Range<usize>) -> Vec<(Key, u64)> {
+        vec![(0, r.len() as u64)]
+    }
+    fn gpu_map(&self, n: usize, r: Range<usize>) -> Vec<(Key, u64)> {
+        self.cpu_map(n, r)
+    }
+    fn reduce(&self, _d: DeviceClass, _k: Key, v: Vec<u64>) -> u64 {
+        v.iter().sum()
+    }
+}
+
+fn bench_full_job(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler/full_job");
+    g.sample_size(10);
+    let spec = ClusterSpec::delta(2);
+    g.bench_function("static_2_nodes", |b| {
+        b.iter(|| run_job(&spec, Arc::new(TinyApp), JobConfig::static_analytic()).unwrap());
+    });
+    g.bench_function("dynamic_2_nodes", |b| {
+        b.iter(|| run_job(&spec, Arc::new(TinyApp), JobConfig::dynamic(500)).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_equation8, bench_full_job);
+criterion_main!(benches);

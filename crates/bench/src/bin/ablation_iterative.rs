@@ -1,0 +1,96 @@
+//! Ablation A4 (paper §III.C.3): iterative support — caching
+//! loop-invariant data in GPU memory across iterations, and funnelling
+//! all GPU access through one daemon context instead of creating a
+//! context per task.
+
+use prs_apps::CMeans;
+use prs_bench::{fmt_secs, print_table, scaled, write_json};
+use prs_core::{run_iterative, ClusterSpec, JobConfig};
+use prs_data::gaussian::clustering_workload;
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    setup_seconds: f64,
+    seconds_per_iteration: f64,
+    total_seconds: f64,
+}
+
+fn main() {
+    let spec = ClusterSpec::delta(2);
+    let n = scaled(200_000);
+    let iterations = 10;
+    let pts = Arc::new(clustering_workload(n, 100, 10, 0x17).points);
+    let mk = || Arc::new(CMeans::new(pts.clone(), 10, 2.0, 1e-12, 5));
+
+    let configs: Vec<(String, JobConfig)> = vec![
+        (
+            "cached + funneled context (the paper's design)".into(),
+            JobConfig::static_analytic(),
+        ),
+        (
+            "no GPU caching (re-stage every iteration)".into(),
+            JobConfig {
+                cache_resident_data: false,
+                ..JobConfig::static_analytic()
+            },
+        ),
+        (
+            "context per task (no funneling)".into(),
+            JobConfig {
+                context_per_task: true,
+                ..JobConfig::static_analytic()
+            },
+        ),
+        (
+            "both pessimizations".into(),
+            JobConfig {
+                cache_resident_data: false,
+                context_per_task: true,
+                ..JobConfig::static_analytic()
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, cfg) in configs {
+        eprintln!("ablation_iterative: {label} ...");
+        let result = run_iterative(&spec, mk(), cfg.with_iterations(iterations))
+            .expect("cmeans run");
+        rows.push(Row {
+            config: label,
+            setup_seconds: result.metrics.setup_seconds,
+            seconds_per_iteration: result.metrics.seconds_per_iteration(),
+            total_seconds: result.metrics.total_seconds,
+        });
+    }
+
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                fmt_secs(r.setup_seconds),
+                fmt_secs(r.seconds_per_iteration),
+                fmt_secs(r.total_seconds),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Ablation A4: iterative support, C-means N={n}, {iterations} iterations, 2 Delta nodes"),
+        &["Configuration", "Setup", "Per iteration", "Total"],
+        &printable,
+    );
+
+    let base = rows[0].seconds_per_iteration;
+    for r in &rows[1..] {
+        println!(
+            "  '{}' costs {:+.1}% per iteration vs the paper's design",
+            r.config,
+            (r.seconds_per_iteration / base - 1.0) * 100.0
+        );
+    }
+    write_json("ablation_iterative", &rows);
+}

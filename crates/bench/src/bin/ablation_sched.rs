@@ -1,0 +1,123 @@
+//! Ablation A1 (paper §III.B.2): static analytic scheduling vs dynamic
+//! polling at several block granularities, for a low-intensity (GEMV) and
+//! a high-intensity (C-means) workload.
+//!
+//! The paper's argument: dynamic scheduling needs the right block size —
+//! "it is non-trivial work to find out the appropriate blocks sizes for
+//! both the GPUs and CPUs" — while the analytic static split needs no
+//! tuning and no test runs.
+
+use prs_apps::{CMeans, Gemv};
+use prs_bench::{fmt_secs, print_table, scaled, write_json};
+use prs_core::{run_iterative, run_job, ClusterSpec, JobConfig};
+use prs_data::gaussian::clustering_workload;
+use prs_data::matrix::MatrixF32;
+use prs_data::rng::SplitMix64;
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    config: String,
+    seconds: f64,
+}
+
+fn main() {
+    let spec = ClusterSpec::delta(2);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- GEMV ---
+    {
+        let n_rows = scaled(10_000);
+        let cols = 2000;
+        let mut rng = SplitMix64::new(0xA1);
+        let a = Arc::new(MatrixF32::from_fn(n_rows, cols, |_, _| rng.next_f32()));
+        let x: Arc<Vec<f32>> = Arc::new((0..cols).map(|_| rng.next_f32()).collect());
+        let run = |cfg: JobConfig, label: &str, rows: &mut Vec<Row>| {
+            eprintln!("ablation_sched: GEMV {label} ...");
+            let t = run_job(&spec, Arc::new(Gemv::new(a.clone(), x.clone())), cfg)
+                .expect("gemv run")
+                .metrics
+                .compute_seconds;
+            rows.push(Row {
+                app: "GEMV".into(),
+                config: label.to_string(),
+                seconds: t,
+            });
+        };
+        run(JobConfig::static_analytic(), "static (Eq 8)", &mut rows);
+        for block in [n_rows / 200, n_rows / 50, n_rows / 10, n_rows / 2] {
+            run(
+                JobConfig::dynamic(block.max(1)),
+                &format!("dynamic, block={block}"),
+                &mut rows,
+            );
+        }
+    }
+
+    // --- C-means ---
+    {
+        let n = scaled(100_000);
+        let pts = Arc::new(clustering_workload(n, 100, 10, 0xA2).points);
+        let run = |cfg: JobConfig, label: &str, rows: &mut Vec<Row>| {
+            eprintln!("ablation_sched: C-means {label} ...");
+            let t = run_iterative(
+                &spec,
+                Arc::new(CMeans::new(pts.clone(), 10, 2.0, 1e-12, 5)),
+                cfg.with_iterations(1),
+            )
+            .expect("cmeans run")
+            .metrics
+            .compute_seconds;
+            rows.push(Row {
+                app: "C-means".into(),
+                config: label.to_string(),
+                seconds: t,
+            });
+        };
+        run(JobConfig::static_analytic(), "static (Eq 8)", &mut rows);
+        for block in [n / 500, n / 100, n / 20, n / 4] {
+            run(
+                JobConfig::dynamic(block.max(1)),
+                &format!("dynamic, block={block}"),
+                &mut rows,
+            );
+        }
+    }
+
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.app.clone(), r.config.clone(), fmt_secs(r.seconds)])
+        .collect();
+    print_table(
+        "Ablation A1: static (analytic) vs dynamic (polling) scheduling, 2 Delta nodes",
+        &["App", "Scheduler", "Makespan (virtual)"],
+        &printable,
+    );
+
+    // Summary: static vs the best and worst dynamic setting per app.
+    for app in ["GEMV", "C-means"] {
+        let st = rows
+            .iter()
+            .find(|r| r.app == app && r.config.starts_with("static"))
+            .unwrap()
+            .seconds;
+        let dyns: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.app == app && r.config.starts_with("dynamic"))
+            .map(|r| r.seconds)
+            .collect();
+        let best = dyns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst = dyns.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{app}: static = {}, best dynamic = {} ({:+.1}% vs static), worst dynamic = {} ({:+.1}%)",
+            fmt_secs(st),
+            fmt_secs(best),
+            (best / st - 1.0) * 100.0,
+            fmt_secs(worst),
+            (worst / st - 1.0) * 100.0,
+        );
+    }
+    write_json("ablation_sched", &rows);
+}

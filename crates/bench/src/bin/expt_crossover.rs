@@ -1,0 +1,112 @@
+//! Extension experiment: the co-processing benefit across the full
+//! arithmetic-intensity spectrum (the paper's §V conclusion: applications
+//! "whose arithmetic intensities are in the middle range" gain the most
+//! because *both* devices make a non-trivial contribution).
+//!
+//! Sweeps AI from the WordCount end to the DGEMM end with timing-faithful
+//! synthetic workloads, measuring CPU-only, GPU-only, and analytic
+//! GPU+CPU makespans, plus where the CPU/GPU crossover falls.
+
+use prs_bench::{fmt_secs, print_table, write_json, SyntheticApp};
+use prs_core::{run_iterative, ClusterSpec, JobConfig};
+use roofline::model::DataResidency;
+use roofline::schedule::{split as analytic_split, Workload};
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct Row {
+    ai: f64,
+    residency: String,
+    p_eq8: f64,
+    cpu_only: f64,
+    gpu_only: f64,
+    combined: f64,
+    benefit_vs_best_single: f64,
+}
+
+fn run(workload: Workload, config: JobConfig) -> f64 {
+    let app = Arc::new(SyntheticApp {
+        n: 2_000_000,
+        item_bytes: 256,
+        workload,
+        keys: 16,
+        value_bytes: 512,
+    });
+    run_iterative(&ClusterSpec::delta(1), app, config)
+        .expect("crossover job")
+        .metrics
+        .compute_seconds
+}
+
+fn main() {
+    let delta = &ClusterSpec::delta(1).nodes[0];
+    let mut rows = Vec::new();
+    // Two independent sweeps: single-pass (staged) applications across the
+    // whole spectrum, and iterative (resident) ones. The staged sweep is
+    // where the paper's "middle range" bowl lives: between the CPU peak
+    // and the point where the PCI-E-fed GPU catches up, both devices
+    // contribute comparably and co-processing approaches 2x.
+    for residency in [DataResidency::Staged, DataResidency::Resident] {
+        for exp in [-2i32, 0, 2, 4, 5, 6, 7, 8, 10, 12] {
+            let ai = 2f64.powi(exp);
+            let w = Workload::uniform(ai, residency);
+            eprintln!("crossover: AI = {ai} ({residency:?}) ...");
+            let cpu_only = run(w, JobConfig::cpu_only());
+            let gpu_only = run(w, JobConfig::gpu_only());
+            let combined = run(w, JobConfig::static_analytic());
+            let best_single = cpu_only.min(gpu_only);
+            rows.push(Row {
+                ai,
+                residency: format!("{residency:?}"),
+                p_eq8: analytic_split(delta, &w).cpu_fraction,
+                cpu_only,
+                gpu_only,
+                combined,
+                benefit_vs_best_single: best_single / combined,
+            });
+        }
+    }
+
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.ai),
+                r.residency.clone(),
+                format!("{:.1}%", r.p_eq8 * 100.0),
+                fmt_secs(r.cpu_only),
+                fmt_secs(r.gpu_only),
+                fmt_secs(r.combined),
+                format!("{:.2}x", r.benefit_vs_best_single),
+            ]
+        })
+        .collect();
+    print_table(
+        "Co-processing benefit across the intensity spectrum (1 Delta node, 512 MB input)",
+        &["AI", "Residency", "p (Eq 8)", "CPU only", "GPU only", "GPU+CPU", "Gain vs best single"],
+        &printable,
+    );
+
+    // Where does the winner flip?
+    let crossover = rows
+        .windows(2)
+        .find(|w| (w[0].cpu_only < w[0].gpu_only) != (w[1].cpu_only < w[1].gpu_only))
+        .map(|w| (w[0].ai, w[1].ai));
+    match crossover {
+        Some((lo, hi)) => println!(
+            "\nCPU/GPU crossover between AI = {lo} and AI = {hi} (paper Figure 4: low-AI apps favor the CPU, high-AI the GPU)."
+        ),
+        None => println!("\nNo CPU/GPU crossover inside the swept range."),
+    }
+    let peak = rows
+        .iter()
+        .filter(|r| r.residency == "Staged")
+        .max_by(|a, b| a.benefit_vs_best_single.total_cmp(&b.benefit_vs_best_single))
+        .unwrap();
+    println!(
+        "Largest co-processing gain for single-pass (staged) apps: {:.2}x at AI = {} —\nthe middle of the spectrum, where both devices contribute comparably (§V).",
+        peak.benefit_vs_best_single, peak.ai
+    );
+    write_json("expt_crossover", &rows);
+}

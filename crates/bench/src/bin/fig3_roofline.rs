@@ -1,0 +1,80 @@
+//! Figure 3: roofline plots for the CPU and GPU of each testbed node,
+//! with ridge points — the inputs Equation (8) reads off.
+
+use prs_bench::{print_table, write_json};
+use roofline::model::DataResidency;
+use roofline::profiles::DeviceProfile;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Curve {
+    device: String,
+    ridge_point: f64,
+    peak_gflops: f64,
+    bandwidth_gbs: f64,
+    points: Vec<(f64, f64)>, // (AI, attainable Gflop/s)
+}
+
+fn sample(name: &str, roof: roofline::Roofline) -> Curve {
+    let ais: Vec<f64> = (-4..=12).map(|e| 2f64.powi(e)).collect();
+    Curve {
+        device: name.to_string(),
+        ridge_point: roof.ridge_point(),
+        peak_gflops: roof.peak_flops / 1e9,
+        bandwidth_gbs: roof.bandwidth / 1e9,
+        points: roof
+            .curve(&ais)
+            .into_iter()
+            .map(|(ai, f)| (ai, f / 1e9))
+            .collect(),
+    }
+}
+
+fn main() {
+    let mut curves = Vec::new();
+    for profile in [DeviceProfile::delta_node(), DeviceProfile::bigred2_node()] {
+        curves.push(sample(
+            &format!("{} CPU ({})", profile.name, profile.cpu.model),
+            profile.cpu_roofline(),
+        ));
+        curves.push(sample(
+            &format!("{} GPU resident ({})", profile.name, profile.gpu().model),
+            profile.gpu_roofline(DataResidency::Resident),
+        ));
+        curves.push(sample(
+            &format!("{} GPU staged-over-PCIe ({})", profile.name, profile.gpu().model),
+            profile.gpu_roofline(DataResidency::Staged),
+        ));
+    }
+
+    let rows: Vec<Vec<String>> = curves
+        .iter()
+        .map(|c| {
+            vec![
+                c.device.clone(),
+                format!("{:.1}", c.peak_gflops),
+                format!("{:.2}", c.bandwidth_gbs),
+                format!("{:.2}", c.ridge_point),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 3: rooflines (peak, bandwidth, ridge point A_r)",
+        &["Device", "Peak Gflop/s", "BW GB/s", "Ridge (flops/byte)"],
+        &rows,
+    );
+
+    // ASCII sketch of the Delta rooflines, log-log.
+    println!("\nDelta node, attainable Gflop/s vs arithmetic intensity:");
+    println!("{:>10}  {:>12}  {:>14}  {:>16}", "AI", "CPU", "GPU resident", "GPU staged");
+    let cpu = &curves[0];
+    let res = &curves[1];
+    let stg = &curves[2];
+    for i in 0..cpu.points.len() {
+        println!(
+            "{:>10.4}  {:>12.2}  {:>14.2}  {:>16.4}",
+            cpu.points[i].0, cpu.points[i].1, res.points[i].1, stg.points[i].1
+        );
+    }
+    write_json("fig3_roofline", &curves);
+}

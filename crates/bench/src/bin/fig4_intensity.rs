@@ -1,0 +1,44 @@
+//! Figure 4: the arithmetic-intensity spectrum of the applications the
+//! paper discusses, annotated with where each falls relative to the Delta
+//! node's ridge points (which Equation-(8) regime applies).
+
+use prs_bench::{print_table, write_json};
+use roofline::intensity::figure4_spectrum;
+use roofline::model::DataResidency;
+use roofline::profiles::DeviceProfile;
+
+fn main() {
+    let delta = DeviceProfile::delta_node();
+    let a_cr = delta.cpu_ridge();
+    let a_gr_resident = delta.gpu_ridge(DataResidency::Resident);
+    let a_gr_staged = delta.gpu_ridge(DataResidency::Staged);
+
+    let spectrum = figure4_spectrum();
+    let rows: Vec<Vec<String>> = spectrum
+        .iter()
+        .map(|app| {
+            let regime = if app.ai < a_cr {
+                "below A_cr: disk/DRAM bound, favor CPU"
+            } else if app.ai < a_gr_resident {
+                "between ridges: mixed"
+            } else {
+                "above A_gr: compute bound, favor GPU"
+            };
+            vec![
+                app.name.clone(),
+                format!("{:.3}", app.ai),
+                regime.to_string(),
+                app.note.clone(),
+            ]
+        })
+        .collect();
+
+    print_table(
+        &format!(
+            "Figure 4: application arithmetic intensities (Delta: A_cr = {a_cr:.2}, A_gr resident = {a_gr_resident:.2}, A_gr staged = {a_gr_staged:.2})"
+        ),
+        &["Application", "AI (flops/byte)", "Equation-(8) regime", "Derivation"],
+        &rows,
+    );
+    write_json("fig4_intensity", &spectrum);
+}

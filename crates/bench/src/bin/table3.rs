@@ -1,0 +1,96 @@
+//! Table 3: C-means runtime under four runtimes (MPI/GPU, PRS/GPU,
+//! MPI/CPU, Mahout/CPU) on a 4-node cluster, for growing point counts.
+//!
+//! Paper values (seconds, 200k/400k/800k points, D=100, K=10):
+//!   MPI/GPU    0.53 / 0.945 / 1.78
+//!   PRS/GPU    2.31 / 3.81  / 5.31
+//!   MPI/CPU    6.41 / 12.58 / 24.89
+//!   Mahout/CPU 541.3 / 563.1 / 687.5
+//!
+//! We time the same four configurations in virtual seconds. Absolute
+//! numbers differ (simulated substrate, scaled N); the claim under test
+//! is the ordering and the rough ratios: MPI/GPU < PRS/GPU < MPI/CPU, and
+//! Mahout slower by two orders of magnitude.
+
+use prs_apps::CMeans;
+use prs_baselines::{run_mahout_like, run_mpi_cpu, run_mpi_gpu, MahoutParams};
+use prs_bench::{fmt_secs, print_table, scaled, write_json};
+use prs_core::{run_iterative, ClusterSpec, JobConfig};
+use prs_data::gaussian::clustering_workload;
+use serde::Serialize;
+use std::sync::Arc;
+
+const NODES: usize = 4;
+const DIMS: usize = 100;
+const CLUSTERS: usize = 10;
+const ITERATIONS: usize = 2;
+/// Base point counts are the paper's, pre-scaled to 1/2 so the default
+/// run finishes quickly on one host core; PRS_SCALE rescales further.
+const BASE_POINTS: [usize; 3] = [100_000, 200_000, 400_000];
+
+#[derive(Serialize)]
+struct Row {
+    points: usize,
+    mpi_gpu: f64,
+    prs_gpu: f64,
+    mpi_cpu: f64,
+    mahout_cpu: f64,
+}
+
+fn main() {
+    let spec = ClusterSpec::delta(NODES);
+    let mut rows = Vec::new();
+    let mut printable = Vec::new();
+    for base in BASE_POINTS {
+        let n = scaled(base);
+        eprintln!("table3: running N = {n} ...");
+        let pts = Arc::new(clustering_workload(n, DIMS, CLUSTERS, 0xBEEF).points);
+        let mk = || Arc::new(CMeans::new(pts.clone(), CLUSTERS, 2.0, 1e-12, 7));
+
+        let mpi_gpu = run_mpi_gpu(&spec, mk(), ITERATIONS).compute_seconds;
+        let prs_gpu = run_iterative(
+            &spec,
+            mk(),
+            JobConfig::gpu_only().with_iterations(ITERATIONS),
+        )
+        .expect("PRS/GPU job")
+        .metrics
+        .compute_seconds;
+        let mpi_cpu = run_mpi_cpu(&spec, mk(), ITERATIONS).compute_seconds;
+        let mahout_cpu =
+            run_mahout_like(&spec, mk(), ITERATIONS, MahoutParams::default()).compute_seconds;
+
+        printable.push(vec![
+            format!("{}k", n / 1000),
+            fmt_secs(mpi_gpu),
+            fmt_secs(prs_gpu),
+            fmt_secs(mpi_cpu),
+            fmt_secs(mahout_cpu),
+        ]);
+        rows.push(Row {
+            points: n,
+            mpi_gpu,
+            prs_gpu,
+            mpi_cpu,
+            mahout_cpu,
+        });
+    }
+
+    print_table(
+        &format!("Table 3: C-means, {NODES} nodes, D={DIMS}, K={CLUSTERS}, {ITERATIONS} iterations (virtual seconds)"),
+        &["#points", "MPI/GPU", "PRS/GPU", "MPI/CPU", "Mahout/CPU"],
+        &printable,
+    );
+
+    println!("\nShape checks vs paper Table 3:");
+    for r in &rows {
+        let ok1 = r.mpi_gpu < r.prs_gpu;
+        let ok2 = r.prs_gpu < r.mpi_cpu;
+        let ok3 = r.mahout_cpu > 50.0 * r.mpi_cpu;
+        println!(
+            "  N={:>7}: MPI/GPU < PRS/GPU: {ok1}; PRS/GPU < MPI/CPU: {ok2}; Mahout >> MPI/CPU: {ok3}",
+            r.points
+        );
+    }
+    write_json("table3", &rows);
+}

@@ -1,0 +1,164 @@
+//! Table 5: workload distribution between GPU and CPU for GEMV, C-means,
+//! and GMM on a Delta node — the CPU fraction `p` from Equation (8)
+//! versus the `p` found by profiling (sweeping static splits and taking
+//! the fastest).
+//!
+//! Paper values: GEMV AI=2, p_eq8 = 97.3 %, p_profiled = 90.8 %;
+//! C-means AI=5·M (M=100), 11.2 % / 11.9 %; GMM AI=11·M·D (M=10, D=60),
+//! 11.2 % / 13.1 %. Claim under test: |p_eq8 − p_profiled| < 10 %.
+//!
+//! The profiling sweep uses [`SyntheticApp`] stand-ins at the paper's
+//! full data sizes: they charge exactly the virtual time real apps with
+//! the same workload parameters are charged (the cost model reads only
+//! those), so the profiled optimum is measured at realistic scale where
+//! bandwidth/compute dominate fixed overheads.
+
+use prs_bench::{print_table, write_json, SyntheticApp};
+use prs_core::{run_iterative, ClusterSpec, JobConfig, SpmdApp};
+use roofline::model::DataResidency;
+use roofline::schedule::{split as analytic_split, Workload};
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    intensity: f64,
+    p_eq8: f64,
+    p_profiled: f64,
+    abs_error: f64,
+}
+
+/// Finds the empirically fastest static CPU fraction: coarse sweep, then
+/// a fine pass around the coarse winner.
+fn profile_p(run: &dyn Fn(f64) -> f64) -> f64 {
+    let coarse: Vec<f64> = (0..=20).map(|i| i as f64 * 0.05).collect();
+    let mut best = (f64::INFINITY, 0.5);
+    for &p in &coarse {
+        let t = run(p);
+        if t < best.0 {
+            best = (t, p);
+        }
+    }
+    let center = best.1;
+    for i in -4i32..=4 {
+        let p = (center + i as f64 * 0.01).clamp(0.0, 1.0);
+        let t = run(p);
+        if t < best.0 {
+            best = (t, p);
+        }
+    }
+    best.1
+}
+
+struct Case {
+    name: &'static str,
+    app: fn() -> SyntheticApp,
+}
+
+/// GEMV at the paper's Figure-6 size: 35000 rows of 10000 f32 each,
+/// staged, AI = 2, one output block per map task.
+fn gemv_case() -> SyntheticApp {
+    SyntheticApp {
+        n: 35_000,
+        item_bytes: 4 * 10_000,
+        workload: Workload::uniform(2.0, DataResidency::Staged),
+        keys: 1,
+        value_bytes: 4096,
+    }
+}
+
+/// C-means at Table-5 parameters: M = 100 clusters (AI = 500), D = 100,
+/// N = 1M points, resident; each block emits 101 partials of (d+1)
+/// doubles.
+fn cmeans_case() -> SyntheticApp {
+    SyntheticApp {
+        n: 1_000_000,
+        item_bytes: 400,
+        workload: Workload::uniform(500.0, DataResidency::Resident),
+        keys: 101,
+        value_bytes: 808,
+    }
+}
+
+/// GMM at Table-5 parameters: M = 10, D = 60 (AI = 6600), N = 100k,
+/// resident; each block emits 11 sufficient-statistics blobs of
+/// 1 + d + d(d+1)/2 doubles.
+fn gmm_case() -> SyntheticApp {
+    SyntheticApp {
+        n: 100_000,
+        item_bytes: 240,
+        workload: Workload::uniform(6600.0, DataResidency::Resident),
+        keys: 11,
+        value_bytes: (1 + 60 + 1830) * 8,
+    }
+}
+
+fn main() {
+    let spec = ClusterSpec::delta(1);
+    let profile = &spec.nodes[0];
+    let cases = [
+        Case {
+            name: "GEMV",
+            app: gemv_case,
+        },
+        Case {
+            name: "C-means",
+            app: cmeans_case,
+        },
+        Case {
+            name: "GMM",
+            app: gmm_case,
+        },
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for case in &cases {
+        eprintln!("table5: profiling {} ...", case.name);
+        let workload = (case.app)().workload();
+        let p_eq8 = analytic_split(profile, &workload).cpu_fraction;
+        let run = |p: f64| -> f64 {
+            run_iterative(&spec, Arc::new((case.app)()), JobConfig::static_with_p(p))
+                .expect("profiling job")
+                .metrics
+                .compute_seconds
+        };
+        let p_prof = profile_p(&run);
+        rows.push(Row {
+            app: case.name.to_string(),
+            intensity: workload.ai_cpu,
+            p_eq8,
+            p_profiled: p_prof,
+            abs_error: (p_eq8 - p_prof).abs(),
+        });
+    }
+
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                format!("{}", r.intensity),
+                format!("{:.1}%", r.p_eq8 * 100.0),
+                format!("{:.1}%", r.p_profiled * 100.0),
+                format!("{:.1}pp", r.abs_error * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 5: workload distribution p (CPU fraction) on a Delta node",
+        &["App", "AI (flops/byte)", "p by Eq (8)", "p by profiling", "|error|"],
+        &printable,
+    );
+    println!("\nPaper: GEMV 97.3%/90.8%, C-means 11.2%/11.9%, GMM 11.2%/13.1% (error < 10%)");
+    for r in &rows {
+        assert!(
+            r.abs_error < 0.10,
+            "{}: Eq(8)-vs-profiled error exceeds the paper's 10% bound ({:.1}pp)",
+            r.app,
+            r.abs_error * 100.0
+        );
+    }
+    println!("All errors within the paper's 10% bound.");
+    write_json("table5", &rows);
+}

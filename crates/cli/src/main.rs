@@ -1,0 +1,434 @@
+//! `prs` — run the paper's SPMD applications on simulated GPU+CPU
+//! clusters from the command line, and interrogate the analytic
+//! scheduler.
+//!
+//! ```sh
+//! prs run --app cmeans --nodes 4 --points 100000 --dims 64 --clusters 10
+//! prs run --app gemv --mode gpu --timeline
+//! prs advise --ai 12.5 --residency staged
+//! prs profiles
+//! ```
+
+use device::{render_ascii, to_chrome_trace};
+use prs_apps::{BatchFft, CMeans, CsrMatrix, DaKmeans, Dgemm, Gemv, Gmm, KMeans, Spmv, WordCount};
+use prs_cli::{parse_kv, parse_profile, parse_residency, parse_run, AppKind, RunOptions};
+use prs_core::{run_iterative, run_job, ClusterSpec, JobResult};
+use prs_data::gaussian::clustering_workload;
+use prs_data::matrix::MatrixF32;
+use prs_data::rng::SplitMix64;
+use roofline::model::DataResidency;
+use roofline::schedule::{split_multi_gpu, Workload};
+use std::sync::Arc;
+
+/// Prints to stdout, exiting quietly when the pipe is closed (`prs | head`
+/// must not panic).
+macro_rules! say {
+    ($($arg:tt)*) => {{
+        use std::io::Write;
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("advise") => cmd_advise(&args[1..]),
+        Some("profiles") => cmd_profiles(),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_help();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n");
+            print_help();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_help() {
+    say!(
+        "prs — co-process SPMD computation on simulated CPUs+GPUs clusters
+
+USAGE:
+  prs run [options]       run an application end to end
+  prs sweep [options]     sweep static CPU fractions and compare with Eq (8)
+  prs advise [options]    print the analytic scheduling decision (Eq 8-11)
+  prs profiles            list the built-in fat-node hardware profiles
+  prs help                this text
+
+RUN OPTIONS (defaults in parentheses):
+  --app <{apps}>   (cmeans)
+  --nodes <n>                 cluster size (2)
+  --profile <delta|bigred2>   node hardware (delta)
+  --mode <static|static:<p>|dynamic:<block>|gpu|cpu>   (static)
+  --iterations <n>            iteration cap for iterative apps (10)
+  --points / --dims / --clusters    workload shape (50000 / 32 / 8)
+  --gpus <n>                  GPUs engaged per node (1)
+  --streams <n>               CUDA streams per GPU (2)
+  --blocks-per-core <n>       CPU blocks per core (4)
+  --seed <n>                  RNG seed (42)
+  --timeline                  print the execution Gantt chart
+  --json                      machine-readable output
+
+ADVISE OPTIONS:
+  --ai <flops/byte>           arithmetic intensity (12.5)
+  --residency <staged|resident>   GPU data residency (staged)
+  --profile <delta|bigred2>   (delta)
+  --gpus <n>                  (1)",
+        apps = AppKind::names().join("|")
+    );
+}
+
+fn cmd_profiles() -> i32 {
+    for p in [
+        parse_profile("delta").unwrap(),
+        parse_profile("bigred2").unwrap(),
+    ] {
+        say!("{}:", p.name.to_lowercase());
+        say!(
+            "  CPU : {} — {} cores, {:.0} Gflop/s peak, {:.0} GB/s DRAM",
+            p.cpu.model,
+            p.cpu.cores,
+            p.cpu.peak_flops / 1e9,
+            p.cpu.dram_bw / 1e9
+        );
+        for (i, g) in p.gpus.iter().enumerate() {
+            say!(
+                "  GPU{i}: {} — {} cores, {:.0} Gflop/s peak, {:.0} GB/s DRAM, {:.2} GB/s eff PCI-E, {} GB",
+                g.model,
+                g.cores,
+                g.peak_flops / 1e9,
+                g.dram_bw / 1e9,
+                g.pcie_eff_bw / 1e9,
+                g.mem_bytes >> 30,
+            );
+        }
+    }
+    0
+}
+
+/// `prs sweep`: the paper's Table-5 profiling experiment for any app —
+/// run a grid of static splits, report the empirical optimum next to the
+/// analytic prediction.
+fn cmd_sweep(args: &[String]) -> i32 {
+    let mut opts = match parse_run(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            print_help();
+            return 2;
+        }
+    };
+    let profile = parse_profile(&opts.profile).expect("validated");
+    let spec = ClusterSpec::homogeneous(
+        opts.nodes,
+        profile.clone(),
+        netsim::NetworkParams::infiniband_qdr(),
+    );
+    say!("sweeping static CPU fractions (0%..100%, step 10%) ...");
+    let mut best = (f64::INFINITY, 0.0);
+    for i in 0..=10 {
+        let p = i as f64 / 10.0;
+        opts.config.scheduling = prs_core::SchedulingMode::Static { p_override: Some(p) };
+        match dispatch(&opts, &spec) {
+            Ok((m, _, _)) => {
+                let t = m.compute_seconds;
+                say!("  p = {:>3.0}%  ->  {:10.3} ms", p * 100.0, t * 1e3);
+                if t < best.0 {
+                    best = (t, p);
+                }
+            }
+            Err(e) => {
+                eprintln!("error at p = {p}: {e}");
+                return 1;
+            }
+        }
+    }
+    // Analytic prediction for the same app: rebuild once in static mode.
+    opts.config.scheduling = prs_core::SchedulingMode::Static { p_override: None };
+    match dispatch(&opts, &spec) {
+        Ok((m, label, _)) => {
+            let p_eq8 = m.cpu_fraction.unwrap_or(f64::NAN);
+            say!(
+                "\n{label}: empirical optimum p = {:.0}% ({:.3} ms); Equation (8) says {:.1}% ({:.3} ms)",
+                best.1 * 100.0,
+                best.0 * 1e3,
+                p_eq8 * 100.0,
+                m.compute_seconds * 1e3
+            );
+            say!(
+                "analytic-vs-profiled error: {:.1} percentage points (paper's Table-5 bound: < 10)",
+                (p_eq8 - best.1).abs() * 100.0
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    }
+    0
+}
+
+fn cmd_advise(args: &[String]) -> i32 {
+    let parsed = parse_kv(args).and_then(|(kv, flags)| {
+        if !flags.is_empty() {
+            return Err(format!("unknown flag --{}", flags[0]));
+        }
+        let ai: f64 = kv
+            .get("ai")
+            .map(|v| v.parse().map_err(|_| format!("bad --ai '{v}'")))
+            .transpose()?
+            .unwrap_or(12.5);
+        let residency = kv
+            .get("residency")
+            .map(|v| parse_residency(v))
+            .transpose()?
+            .unwrap_or(DataResidency::Staged);
+        let profile = kv
+            .get("profile")
+            .map(|v| parse_profile(v))
+            .transpose()?
+            .unwrap_or_else(|| parse_profile("delta").unwrap());
+        let gpus: usize = kv
+            .get("gpus")
+            .map(|v| v.parse().map_err(|_| format!("bad --gpus '{v}'")))
+            .transpose()?
+            .unwrap_or(1);
+        if !(ai > 0.0 && ai.is_finite()) {
+            return Err(format!("--ai must be a positive number, got {ai}"));
+        }
+        if gpus == 0 || gpus > profile.gpus.len() {
+            return Err(format!(
+                "--gpus must be 1..={} for profile '{}'",
+                profile.gpus.len(),
+                profile.name
+            ));
+        }
+        Ok((ai, residency, profile, gpus))
+    });
+    let (ai, residency, profile, gpus) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+
+    let w = Workload::uniform(ai, residency);
+    let d = split_multi_gpu(&profile, &w, gpus);
+    say!("{} | AI = {ai} flops/byte, {residency:?}, {gpus} GPU(s)", profile.name);
+    say!("  regime          : {:?}", d.regime);
+    say!(
+        "  ridge points    : A_cr = {:.2}, A_gr = {:.2}",
+        profile.cpu_ridge(),
+        profile.gpu_ridge(residency)
+    );
+    say!(
+        "  Equation (8)    : {:.1}% CPU / {:.1}% GPU",
+        d.cpu_fraction * 100.0,
+        (1.0 - d.cpu_fraction) * 100.0
+    );
+    say!(
+        "  predicted rates : CPU {:.1} Gflop/s, GPU {:.1} Gflop/s",
+        d.cpu_flops / 1e9,
+        d.gpu_flops / 1e9
+    );
+    0
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let opts = match parse_run(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            print_help();
+            return 2;
+        }
+    };
+    let profile = parse_profile(&opts.profile).expect("validated");
+    let spec = ClusterSpec::homogeneous(
+        opts.nodes,
+        profile,
+        netsim::NetworkParams::infiniband_qdr(),
+    );
+
+    let outcome = dispatch(&opts, &spec);
+    let (result, label, extra) = match outcome {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+
+    if opts.json {
+        let doc = serde_json::json!({
+            "app": label,
+            "nodes": opts.nodes,
+            "points": opts.points,
+            "iterations": result.iterations.len(),
+            "setup_seconds": result.setup_seconds,
+            "compute_seconds": result.compute_seconds,
+            "seconds_per_iteration": result.seconds_per_iteration(),
+            "gflops_per_node": result.gflops_per_node(),
+            "cpu_fraction": result.cpu_fraction,
+            "cpu_map_tasks": result.cpu_map_tasks,
+            "gpu_map_tasks": result.gpu_map_tasks,
+            "extra": extra,
+        });
+        say!("{}", serde_json::to_string_pretty(&doc).unwrap());
+    } else {
+        say!("{label} on {} node(s):", opts.nodes);
+        if let Some(p) = result.cpu_fraction {
+            say!("  CPU fraction (Eq 8) : {:.1}%", p * 100.0);
+        }
+        say!("  iterations          : {}", result.iterations.len());
+        say!("  setup               : {:.3} ms", result.setup_seconds * 1e3);
+        say!(
+            "  compute             : {:.3} ms ({:.3} ms/iteration)",
+            result.compute_seconds * 1e3,
+            result.seconds_per_iteration() * 1e3
+        );
+        say!("  Gflop/s per node    : {:.2}", result.gflops_per_node());
+        say!(
+            "  map tasks CPU/GPU   : {} / {}",
+            result.cpu_map_tasks, result.gpu_map_tasks
+        );
+        if !extra.is_empty() {
+            say!("  {extra}");
+        }
+        if opts.timeline {
+            say!("\n{}", render_ascii(&result.timeline, 100));
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        match std::fs::write(path, to_chrome_trace(&result.timeline)) {
+            Ok(()) => eprintln!("trace written to {path} (open in chrome://tracing or Perfetto)"),
+            Err(e) => {
+                eprintln!("error writing trace to {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+type RunOutcome = Result<(prs_core::JobMetrics, String, String), String>;
+
+/// Builds the requested app, runs it, and summarizes app-specific results.
+fn dispatch(opts: &RunOptions, spec: &ClusterSpec) -> RunOutcome {
+    let seed = opts.seed;
+    let n = opts.points;
+    let d = opts.dims;
+    let k = opts.clusters.max(1);
+    let err = |e: prs_core::JobError| e.to_string();
+
+    fn metrics<O>(r: JobResult<O>) -> prs_core::JobMetrics {
+        r.metrics
+    }
+
+    match opts.app {
+        AppKind::Cmeans => {
+            let pts = Arc::new(clustering_workload(n, d, k, seed).points);
+            let app = Arc::new(CMeans::new(pts, k, 2.0, 1e-3, seed));
+            let r = run_iterative(spec, app.clone(), opts.config).map_err(err)?;
+            let obj = app.objective_history().last().copied().unwrap_or(0.0);
+            Ok((metrics(r), "C-means".into(), format!("final J_m = {obj:.4e}")))
+        }
+        AppKind::Kmeans => {
+            let pts = Arc::new(clustering_workload(n, d, k, seed).points);
+            let app = Arc::new(KMeans::new(pts, k, 1e-3, seed));
+            let r = run_iterative(spec, app.clone(), opts.config).map_err(err)?;
+            let sse = app.sse_history().last().copied().unwrap_or(0.0);
+            Ok((metrics(r), "K-means".into(), format!("final SSE = {sse:.4e}")))
+        }
+        AppKind::Gmm => {
+            let pts = Arc::new(clustering_workload(n, d, k, seed).points);
+            let app = Arc::new(Gmm::new(pts, k, 1e-6, seed));
+            let r = run_iterative(spec, app.clone(), opts.config).map_err(err)?;
+            let ll = app.log_likelihood_history().last().copied().unwrap_or(0.0);
+            Ok((metrics(r), "GMM".into(), format!("final logL = {ll:.4e}")))
+        }
+        AppKind::Da => {
+            let pts = Arc::new(clustering_workload(n, d, k, seed).points);
+            let app = Arc::new(DaKmeans::new(pts, k, 0.85, 1e-3));
+            let r = run_iterative(spec, app.clone(), opts.config).map_err(err)?;
+            Ok((
+                metrics(r),
+                "DA clustering".into(),
+                format!("final T = {:.4e}", app.temperature()),
+            ))
+        }
+        AppKind::Gemv => {
+            let mut rng = SplitMix64::new(seed);
+            let a = Arc::new(MatrixF32::from_fn(n, d, |_, _| rng.next_f32() - 0.5));
+            let x: Arc<Vec<f32>> = Arc::new((0..d).map(|_| rng.next_f32()).collect());
+            let app = Arc::new(Gemv::new(a, x));
+            let r = run_job(spec, app.clone(), opts.config).map_err(err)?;
+            let y = app.assemble(&r.outputs);
+            Ok((
+                metrics(r),
+                "GEMV".into(),
+                format!("|y| = {} elements", y.len()),
+            ))
+        }
+        AppKind::Spmv => {
+            let m = Arc::new(CsrMatrix::synthetic(n, d.max(1), 8, seed));
+            let mut rng = SplitMix64::new(seed ^ 1);
+            let x: Arc<Vec<f32>> = Arc::new((0..d.max(1)).map(|_| rng.next_f32()).collect());
+            let expect = m.spmv_ref(&x);
+            let app = Arc::new(Spmv::new(m, x));
+            let r = run_job(spec, app.clone(), opts.config).map_err(err)?;
+            let y = app.assemble(&r.outputs);
+            let ok = y
+                .iter()
+                .zip(&expect)
+                .all(|(a, b)| (a - b).abs() <= 1e-4 * b.abs().max(1.0));
+            Ok((
+                metrics(r),
+                "SpMV".into(),
+                format!("reference check: {}", if ok { "ok" } else { "FAILED" }),
+            ))
+        }
+        AppKind::Dgemm => {
+            let mut rng = SplitMix64::new(seed);
+            let a = Arc::new(MatrixF32::from_fn(n, d, |_, _| rng.next_f32() - 0.5));
+            let b = Arc::new(MatrixF32::from_fn(d, d, |_, _| rng.next_f32() - 0.5));
+            let app = Arc::new(Dgemm::new(a, b));
+            let r = run_job(spec, app.clone(), opts.config).map_err(err)?;
+            Ok((
+                metrics(r),
+                "DGEMM".into(),
+                format!("C is {n} x {d}"),
+            ))
+        }
+        AppKind::Wordcount => {
+            let app = Arc::new(WordCount::synthetic(n, k as u32 * 100, seed));
+            let r = run_job(spec, app.clone(), opts.config).map_err(err)?;
+            Ok((
+                metrics(r),
+                "WordCount".into(),
+                format!("vocab = {}", app.vocab()),
+            ))
+        }
+        AppKind::Fft => {
+            let len = d.next_power_of_two().max(64);
+            let app = Arc::new(BatchFft::synthetic(n.max(1), len, seed));
+            let expected = len as f64 * app.total_time_energy();
+            let r = run_job(spec, app.clone(), opts.config).map_err(err)?;
+            let spectral: f64 = r.outputs.iter().map(|(_, e)| e).sum();
+            let ok = (spectral - expected).abs() < 1e-6 * expected.abs().max(1.0);
+            Ok((
+                metrics(r),
+                "BatchFFT".into(),
+                format!("Parseval check: {}", if ok { "ok" } else { "FAILED" }),
+            ))
+        }
+    }
+}

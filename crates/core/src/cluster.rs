@@ -1,0 +1,85 @@
+//! Cluster description: how many fat nodes, of what profile, connected by
+//! what fabric.
+
+use device::OverheadModel;
+use netsim::NetworkParams;
+use roofline::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// The simulated cluster a job runs on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Per-node hardware profiles; length = node count. Homogeneous
+    /// clusters repeat one profile (the case the paper evaluates);
+    /// heterogeneous mixes exercise the §V(c) extension.
+    pub nodes: Vec<DeviceProfile>,
+    /// Interconnect parameters.
+    pub network: NetworkParams,
+    /// Software-stack overheads.
+    pub overheads: OverheadModel,
+}
+
+impl ClusterSpec {
+    /// A homogeneous cluster of `n` nodes.
+    pub fn homogeneous(n: usize, profile: DeviceProfile, network: NetworkParams) -> Self {
+        assert!(n > 0);
+        ClusterSpec {
+            nodes: vec![profile; n],
+            network,
+            overheads: OverheadModel::default(),
+        }
+    }
+
+    /// `n` Delta nodes on QDR InfiniBand — the paper's main testbed.
+    pub fn delta(n: usize) -> Self {
+        Self::homogeneous(
+            n,
+            DeviceProfile::delta_node(),
+            NetworkParams::infiniband_qdr(),
+        )
+    }
+
+    /// `n` BigRed2 nodes on QDR InfiniBand.
+    pub fn bigred2(n: usize) -> Self {
+        Self::homogeneous(
+            n,
+            DeviceProfile::bigred2_node(),
+            NetworkParams::infiniband_qdr(),
+        )
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for an empty spec (never valid for running jobs).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Replaces the overhead model (builder style).
+    pub fn with_overheads(mut self, overheads: OverheadModel) -> Self {
+        self.overheads = overheads;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_cluster_shape() {
+        let c = ClusterSpec::delta(4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.nodes[0].name, "Delta");
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn with_overheads_replaces() {
+        let c = ClusterSpec::delta(1).with_overheads(OverheadModel::zero());
+        assert_eq!(c.overheads, OverheadModel::zero());
+    }
+}

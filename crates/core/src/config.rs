@@ -1,0 +1,191 @@
+//! Job configuration: the paper's "job configuration stage", where users
+//! specify scheduling parameters (§III.A.2).
+
+use crate::api::DeviceClass;
+use serde::{Deserialize, Serialize};
+
+/// How the sub-task scheduler divides a partition between devices
+/// (paper §III.B.2's two options, plus degenerate single-device modes
+/// used for baselines and the Figure-6 GPU-only bars).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SchedulingMode {
+    /// Static split by the analytic model (Equation (8)), optionally
+    /// overriding the computed CPU fraction (used for profiling sweeps).
+    Static {
+        /// When set, use this CPU fraction instead of Equation (8).
+        p_override: Option<f64>,
+    },
+    /// Dynamic polling: the partition is cut into fixed-size blocks that
+    /// idle device daemons pull from a shared queue.
+    Dynamic {
+        /// Records per block.
+        block_items: usize,
+    },
+    /// All work on the CPU cores.
+    CpuOnly,
+    /// All work on the GPU.
+    GpuOnly,
+}
+
+/// Full job configuration with the paper's defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobConfig {
+    /// Scheduling strategy.
+    pub scheduling: SchedulingMode,
+    /// Partitions handed out by the master, as a multiple of the node
+    /// count ("whose default number is twice that of the fat nodes").
+    pub partitions_per_node: usize,
+    /// CPU blocks per core within a sub-partition ("numbers are several
+    /// times those of the CPU cores").
+    pub blocks_per_core: u32,
+    /// Concurrent CUDA streams per GPU.
+    pub gpu_streams: usize,
+    /// GPUs engaged per fat node (the paper's experiments use 1; Delta
+    /// nodes carry 2 C2070s). Each GPU gets its own daemon.
+    pub gpus_per_node: usize,
+    /// GPU blocks a sub-partition is cut into (≥ streams to keep the
+    /// pipeline full).
+    pub gpu_blocks_per_partition: usize,
+    /// Apply the app's combiner before the shuffle.
+    pub use_combiner: bool,
+    /// Device class that runs reduce tasks.
+    pub reduce_device: DeviceClass,
+    /// Iteration cap for [`crate::api::IterativeApp`] jobs (1 = single
+    /// map/reduce pass).
+    pub max_iterations: usize,
+    /// Create a fresh GPU context per task instead of one per daemon —
+    /// the anti-pattern §III.C.3 argues against; kept as an ablation knob
+    /// (A4).
+    pub context_per_task: bool,
+    /// Cache loop-invariant resident data in GPU memory across iterations
+    /// (§III.C.3). Disabling re-stages it every iteration (ablation A4).
+    pub cache_resident_data: bool,
+    /// Weight the master's per-node partitions by each node's aggregate
+    /// roofline rate (the §V(c) heterogeneous-fat-nodes extension).
+    /// Disabled, every node receives an equal share.
+    pub hetero_aware_partitioning: bool,
+    /// Record every device busy interval into
+    /// [`crate::JobMetrics::timeline`] (Gantt observability; small
+    /// overhead in host time, none in virtual time).
+    pub record_timeline: bool,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            scheduling: SchedulingMode::Static { p_override: None },
+            partitions_per_node: 2,
+            blocks_per_core: 4,
+            gpu_streams: 2,
+            gpus_per_node: 1,
+            gpu_blocks_per_partition: 4,
+            use_combiner: true,
+            reduce_device: DeviceClass::Cpu,
+            max_iterations: 1,
+            context_per_task: false,
+            cache_resident_data: true,
+            hetero_aware_partitioning: true,
+            record_timeline: false,
+        }
+    }
+}
+
+impl JobConfig {
+    /// Static scheduling with Equation (8).
+    pub fn static_analytic() -> Self {
+        JobConfig::default()
+    }
+
+    /// Static scheduling with a fixed CPU fraction (profiling sweeps).
+    pub fn static_with_p(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+        JobConfig {
+            scheduling: SchedulingMode::Static { p_override: Some(p) },
+            ..JobConfig::default()
+        }
+    }
+
+    /// Dynamic polling with the given block granularity.
+    pub fn dynamic(block_items: usize) -> Self {
+        assert!(block_items > 0);
+        JobConfig {
+            scheduling: SchedulingMode::Dynamic { block_items },
+            ..JobConfig::default()
+        }
+    }
+
+    /// GPU-only execution (Figure 6 red bars).
+    pub fn gpu_only() -> Self {
+        JobConfig {
+            scheduling: SchedulingMode::GpuOnly,
+            ..JobConfig::default()
+        }
+    }
+
+    /// CPU-only execution.
+    pub fn cpu_only() -> Self {
+        JobConfig {
+            scheduling: SchedulingMode::CpuOnly,
+            ..JobConfig::default()
+        }
+    }
+
+    /// Builder-style iteration cap.
+    pub fn with_iterations(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.max_iterations = n;
+        self
+    }
+
+    /// Builder-style GPU count per node.
+    pub fn with_gpus(mut self, gpus: usize) -> Self {
+        assert!(gpus >= 1);
+        self.gpus_per_node = gpus;
+        self
+    }
+
+    /// Builder-style stream count.
+    pub fn with_streams(mut self, streams: usize) -> Self {
+        assert!(streams >= 1);
+        self.gpu_streams = streams;
+        self.gpu_blocks_per_partition = self.gpu_blocks_per_partition.max(streams);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = JobConfig::default();
+        assert_eq!(c.partitions_per_node, 2);
+        assert!(matches!(
+            c.scheduling,
+            SchedulingMode::Static { p_override: None }
+        ));
+        assert!(c.blocks_per_core >= 2);
+    }
+
+    #[test]
+    fn builders() {
+        let c = JobConfig::static_with_p(0.25);
+        assert!(matches!(
+            c.scheduling,
+            SchedulingMode::Static {
+                p_override: Some(p)
+            } if p == 0.25
+        ));
+        let c = JobConfig::dynamic(1000).with_iterations(5).with_streams(8);
+        assert_eq!(c.max_iterations, 5);
+        assert_eq!(c.gpu_streams, 8);
+        assert!(c.gpu_blocks_per_partition >= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1]")]
+    fn p_override_validated() {
+        let _ = JobConfig::static_with_p(1.5);
+    }
+}

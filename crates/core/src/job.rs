@@ -1,0 +1,700 @@
+//! Job orchestration: the two-level scheduler (master task scheduler +
+//! per-node sub-task schedulers), device daemons, shuffle, reduce, and the
+//! iterative driver — paper §III, Figures 1 and 2, end to end.
+
+use crate::api::{DeviceClass, IterativeApp, Key, SpmdApp};
+use crate::cluster::ClusterSpec;
+use crate::config::{JobConfig, SchedulingMode};
+use crate::metrics::{JobMetrics, StageTimes};
+use crate::task::{split_fixed, split_range, Task, TaskResult};
+use device::FatNode;
+use netsim::{shuffle, CollectiveSeq, Network, ShuffleItem};
+use parking_lot::Mutex;
+use roofline::model::DataResidency;
+use roofline::schedule::{partition_across_nodes, split_multi_gpu};
+use simtime::{Channel, Sim, SimCtx, SimError};
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Why a job could not run (or crashed mid-simulation).
+#[derive(Debug)]
+pub enum JobError {
+    /// The configuration is inconsistent with the cluster or application.
+    InvalidConfig(String),
+    /// The underlying simulation failed (deadlock, panic, event limit).
+    Sim(SimError),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::InvalidConfig(msg) => write!(f, "invalid job config: {msg}"),
+            JobError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A completed job: the reduce outputs (gathered, sorted by key) plus all
+/// measurements.
+#[derive(Debug)]
+pub struct JobResult<O> {
+    /// Final outputs, sorted by key.
+    pub outputs: Vec<(Key, O)>,
+    /// Everything measured.
+    pub metrics: JobMetrics,
+}
+
+/// Runs a single map/shuffle/reduce pass of `app` on `spec`.
+pub fn run_job<A: SpmdApp>(
+    spec: &ClusterSpec,
+    app: Arc<A>,
+    config: JobConfig,
+) -> Result<JobResult<A::Output>, JobError> {
+    run_with_update(spec, app, config, Arc::new(|_| true))
+}
+
+/// Runs an iterative job: map/shuffle/reduce, then [`IterativeApp::update`]
+/// on the gathered outputs, looping until convergence or
+/// `config.max_iterations`.
+pub fn run_iterative<A: IterativeApp>(
+    spec: &ClusterSpec,
+    app: Arc<A>,
+    config: JobConfig,
+) -> Result<JobResult<A::Output>, JobError> {
+    let hook = app.clone();
+    run_with_update(
+        spec,
+        app,
+        config,
+        Arc::new(move |outputs| hook.update(outputs)),
+    )
+}
+
+type UpdateFn<A> = Arc<dyn Fn(&[(Key, <A as SpmdApp>::Output)]) -> bool + Send + Sync>;
+
+enum CtrlMsg {
+    Partition(Range<usize>),
+    Done,
+}
+
+/// Per-node accumulation shared between the simulation and the caller.
+struct Collected<O> {
+    outputs: Vec<(Key, O)>,
+    per_node_iters: Vec<Vec<StageTimes>>,
+    setup_end: Vec<f64>,
+    p_used: Vec<Option<f64>>,
+    cpu_map_tasks: u64,
+    gpu_map_tasks: u64,
+}
+
+fn validate<A: SpmdApp>(spec: &ClusterSpec, app: &A, config: &JobConfig) -> Result<(), JobError> {
+    if spec.is_empty() {
+        return Err(JobError::InvalidConfig("cluster has no nodes".into()));
+    }
+    let needs_gpu = !matches!(config.scheduling, SchedulingMode::CpuOnly);
+    if needs_gpu {
+        if config.gpus_per_node == 0 {
+            return Err(JobError::InvalidConfig("gpus_per_node must be >= 1".into()));
+        }
+        if let Some(bad) = spec
+            .nodes
+            .iter()
+            .find(|n| n.gpus.len() < config.gpus_per_node)
+        {
+            return Err(JobError::InvalidConfig(format!(
+                "scheduling mode needs {} GPU(s) but node profile '{}' has {}",
+                config.gpus_per_node,
+                bad.name,
+                bad.gpus.len()
+            )));
+        }
+    }
+    if app.num_items() == 0 {
+        return Err(JobError::InvalidConfig("application has no input".into()));
+    }
+    if config.partitions_per_node == 0 {
+        return Err(JobError::InvalidConfig(
+            "partitions_per_node must be >= 1".into(),
+        ));
+    }
+    if config.gpu_streams == 0 && needs_gpu {
+        return Err(JobError::InvalidConfig("gpu_streams must be >= 1".into()));
+    }
+    if config.blocks_per_core == 0 {
+        return Err(JobError::InvalidConfig("blocks_per_core must be >= 1".into()));
+    }
+    if config.gpu_blocks_per_partition == 0 && needs_gpu {
+        return Err(JobError::InvalidConfig(
+            "gpu_blocks_per_partition must be >= 1".into(),
+        ));
+    }
+    if config.max_iterations == 0 {
+        return Err(JobError::InvalidConfig("max_iterations must be >= 1".into()));
+    }
+    if let SchedulingMode::Static {
+        p_override: Some(p),
+    } = config.scheduling
+    {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(JobError::InvalidConfig(format!(
+                "static CPU fraction {p} out of [0,1]"
+            )));
+        }
+    }
+    if let SchedulingMode::Dynamic { block_items } = config.scheduling {
+        if block_items == 0 {
+            return Err(JobError::InvalidConfig(
+                "dynamic block_items must be >= 1".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run_with_update<A: SpmdApp>(
+    spec: &ClusterSpec,
+    app: Arc<A>,
+    config: JobConfig,
+    update: UpdateFn<A>,
+) -> Result<JobResult<A::Output>, JobError> {
+    validate(spec, app.as_ref(), &config)?;
+    let n = spec.len();
+    let mut sim = Sim::new();
+
+    let nodes: Vec<Arc<FatNode>> = spec
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(rank, prof)| FatNode::new(rank, prof.clone(), spec.overheads))
+        .collect();
+    let timeline = config.record_timeline.then(device::Timeline::new);
+    if let Some(t) = &timeline {
+        for node in &nodes {
+            node.attach_timeline(t);
+        }
+    }
+    let network = Network::new("data", n, spec.network);
+    let ctrl: Vec<Channel<CtrlMsg>> = (0..n)
+        .map(|r| Channel::new(&format!("ctrl{r}")))
+        .collect();
+
+    let collect: Arc<Mutex<Collected<A::Output>>> = Arc::new(Mutex::new(Collected {
+        outputs: Vec::new(),
+        per_node_iters: vec![Vec::new(); n],
+        setup_end: vec![0.0; n],
+        p_used: vec![None; n],
+        cpu_map_tasks: 0,
+        gpu_map_tasks: 0,
+    }));
+
+    // Master: the first-level task scheduler.
+    {
+        let ctrl = ctrl.clone();
+        let app = app.clone();
+        let profiles = spec.nodes.clone();
+        let latency = spec.network.latency;
+        let dispatch = spec.overheads.task_dispatch;
+        sim.spawn("master", move |ctx| {
+            let total_items = app.num_items();
+            let weights = if config.hetero_aware_partitioning {
+                partition_across_nodes(&profiles, &app.workload(), total_items as u64)
+            } else {
+                let n = profiles.len() as u64;
+                let base = total_items as u64 / n;
+                let extra = total_items as u64 % n;
+                (0..n).map(|i| base + u64::from(i < extra)).collect()
+            };
+            let mut start = 0usize;
+            for (rank, &items) in weights.iter().enumerate() {
+                let node_range = start..start + items as usize;
+                start = node_range.end;
+                for part in split_range(node_range, config.partitions_per_node) {
+                    ctx.hold(dispatch);
+                    ctrl[rank].send_delayed(ctx, CtrlMsg::Partition(part), latency);
+                }
+            }
+            for ch in &ctrl {
+                ch.send_delayed(ctx, CtrlMsg::Done, latency);
+            }
+        });
+    }
+
+    // Per-node runtime: sub-task scheduler (worker) + device daemons.
+    for rank in 0..n {
+        let node = nodes[rank].clone();
+        // In dynamic mode both device classes poll one shared queue; in
+        // the static modes each class has its own.
+        let shared = matches!(config.scheduling, SchedulingMode::Dynamic { .. });
+        let cpu_q: Channel<Task<A::Inter>> = Channel::new(&format!("n{rank}-cpuq"));
+        let gpu_q: Channel<Task<A::Inter>> = if shared {
+            cpu_q.clone()
+        } else {
+            Channel::new(&format!("n{rank}-gpuq"))
+        };
+        let results: Channel<TaskResult<A::Inter, A::Output>> =
+            Channel::new(&format!("n{rank}-results"));
+        let ready: Channel<()> = Channel::new(&format!("n{rank}-ready"));
+
+        let staged = app.workload().residency == DataResidency::Staged;
+
+        // CPU pollers: one per core (the paper's "one mapper or reducer on
+        // each CPU core").
+        if !matches!(config.scheduling, SchedulingMode::GpuOnly) {
+            for core in 0..node.cpu.spec.cores {
+                let node = node.clone();
+                let app = app.clone();
+                let q = cpu_q.clone();
+                let results = results.clone();
+                sim.spawn(&format!("n{rank}-cpu{core}"), move |ctx| {
+                    cpu_poller(ctx, &node, app.as_ref(), &q, &results);
+                });
+            }
+        }
+
+        // GPU stream workers: one daemon (with `gpu_streams` streams) per
+        // engaged GPU — "one daemon thread for each GPU card".
+        if !matches!(config.scheduling, SchedulingMode::CpuOnly) {
+            for g in 0..config.gpus_per_node {
+                let gpu = node.gpus[g].clone();
+                for stream in 0..config.gpu_streams {
+                    let node = node.clone();
+                    let gpu = gpu.clone();
+                    let app = app.clone();
+                    let q = gpu_q.clone();
+                    let results = results.clone();
+                    let ready = ready.clone();
+                    sim.spawn(&format!("n{rank}-gpu{g}-s{stream}"), move |ctx| {
+                        gpu_stream_worker(
+                            ctx, &node, &gpu, app.as_ref(), &q, &results, &ready, config,
+                            staged,
+                        );
+                    });
+                }
+            }
+        }
+
+        // The sub-task scheduler.
+        let comm = network.communicator(rank);
+        let ctrl_ch = ctrl[rank].clone();
+        let app = app.clone();
+        let update = update.clone();
+        let collect = collect.clone();
+        sim.spawn(&format!("n{rank}-worker"), move |ctx| {
+            worker_body(
+                ctx, rank, &node, comm, ctrl_ch, cpu_q, gpu_q, results, ready, app, config,
+                update, collect,
+            );
+        });
+    }
+
+    let report = sim.run().map_err(JobError::Sim)?;
+
+    let collected = Arc::try_unwrap(collect)
+        .ok()
+        .expect("all simulation processes have finished")
+        .into_inner();
+
+    let iterations_done = collected
+        .per_node_iters
+        .iter()
+        .map(|v| v.len())
+        .max()
+        .unwrap_or(0);
+    let mut iterations = Vec::with_capacity(iterations_done);
+    for it in 0..iterations_done {
+        let merged = collected
+            .per_node_iters
+            .iter()
+            .filter_map(|v| v.get(it))
+            .fold(StageTimes::default(), |acc, s| acc.max(s));
+        iterations.push(merged);
+    }
+    let compute_seconds: f64 = iterations.iter().map(|s| s.total()).sum();
+    let setup_seconds = collected.setup_end.iter().cloned().fold(0.0, f64::max);
+
+    let metrics = JobMetrics {
+        total_seconds: report.end_time.as_secs_f64(),
+        setup_seconds,
+        compute_seconds,
+        iterations,
+        cpu_fraction: collected.p_used.first().copied().flatten(),
+        cpu_fractions: collected.p_used,
+        cpu_stats: nodes.iter().map(|n| n.cpu.stats()).collect(),
+        gpu_stats: nodes
+            .iter()
+            .map(|n| n.gpus.iter().map(|g| g.stats()).collect())
+            .collect(),
+        cpu_map_tasks: collected.cpu_map_tasks,
+        gpu_map_tasks: collected.gpu_map_tasks,
+        timeline: timeline.map(|t| t.intervals()).unwrap_or_default(),
+    };
+
+    Ok(JobResult {
+        outputs: collected.outputs,
+        metrics,
+    })
+}
+
+fn cpu_poller<A: SpmdApp>(
+    ctx: &SimCtx,
+    node: &Arc<FatNode>,
+    app: &A,
+    q: &Channel<Task<A::Inter>>,
+    results: &Channel<TaskResult<A::Inter, A::Output>>,
+) {
+    while let Some(task) = q.recv(ctx) {
+        match task {
+            Task::Map { range, .. } => {
+                let work = app.map_work(range.len());
+                let pairs = node
+                    .cpu
+                    .run_task(ctx, &work, || app.cpu_map(node.rank, range.clone()));
+                results.send(
+                    ctx,
+                    TaskResult::Map {
+                        device: DeviceClass::Cpu,
+                        pairs,
+                    },
+                );
+            }
+            Task::Reduce { key, values } => {
+                let work = app.reduce_work(values.len());
+                let output = node
+                    .cpu
+                    .run_task(ctx, &work, || app.reduce(DeviceClass::Cpu, key, values));
+                results.send(ctx, TaskResult::Reduce { key, output });
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gpu_stream_worker<A: SpmdApp>(
+    ctx: &SimCtx,
+    node: &Arc<FatNode>,
+    gpu: &Arc<device::Gpu>,
+    app: &A,
+    q: &Channel<Task<A::Inter>>,
+    results: &Channel<TaskResult<A::Inter, A::Output>>,
+    ready: &Channel<()>,
+    config: JobConfig,
+    staged: bool,
+) {
+    // The funneled design: one context for the daemon's whole life,
+    // created during job setup (the worker waits for readiness before the
+    // timed iterations start).
+    let _daemon_context = if config.context_per_task {
+        None
+    } else {
+        Some(gpu.create_context(ctx))
+    };
+    ready.send(ctx, ());
+    while let Some(task) = q.recv(ctx) {
+        if config.context_per_task {
+            let _per_task = gpu.create_context(ctx);
+        }
+        match task {
+            Task::Map { range, .. } => {
+                if staged {
+                    gpu.transfer_h2d(ctx, range.len() as u64 * app.item_bytes());
+                }
+                let work = app.map_work(range.len());
+                let pairs = gpu.launch(ctx, &work, || app.gpu_map(node.rank, range.clone()));
+                results.send(
+                    ctx,
+                    TaskResult::Map {
+                        device: DeviceClass::Gpu,
+                        pairs,
+                    },
+                );
+            }
+            Task::Reduce { key, values } => {
+                let work = app.reduce_work(values.len());
+                let output = gpu.launch(ctx, &work, || app.reduce(DeviceClass::Gpu, key, values));
+                results.send(ctx, TaskResult::Reduce { key, output });
+            }
+        }
+    }
+}
+
+/// Groups pairs by key (deterministic order) and applies the combiner.
+fn combine_pairs<A: SpmdApp>(app: &A, pairs: Vec<(Key, A::Inter)>) -> Vec<(Key, A::Inter)> {
+    let mut grouped: BTreeMap<Key, Vec<A::Inter>> = BTreeMap::new();
+    for (k, v) in pairs {
+        grouped.entry(k).or_default().push(v);
+    }
+    let mut out = Vec::new();
+    for (k, vals) in grouped {
+        for v in app.combine(k, vals) {
+            out.push((k, v));
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_body<A: SpmdApp>(
+    ctx: &SimCtx,
+    rank: usize,
+    node: &Arc<FatNode>,
+    comm: netsim::Communicator,
+    ctrl: Channel<CtrlMsg>,
+    cpu_q: Channel<Task<A::Inter>>,
+    gpu_q: Channel<Task<A::Inter>>,
+    results: Channel<TaskResult<A::Inter, A::Output>>,
+    ready: Channel<()>,
+    app: Arc<A>,
+    config: JobConfig,
+    update: UpdateFn<A>,
+    collect: Arc<Mutex<Collected<A::Output>>>,
+) {
+    let seq = CollectiveSeq::new();
+    let coll = comm.collectives(&seq);
+    let dispatch = node.overheads.task_dispatch;
+
+    // ---- Setup: receive partitions from the master. ----
+    let mut partitions: Vec<Range<usize>> = Vec::new();
+    while let Some(CtrlMsg::Partition(r)) = ctrl.recv(ctx) {
+        partitions.push(r);
+    }
+    let my_items: usize = partitions.iter().map(|r| r.len()).sum();
+    let my_bytes = my_items as u64 * app.item_bytes();
+
+    // Static split fraction per Equation (8) (or override / degenerate).
+    let workload = app.workload();
+    let p = match config.scheduling {
+        SchedulingMode::Static { p_override } => p_override.unwrap_or_else(|| {
+            split_multi_gpu(&node.profile, &workload, config.gpus_per_node).cpu_fraction
+        }),
+        SchedulingMode::CpuOnly => 1.0,
+        SchedulingMode::GpuOnly => 0.0,
+        SchedulingMode::Dynamic { .. } => f64::NAN, // decided by polling
+    };
+
+    let uses_gpu = !matches!(config.scheduling, SchedulingMode::CpuOnly);
+    let resident = workload.residency == DataResidency::Resident;
+
+    // Resident data: stage the node's whole share once, outside the timed
+    // iterations (the paper's amortized one-off overhead).
+    // Wait for every GPU stream daemon to finish context creation so the
+    // one-off context cost stays out of the timed iterations.
+    if uses_gpu {
+        for _ in 0..config.gpus_per_node * config.gpu_streams {
+            ready.recv(ctx).expect("gpu daemon readiness");
+        }
+    }
+    if uses_gpu && resident && config.cache_resident_data && my_bytes > 0 {
+        // The event matrix is replicated into every engaged GPU's memory
+        // (each card needs its own copy); staging proceeds in parallel.
+        let handles: Vec<_> = (0..config.gpus_per_node)
+            .map(|g| {
+                let gpu = node.gpus[g].clone();
+                ctx.spawn(&format!("stage-gpu{g}"), move |cctx| {
+                    gpu.memory
+                        .alloc(my_bytes)
+                        .expect("resident working set must fit in GPU memory");
+                    gpu.transfer_h2d(cctx, my_bytes);
+                })
+            })
+            .collect();
+        ctx.join_all(&handles);
+    }
+    coll.barrier(ctx);
+    collect.lock().setup_end[rank] = ctx.now().as_secs_f64();
+
+    // ---- Iterations. ----
+    let mut final_outputs: Option<Vec<(Key, A::Output)>> = None;
+    for iter in 0..config.max_iterations {
+        let t0 = ctx.now();
+
+        // Un-cached resident data must be re-staged every iteration (A4).
+        if uses_gpu && resident && !config.cache_resident_data && my_bytes > 0 {
+            let handles: Vec<_> = (0..config.gpus_per_node)
+                .map(|g| {
+                    let gpu = node.gpus[g].clone();
+                    ctx.spawn(&format!("restage-gpu{g}"), move |cctx| {
+                        gpu.transfer_h2d(cctx, my_bytes);
+                    })
+                })
+                .collect();
+            ctx.join_all(&handles);
+        }
+
+        // MAP: second-level scheduling of blocks onto device daemons.
+        let mut n_tasks = 0u64;
+        match config.scheduling {
+            SchedulingMode::Dynamic { block_items } => {
+                for part in &partitions {
+                    for block in split_fixed(part.clone(), block_items) {
+                        ctx.hold(dispatch);
+                        cpu_q.send(ctx, Task::Map { range: block });
+                        n_tasks += 1;
+                    }
+                }
+            }
+            _ => {
+                let cpu_blocks =
+                    (node.cpu.spec.cores as usize) * (config.blocks_per_core as usize);
+                for part in &partitions {
+                    let cpu_items = (p * part.len() as f64).round() as usize;
+                    let cpu_range = part.start..part.start + cpu_items;
+                    let gpu_range = part.start + cpu_items..part.end;
+                    if !cpu_range.is_empty() {
+                        for block in split_range(cpu_range, cpu_blocks) {
+                            ctx.hold(dispatch);
+                            cpu_q.send(ctx, Task::Map { range: block });
+                            n_tasks += 1;
+                        }
+                    }
+                    if !gpu_range.is_empty() {
+                        for block in split_range(gpu_range, config.gpu_blocks_per_partition) {
+                            ctx.hold(dispatch);
+                            gpu_q.send(ctx, Task::Map { range: block });
+                            n_tasks += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut cpu_pairs: Vec<(Key, A::Inter)> = Vec::new();
+        let mut gpu_pairs: Vec<(Key, A::Inter)> = Vec::new();
+        for _ in 0..n_tasks {
+            match results.recv(ctx).expect("results channel open") {
+                TaskResult::Map { device, pairs } => {
+                    let mut c = collect.lock();
+                    match device {
+                        DeviceClass::Cpu => {
+                            c.cpu_map_tasks += 1;
+                            drop(c);
+                            cpu_pairs.extend(pairs);
+                        }
+                        DeviceClass::Gpu => {
+                            c.gpu_map_tasks += 1;
+                            drop(c);
+                            gpu_pairs.extend(pairs);
+                        }
+                    }
+                }
+                TaskResult::Reduce { .. } => unreachable!("no reduce tasks dispatched yet"),
+            }
+        }
+
+        // The combiner runs device-locally (in GPU memory for GPU output),
+        // *before* the device-to-host copy, like the paper's in-GPU
+        // sort/merge of intermediates.
+        if config.use_combiner {
+            cpu_pairs = combine_pairs(app.as_ref(), cpu_pairs);
+            gpu_pairs = combine_pairs(app.as_ref(), gpu_pairs);
+        }
+        // "The intermediate data located in GPU memory will be
+        // copied/sorted to/in CPU memory after all map tasks on local node
+        // are done."
+        if !gpu_pairs.is_empty() {
+            let inter_bytes: u64 = gpu_pairs.iter().map(|(_, v)| app.inter_bytes(v)).sum();
+            let share = inter_bytes / config.gpus_per_node as u64;
+            let handles: Vec<_> = (0..config.gpus_per_node)
+                .map(|g| {
+                    let gpu = node.gpus[g].clone();
+                    ctx.spawn(&format!("d2h-gpu{g}"), move |cctx| {
+                        gpu.transfer_d2h(cctx, share.max(1));
+                    })
+                })
+                .collect();
+            ctx.join_all(&handles);
+        }
+        let t_map = ctx.now();
+
+        // SHUFFLE.
+        let items: Vec<ShuffleItem<(Key, A::Inter)>> = cpu_pairs
+            .into_iter()
+            .chain(gpu_pairs)
+            .map(|(k, v)| ShuffleItem {
+                bucket: k,
+                bytes: app.inter_bytes(&v),
+                value: (k, v),
+            })
+            .collect();
+        let arrived = shuffle(&comm, &seq, ctx, items);
+        let t_shuffle = ctx.now();
+
+        // REDUCE.
+        let mut buckets: BTreeMap<Key, Vec<A::Inter>> = BTreeMap::new();
+        for item in arrived {
+            let (k, v) = item.value;
+            buckets.entry(k).or_default().push(v);
+        }
+        // Single-device modes must route reduces to the only live daemon
+        // class; otherwise honor the configured reduce device. (In dynamic
+        // mode the queues are one shared channel anyway.)
+        let reduce_q = match (config.scheduling, config.reduce_device) {
+            (SchedulingMode::Dynamic { .. }, _) => &cpu_q,
+            (SchedulingMode::GpuOnly, _) => &gpu_q,
+            (SchedulingMode::CpuOnly, _) => &cpu_q,
+            (_, DeviceClass::Cpu) => &cpu_q,
+            (_, DeviceClass::Gpu) => &gpu_q,
+        };
+        let n_reduces = buckets.len() as u64;
+        for (key, mut values) in buckets {
+            // Table 1's compare(): give reducers sorted values when the
+            // app defines an order.
+            if values.len() > 1 && app.compare(&values[0], &values[0]).is_some() {
+                values.sort_by(|a, b| {
+                    app.compare(a, b).expect("comparator defined for all values")
+                });
+            }
+            ctx.hold(dispatch);
+            reduce_q.send(ctx, Task::Reduce { key, values });
+        }
+        let mut outputs: Vec<(Key, A::Output)> = Vec::with_capacity(n_reduces as usize);
+        for _ in 0..n_reduces {
+            match results.recv(ctx).expect("results channel open") {
+                TaskResult::Reduce { key, output } => outputs.push((key, output)),
+                TaskResult::Map { .. } => unreachable!("map stage already drained"),
+            }
+        }
+        outputs.sort_by_key(|(k, _)| *k);
+        let t_reduce = ctx.now();
+
+        // GLOBAL GATHER + UPDATE.
+        let out_bytes: u64 = outputs.iter().map(|(_, o)| app.output_bytes(o)).sum();
+        let gathered = coll.allgather(ctx, out_bytes.max(1), outputs);
+        let mut global: Vec<(Key, A::Output)> = gathered.into_iter().flatten().collect();
+        global.sort_by_key(|(k, _)| *k);
+        // One node applies the model update; the convergence verdict is
+        // broadcast so replicated app state is written exactly once per
+        // iteration.
+        let verdict = if rank == 0 { Some(update(&global)) } else { None };
+        let converged = coll.bcast(ctx, 0, 1, verdict);
+        let t_update = ctx.now();
+
+        {
+            let mut c = collect.lock();
+            c.per_node_iters[rank].push(StageTimes {
+                map: (t_map - t0).as_secs_f64(),
+                shuffle: (t_shuffle - t_map).as_secs_f64(),
+                reduce: (t_reduce - t_shuffle).as_secs_f64(),
+                update: (t_update - t_reduce).as_secs_f64(),
+            });
+            if !matches!(config.scheduling, SchedulingMode::Dynamic { .. }) {
+                c.p_used[rank] = Some(p);
+            }
+        }
+
+        if converged || iter + 1 == config.max_iterations {
+            final_outputs = Some(global);
+            break;
+        }
+    }
+
+    if rank == 0 {
+        collect.lock().outputs = final_outputs.unwrap_or_default();
+    }
+
+    // Shut the daemons down.
+    cpu_q.close(ctx);
+    gpu_q.close(ctx);
+}

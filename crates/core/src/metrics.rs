@@ -1,0 +1,158 @@
+//! Job metrics: per-stage virtual-time accounting and per-device work
+//! counters, the raw material for every table and figure.
+
+use device::cpu::CpuStats;
+use device::gpu::GpuStats;
+use device::timeline::Interval;
+use serde::{Deserialize, Serialize};
+
+/// Per-node, per-iteration stage durations (virtual seconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimes {
+    /// Map stage (dispatch + device execution + local collection).
+    pub map: f64,
+    /// Shuffle (all-to-all exchange).
+    pub shuffle: f64,
+    /// Reduce stage.
+    pub reduce: f64,
+    /// Global gather/allgather + model update.
+    pub update: f64,
+}
+
+impl StageTimes {
+    /// Sum of all stages.
+    pub fn total(&self) -> f64 {
+        self.map + self.shuffle + self.reduce + self.update
+    }
+
+    /// Componentwise max (used to aggregate across nodes).
+    pub fn max(&self, other: &StageTimes) -> StageTimes {
+        StageTimes {
+            map: self.map.max(other.map),
+            shuffle: self.shuffle.max(other.shuffle),
+            reduce: self.reduce.max(other.reduce),
+            update: self.update.max(other.update),
+        }
+    }
+}
+
+/// Everything measured about one job run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// End-to-end virtual time, including setup.
+    pub total_seconds: f64,
+    /// One-off setup time (partitioning messages, resident-data staging) —
+    /// excluded from iteration time like the paper's "one-off overhead".
+    pub setup_seconds: f64,
+    /// Sum over iterations of the per-iteration makespan (max across
+    /// nodes).
+    pub compute_seconds: f64,
+    /// Per-iteration stage breakdown (max across nodes).
+    pub iterations: Vec<StageTimes>,
+    /// CPU fraction on node 0 (static modes), if any — convenience for
+    /// homogeneous clusters.
+    pub cpu_fraction: Option<f64>,
+    /// Per-node CPU fractions (static modes); on heterogeneous clusters
+    /// Equation (8) yields a different split on each profile.
+    pub cpu_fractions: Vec<Option<f64>>,
+    /// Per-node CPU counters at job end.
+    pub cpu_stats: Vec<CpuStats>,
+    /// Per-node, per-GPU counters at job end.
+    pub gpu_stats: Vec<Vec<GpuStats>>,
+    /// Map tasks executed on CPU / GPU (whole job).
+    pub cpu_map_tasks: u64,
+    /// Map tasks executed on the GPU.
+    pub gpu_map_tasks: u64,
+    /// Device busy intervals, when [`crate::JobConfig::record_timeline`]
+    /// was set (render with [`device::timeline::render_ascii`]).
+    pub timeline: Vec<Interval>,
+}
+
+impl JobMetrics {
+    /// Total flops executed across the cluster.
+    pub fn total_flops(&self) -> f64 {
+        let cpu: f64 = self.cpu_stats.iter().map(|s| s.flops).sum();
+        let gpu: f64 = self
+            .gpu_stats
+            .iter()
+            .flat_map(|node| node.iter())
+            .map(|s| s.flops)
+            .sum();
+        cpu + gpu
+    }
+
+    /// The paper's Figure-6 metric: sustained Gflops per node over the
+    /// measured (non-setup) computation.
+    pub fn gflops_per_node(&self) -> f64 {
+        let nodes = self.cpu_stats.len().max(1) as f64;
+        if self.compute_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_flops() / self.compute_seconds / nodes / 1e9
+    }
+
+    /// Iterations actually executed.
+    pub fn iteration_count(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Mean per-iteration time.
+    pub fn seconds_per_iteration(&self) -> f64 {
+        if self.iterations.is_empty() {
+            0.0
+        } else {
+            self.compute_seconds / self.iterations.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_total_and_max() {
+        let a = StageTimes {
+            map: 1.0,
+            shuffle: 0.5,
+            reduce: 0.25,
+            update: 0.25,
+        };
+        assert_eq!(a.total(), 2.0);
+        let b = StageTimes {
+            map: 0.5,
+            shuffle: 1.0,
+            reduce: 0.0,
+            update: 0.0,
+        };
+        let m = a.max(&b);
+        assert_eq!(m.map, 1.0);
+        assert_eq!(m.shuffle, 1.0);
+    }
+
+    #[test]
+    fn gflops_per_node_accounts_nodes_and_time() {
+        let mut m = JobMetrics {
+            compute_seconds: 2.0,
+            ..Default::default()
+        };
+        m.cpu_stats = vec![
+            CpuStats {
+                flops: 4e9,
+                ..Default::default()
+            };
+            2
+        ];
+        m.gpu_stats = vec![vec![], vec![]];
+        // 8 Gflop over 2 s over 2 nodes = 2 Gflops/node.
+        assert!((m.gflops_per_node() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let m = JobMetrics::default();
+        assert_eq!(m.gflops_per_node(), 0.0);
+        assert_eq!(m.seconds_per_iteration(), 0.0);
+        assert_eq!(m.total_flops(), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Internal task types flowing between the sub-task scheduler and the
+//! device daemons.
+
+use crate::api::{DeviceClass, Key};
+use std::ops::Range;
+
+/// A unit of work a device daemon executes.
+pub(crate) enum Task<I> {
+    /// Map a block of input records.
+    Map {
+        /// Global record range.
+        range: Range<usize>,
+    },
+    /// Reduce all values of one key.
+    Reduce {
+        /// The key.
+        key: Key,
+        /// Its gathered intermediate values.
+        values: Vec<I>,
+    },
+}
+
+/// A completed task, reported back to the sub-task scheduler.
+pub(crate) enum TaskResult<I, O> {
+    /// Map output: which device produced it and the emitted pairs.
+    Map {
+        /// Executing device class.
+        device: DeviceClass,
+        /// Emitted intermediate pairs.
+        pairs: Vec<(Key, I)>,
+    },
+    /// Reduce output for one key.
+    Reduce {
+        /// The key.
+        key: Key,
+        /// The reduced value.
+        output: O,
+    },
+}
+
+/// Cuts `range` into `parts` contiguous blocks of near-equal size
+/// (remainder spread over the leading blocks); empty blocks are skipped.
+pub(crate) fn split_range(range: Range<usize>, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0);
+    let len = range.len();
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts.min(len));
+    let mut start = range.start;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        if size == 0 {
+            continue;
+        }
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, range.end);
+    out
+}
+
+/// Cuts `range` into fixed-size blocks of `block_items` (last may be
+/// short).
+pub(crate) fn split_fixed(range: Range<usize>, block_items: usize) -> Vec<Range<usize>> {
+    assert!(block_items > 0);
+    let mut out = Vec::new();
+    let mut start = range.start;
+    while start < range.end {
+        let end = (start + block_items).min(range.end);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_range_covers_exactly() {
+        let parts = split_range(10..35, 4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], 10..17); // 25 = 7+6+6+6
+        assert_eq!(parts[3].end, 35);
+        let total: usize = parts.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn split_range_skips_empty_blocks() {
+        let parts = split_range(0..3, 10);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn split_range_empty_input() {
+        assert!(split_range(5..5, 4).is_empty());
+    }
+
+    #[test]
+    fn split_fixed_sizes() {
+        let parts = split_fixed(0..10, 4);
+        assert_eq!(parts, vec![0..4, 4..8, 8..10]);
+    }
+
+    #[test]
+    fn split_fixed_exact_multiple() {
+        let parts = split_fixed(0..8, 4);
+        assert_eq!(parts, vec![0..4, 4..8]);
+    }
+}

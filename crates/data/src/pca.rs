@@ -1,0 +1,227 @@
+//! Principal component analysis by power iteration with deflation — the
+//! dimension-reduction step behind the paper's Figure 5 (projecting the 4-D
+//! Lymphocytes points to 3-D for plotting; the paper cites the GTM/MDS work
+//! of Choi et al., for which PCA is the standard deterministic stand-in).
+
+use crate::matrix::MatrixF32;
+
+/// Result of a PCA fit.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Per-dimension means subtracted before projection.
+    pub mean: Vec<f64>,
+    /// Principal axes, one row per component (`k × d`).
+    pub components: MatrixF32,
+    /// Eigenvalues (variance along each axis), descending.
+    pub eigenvalues: Vec<f64>,
+}
+
+/// Fits `k` principal components to `data` (`n × d`).
+pub fn fit(data: &MatrixF32, k: usize, iterations: usize) -> Pca {
+    let n = data.rows();
+    let d = data.cols();
+    assert!(k <= d, "cannot extract {k} components from {d} dims");
+    assert!(n > 1, "need at least two points");
+
+    // Column means.
+    let mut mean = vec![0.0f64; d];
+    for i in 0..n {
+        for (j, m) in mean.iter_mut().enumerate() {
+            *m += data.get(i, j) as f64;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+
+    // Covariance matrix (d × d), f64.
+    let mut cov = vec![0.0f64; d * d];
+    for i in 0..n {
+        let row = data.row(i);
+        for a in 0..d {
+            let da = row[a] as f64 - mean[a];
+            for b in a..d {
+                let db = row[b] as f64 - mean[b];
+                cov[a * d + b] += da * db;
+            }
+        }
+    }
+    let denom = (n - 1) as f64;
+    for a in 0..d {
+        for b in a..d {
+            let v = cov[a * d + b] / denom;
+            cov[a * d + b] = v;
+            cov[b * d + a] = v;
+        }
+    }
+
+    // Power iteration with deflation.
+    let mut components = MatrixF32::zeros(k, d);
+    let mut eigenvalues = Vec::with_capacity(k);
+    let mut work = cov;
+    for comp in 0..k {
+        // Deterministic start vector that is unlikely to be orthogonal to
+        // the dominant eigenvector.
+        let mut v: Vec<f64> = (0..d).map(|j| 1.0 + (j + comp) as f64 * 0.01).collect();
+        normalize(&mut v);
+        let mut lambda = 0.0;
+        for _ in 0..iterations {
+            let mut w = vec![0.0f64; d];
+            for a in 0..d {
+                let va = v[a];
+                if va == 0.0 {
+                    continue;
+                }
+                for b in 0..d {
+                    w[b] += work[a * d + b] * va;
+                }
+            }
+            lambda = norm(&w);
+            if lambda < 1e-300 {
+                // Remaining space is null: keep the current basis vector.
+                break;
+            }
+            for (vi, wi) in v.iter_mut().zip(&w) {
+                *vi = wi / lambda;
+            }
+        }
+        eigenvalues.push(lambda);
+        for (j, &vj) in v.iter().enumerate() {
+            components.set(comp, j, vj as f32);
+        }
+        // Deflate: work -= lambda v v^T.
+        for a in 0..d {
+            for b in 0..d {
+                work[a * d + b] -= lambda * v[a] * v[b];
+            }
+        }
+    }
+
+    Pca {
+        mean,
+        components,
+        eigenvalues,
+    }
+}
+
+/// Projects `data` (`n × d`) onto the fitted axes, producing `n × k`.
+pub fn project(pca: &Pca, data: &MatrixF32) -> MatrixF32 {
+    let n = data.rows();
+    let d = data.cols();
+    let k = pca.components.rows();
+    assert_eq!(d, pca.mean.len());
+    let mut out = MatrixF32::zeros(n, k);
+    for i in 0..n {
+        let row = data.row(i);
+        for c in 0..k {
+            let axis = pca.components.row(c);
+            let mut acc = 0.0f64;
+            for j in 0..d {
+                acc += (row[j] as f64 - pca.mean[j]) * axis[j] as f64;
+            }
+            out.set(i, c, acc as f32);
+        }
+    }
+    out
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|&x| x * x).sum::<f64>().sqrt()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    /// Builds points stretched strongly along a known direction.
+    fn anisotropic_cloud(n: usize, seed: u64) -> MatrixF32 {
+        let mut rng = SplitMix64::new(seed);
+        let axis = [0.6f64, 0.8, 0.0];
+        let mut m = MatrixF32::zeros(n, 3);
+        for i in 0..n {
+            let t = rng.next_normal() * 10.0;
+            for (j, &a) in axis.iter().enumerate() {
+                let noise = rng.next_normal() * 0.1;
+                m.set(i, j, (a * t + noise) as f32);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn recovers_dominant_axis() {
+        let data = anisotropic_cloud(2000, 1);
+        let pca = fit(&data, 1, 100);
+        let c = pca.components.row(0);
+        // Axis may come out negated; compare absolute cosine.
+        let cos = (c[0] as f64 * 0.6 + c[1] as f64 * 0.8).abs();
+        assert!(cos > 0.999, "cos = {cos}");
+    }
+
+    #[test]
+    fn eigenvalues_descend() {
+        let data = anisotropic_cloud(2000, 2);
+        let pca = fit(&data, 3, 100);
+        assert!(pca.eigenvalues[0] >= pca.eigenvalues[1]);
+        assert!(pca.eigenvalues[1] >= pca.eigenvalues[2]);
+        // Dominant variance ~100 (std 10), others ~0.01.
+        assert!(pca.eigenvalues[0] > 50.0);
+        assert!(pca.eigenvalues[1] < 1.0);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let data = anisotropic_cloud(500, 3);
+        let pca = fit(&data, 3, 200);
+        for a in 0..3 {
+            for b in 0..3 {
+                let dot: f64 = pca
+                    .components
+                    .row(a)
+                    .iter()
+                    .zip(pca.components.row(b))
+                    .map(|(&x, &y)| x as f64 * y as f64)
+                    .sum();
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-3, "({a},{b}) dot = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_shape_and_centering() {
+        let data = anisotropic_cloud(300, 4);
+        let pca = fit(&data, 2, 100);
+        let proj = project(&pca, &data);
+        assert_eq!(proj.rows(), 300);
+        assert_eq!(proj.cols(), 2);
+        // Projected coordinates are centered.
+        for c in 0..2 {
+            let mean: f64 =
+                (0..300).map(|i| proj.get(i, c) as f64).sum::<f64>() / 300.0;
+            assert!(mean.abs() < 0.5, "mean = {mean}");
+        }
+    }
+
+    #[test]
+    fn projection_preserves_dominant_spread() {
+        let data = anisotropic_cloud(1000, 5);
+        let pca = fit(&data, 1, 100);
+        let proj = project(&pca, &data);
+        let var: f64 = (0..1000)
+            .map(|i| (proj.get(i, 0) as f64).powi(2))
+            .sum::<f64>()
+            / 999.0;
+        assert!(var > 50.0, "projected variance too small: {var}");
+    }
+}

@@ -1,0 +1,207 @@
+//! The roofline cost model that converts *work descriptors* into virtual
+//! time. Kernels really execute on the host; the simulated devices charge
+//! time from these formulas, so all reported performance is
+//! hardware-independent and deterministic.
+
+use roofline::profiles::{CpuSpec, GpuSpec};
+use serde::{Deserialize, Serialize};
+use simtime::SimTime;
+
+/// The work performed by one task, counted by the application (flops and
+/// bytes touched in the computing device's memory). PCI-E traffic is *not*
+/// part of this profile — transfers are explicit simulated operations.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WorkProfile {
+    /// Floating-point operations performed.
+    pub flops: f64,
+    /// Bytes moved through the computing device's DRAM.
+    pub dram_bytes: f64,
+}
+
+impl WorkProfile {
+    /// A work profile from flops and an arithmetic intensity (flops/byte).
+    pub fn from_intensity(flops: f64, ai: f64) -> Self {
+        assert!(ai > 0.0);
+        WorkProfile {
+            flops,
+            dram_bytes: flops / ai,
+        }
+    }
+
+    /// Arithmetic intensity of the task, flops/byte.
+    pub fn intensity(&self) -> f64 {
+        self.flops / self.dram_bytes
+    }
+
+    /// Componentwise sum.
+    pub fn merge(&self, other: &WorkProfile) -> WorkProfile {
+        WorkProfile {
+            flops: self.flops + other.flops,
+            dram_bytes: self.dram_bytes + other.dram_bytes,
+        }
+    }
+
+    /// Scales both components (used when splitting a task).
+    pub fn scale(&self, factor: f64) -> WorkProfile {
+        WorkProfile {
+            flops: self.flops * factor,
+            dram_bytes: self.dram_bytes * factor,
+        }
+    }
+}
+
+/// Fixed overheads of the simulated software stack, in virtual time.
+/// Defaults are representative of CUDA 4.x-era measurements and are the
+/// knobs the ablation benches (A3/A4) turn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// Per-kernel launch latency.
+    pub kernel_launch: SimTime,
+    /// One `cudaMalloc`-style device allocation.
+    pub device_malloc: SimTime,
+    /// Creating (or switching to) a GPU context.
+    pub context_create: SimTime,
+    /// Scheduler cost of dispatching one sub-task to a daemon.
+    pub task_dispatch: SimTime,
+    /// Fixed per-transfer PCI-E latency (DMA setup).
+    pub pcie_latency: SimTime,
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        OverheadModel {
+            kernel_launch: SimTime::from_micros(8.0),
+            device_malloc: SimTime::from_micros(100.0),
+            context_create: SimTime::from_millis(70.0),
+            task_dispatch: SimTime::from_micros(5.0),
+            pcie_latency: SimTime::from_micros(15.0),
+        }
+    }
+}
+
+impl OverheadModel {
+    /// An idealized zero-overhead stack, for isolating roofline effects in
+    /// tests.
+    pub fn zero() -> Self {
+        OverheadModel {
+            kernel_launch: SimTime::ZERO,
+            device_malloc: SimTime::ZERO,
+            context_create: SimTime::ZERO,
+            task_dispatch: SimTime::ZERO,
+            pcie_latency: SimTime::ZERO,
+        }
+    }
+}
+
+/// Time for a GPU kernel executing `work` with the whole device:
+/// `max(flops/P_g, dram_bytes/B_g)` — the device-side roofline.
+pub fn gpu_kernel_time(spec: &GpuSpec, work: &WorkProfile) -> SimTime {
+    let t = (work.flops / spec.peak_flops).max(work.dram_bytes / spec.dram_bw);
+    SimTime::from_secs_f64(t)
+}
+
+/// Time for one CPU core (of `spec.cores`) to execute `work`, assuming
+/// peak flops and DRAM bandwidth are shared evenly across busy cores:
+/// `max(flops·C/P_c, dram_bytes·C/B_dram)`. When all `C` cores run such
+/// tasks concurrently the aggregate throughput equals the CPU roofline.
+pub fn cpu_core_time(spec: &CpuSpec, work: &WorkProfile) -> SimTime {
+    let c = spec.cores as f64;
+    let t = (work.flops * c / spec.peak_flops).max(work.dram_bytes * c / spec.dram_bw);
+    SimTime::from_secs_f64(t)
+}
+
+/// Time to move `bytes` between host and device memory: the byte stream
+/// crosses host DRAM and the PCI-E bus in series, plus a fixed DMA setup
+/// latency.
+pub fn pcie_transfer_time(
+    host_dram_bw: f64,
+    spec: &GpuSpec,
+    overheads: &OverheadModel,
+    bytes: f64,
+) -> SimTime {
+    assert!(bytes >= 0.0);
+    let stream = bytes / host_dram_bw + bytes / spec.pcie_eff_bw;
+    overheads.pcie_latency + SimTime::from_secs_f64(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roofline::profiles::DeviceProfile;
+
+    fn delta() -> DeviceProfile {
+        DeviceProfile::delta_node()
+    }
+
+    #[test]
+    fn work_profile_intensity_round_trip() {
+        let w = WorkProfile::from_intensity(1000.0, 2.0);
+        assert_eq!(w.dram_bytes, 500.0);
+        assert_eq!(w.intensity(), 2.0);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let a = WorkProfile {
+            flops: 10.0,
+            dram_bytes: 5.0,
+        };
+        let b = a.scale(2.0);
+        assert_eq!(b.flops, 20.0);
+        let c = a.merge(&b);
+        assert_eq!(c.flops, 30.0);
+        assert_eq!(c.dram_bytes, 15.0);
+    }
+
+    #[test]
+    fn gpu_kernel_compute_bound() {
+        let d = delta();
+        // High intensity: bounded by peak flops.
+        let w = WorkProfile::from_intensity(1030e9, 1e6);
+        let t = gpu_kernel_time(d.gpu(), &w);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_kernel_bandwidth_bound() {
+        let d = delta();
+        // Low intensity: bounded by device DRAM (144 GB/s).
+        let w = WorkProfile {
+            flops: 1.0,
+            dram_bytes: 144e9,
+        };
+        let t = gpu_kernel_time(d.gpu(), &w);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_cores_aggregate_to_roofline() {
+        let d = delta();
+        // One task sized so that 12 concurrent copies = 130 Gflops total/s.
+        let per_core_flops = 130e9 / 12.0;
+        let w = WorkProfile::from_intensity(per_core_flops, 1e9);
+        let t = cpu_core_time(&d.cpu, &w);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pcie_transfer_includes_series_bandwidth_and_latency() {
+        let d = delta();
+        let o = OverheadModel::default();
+        let g = d.gpu();
+        let bytes = 1e9;
+        let t = pcie_transfer_time(d.cpu.dram_bw, g, &o, bytes);
+        let expect =
+            o.pcie_latency.as_secs_f64() + bytes / d.cpu.dram_bw + bytes / g.pcie_eff_bw;
+        assert!((t.as_secs_f64() - expect).abs() < 1e-12);
+        // PCI-E dominates the series path with the calibrated 0.92 GB/s.
+        assert!(t.as_secs_f64() > bytes / 1.0e9);
+    }
+
+    #[test]
+    fn zero_overheads_are_zero() {
+        let z = OverheadModel::zero();
+        assert_eq!(z.kernel_launch, SimTime::ZERO);
+        assert_eq!(z.context_create, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,175 @@
+//! The simulated CPU complex: a pool of cores sharing peak flops and DRAM
+//! bandwidth. One map/reduce task occupies one core (the paper's threading
+//! model runs "one mapper or reducer on each CPU core").
+
+use crate::cost::{cpu_core_time, WorkProfile};
+use crate::timeline::Timeline;
+use parking_lot::Mutex;
+use roofline::profiles::CpuSpec;
+use serde::{Deserialize, Serialize};
+use simtime::{Resource, SimCtx, SimTime};
+use std::sync::Arc;
+
+/// Counters exported for benches and Gflops accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuStats {
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Total flops charged.
+    pub flops: f64,
+    /// Core-seconds of busy time (summed over cores).
+    pub core_busy: f64,
+}
+
+/// A pool of CPU cores with shared-roofline task timing.
+pub struct CpuPool {
+    /// Hardware description.
+    pub spec: CpuSpec,
+    cores: Resource,
+    stats: Mutex<CpuStats>,
+    name: Arc<str>,
+    timeline: Mutex<Option<Timeline>>,
+}
+
+impl CpuPool {
+    /// Creates the pool with `spec.cores` schedulable cores.
+    pub fn new(name: &str, spec: CpuSpec) -> Arc<Self> {
+        Arc::new(CpuPool {
+            cores: Resource::new(&format!("{name}-cores"), spec.cores as u64),
+            spec,
+            stats: Mutex::new(CpuStats::default()),
+            name: name.into(),
+            timeline: Mutex::new(None),
+        })
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CpuStats {
+        *self.stats.lock()
+    }
+
+    /// The pool name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attaches an execution-timeline recorder.
+    pub fn attach_timeline(&self, timeline: Timeline) {
+        *self.timeline.lock() = Some(timeline);
+    }
+
+    /// Cores not currently running a task.
+    pub fn idle_cores(&self) -> u64 {
+        self.cores.available()
+    }
+
+    /// Runs one task on one core: blocks for a core, executes the real
+    /// `body`, charges the roofline core time for `work`.
+    pub fn run_task<R>(&self, ctx: &SimCtx, work: &WorkProfile, body: impl FnOnce() -> R) -> R {
+        let t = cpu_core_time(&self.spec, work);
+        self.cores.acquire(ctx, 1);
+        let result = body();
+        let t0 = ctx.now();
+        ctx.hold(t);
+        if let Some(tl) = self.timeline.lock().as_ref() {
+            tl.record(&self.name, "cpu-task", t0, ctx.now());
+        }
+        self.cores.release(ctx, 1);
+        let mut s = self.stats.lock();
+        s.tasks += 1;
+        s.flops += work.flops;
+        s.core_busy += t.as_secs_f64();
+        result
+    }
+
+    /// Timing-only task.
+    pub fn run_task_timed(&self, ctx: &SimCtx, work: &WorkProfile) {
+        self.run_task(ctx, work, || ());
+    }
+
+    /// The duration [`CpuPool::run_task`] would charge for `work`.
+    pub fn task_cost(&self, work: &WorkProfile) -> SimTime {
+        cpu_core_time(&self.spec, work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roofline::profiles::DeviceProfile;
+    use simtime::Sim;
+
+    fn pool() -> Arc<CpuPool> {
+        CpuPool::new("cpu", DeviceProfile::delta_node().cpu)
+    }
+
+    #[test]
+    fn full_pool_reaches_aggregate_roofline() {
+        // 12 concurrent tasks, each 130/12 Gflop at high AI: all finish at
+        // t = 1 s, i.e. the pool sustains the 130 Gflop/s roofline.
+        let p = pool();
+        let mut sim = Sim::new();
+        for i in 0..12 {
+            let p = p.clone();
+            sim.spawn(&format!("t{i}"), move |ctx| {
+                let w = WorkProfile::from_intensity(130e9 / 12.0, 1e9);
+                p.run_task_timed(ctx, &w);
+            });
+        }
+        let report = sim.run().unwrap();
+        assert!((report.end_time.as_secs_f64() - 1.0).abs() < 1e-9);
+        assert_eq!(p.stats().tasks, 12);
+    }
+
+    #[test]
+    fn oversubscription_queues_on_cores() {
+        // 24 tasks on 12 cores: two waves.
+        let p = pool();
+        let mut sim = Sim::new();
+        for i in 0..24 {
+            let p = p.clone();
+            sim.spawn(&format!("t{i}"), move |ctx| {
+                let w = WorkProfile::from_intensity(130e9 / 12.0, 1e9);
+                p.run_task_timed(ctx, &w);
+            });
+        }
+        let report = sim.run().unwrap();
+        assert!((report.end_time.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_bound_task_charged_by_dram() {
+        let p = pool();
+        let mut sim = Sim::new();
+        let p2 = p.clone();
+        sim.spawn("t", move |ctx| {
+            // 32/12 GB through a 32 GB/s DRAM shared by 12 cores -> 1 s.
+            let w = WorkProfile {
+                flops: 1.0,
+                dram_bytes: 32e9 / 12.0,
+            };
+            p2.run_task_timed(ctx, &w);
+        });
+        let report = sim.run().unwrap();
+        assert!((report.end_time.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn body_result_is_returned() {
+        let p = pool();
+        let mut sim = Sim::new();
+        let p2 = p.clone();
+        sim.spawn("t", move |ctx| {
+            let w = WorkProfile::from_intensity(1e6, 1.0);
+            let v = p2.run_task(ctx, &w, || 41 + 1);
+            assert_eq!(v, 42);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn idle_core_reporting() {
+        let p = pool();
+        assert_eq!(p.idle_cores(), 12);
+    }
+}

@@ -1,0 +1,385 @@
+//! The simulated GPU: a compute engine, one or two DMA copy engines,
+//! CUDA-like contexts and streams, and device global memory.
+//!
+//! Kernels are *timed* here (roofline cost model, [`crate::cost`]); the
+//! actual numeric work of a kernel runs on host threads in the runtime
+//! layer. Separate compute and copy [`Resource`]s mean transfers and
+//! kernels from different streams overlap exactly as on real hardware.
+
+use crate::cost::{gpu_kernel_time, pcie_transfer_time, OverheadModel, WorkProfile};
+use crate::memory::MemorySpace;
+use crate::timeline::Timeline;
+use parking_lot::Mutex;
+use roofline::profiles::GpuSpec;
+use serde::{Deserialize, Serialize};
+use simtime::{Resource, SimCtx, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters exported for benches and Gflops accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GpuStats {
+    /// Kernels launched.
+    pub kernels: u64,
+    /// Total flops charged to the compute engine.
+    pub flops: f64,
+    /// Virtual seconds the compute engine was busy.
+    pub compute_busy: f64,
+    /// Host-to-device bytes transferred.
+    pub bytes_h2d: u64,
+    /// Device-to-host bytes transferred.
+    pub bytes_d2h: u64,
+    /// Virtual seconds the copy engines were busy (summed).
+    pub copy_busy: f64,
+    /// Contexts created.
+    pub contexts: u64,
+}
+
+/// A simulated GPU device.
+pub struct Gpu {
+    /// Hardware description.
+    pub spec: GpuSpec,
+    /// Software-stack overheads in force.
+    pub overheads: OverheadModel,
+    /// Device global memory.
+    pub memory: MemorySpace,
+    host_dram_bw: f64,
+    compute: Resource,
+    /// H2D DMA engine (also used for D2H on Fermi-class parts).
+    copy_h2d: Resource,
+    /// D2H DMA engine on Kepler-class parts (dual DMA); `None` on Fermi,
+    /// where one engine serves both directions.
+    copy_d2h: Option<Resource>,
+    stats: Mutex<GpuStats>,
+    context_epoch: AtomicU64,
+    name: Arc<str>,
+    timeline: Mutex<Option<Timeline>>,
+}
+
+impl Gpu {
+    /// Builds a GPU from its spec. `host_dram_bw` is the host-side DRAM
+    /// bandwidth every PCI-E transfer also crosses. Fermi-class parts
+    /// (one hardware work queue) get a single copy engine; Kepler-class
+    /// parts get dual DMA engines, letting H2D and D2H overlap.
+    pub fn new(name: &str, spec: GpuSpec, host_dram_bw: f64, overheads: OverheadModel) -> Arc<Self> {
+        let dual_dma = spec.hw_queues > 1;
+        Arc::new(Gpu {
+            name: name.into(),
+            timeline: Mutex::new(None),
+            memory: MemorySpace::new(&format!("{name}-globalmem"), spec.mem_bytes),
+            compute: Resource::new(&format!("{name}-compute"), 1),
+            copy_h2d: Resource::new(&format!("{name}-copy-h2d"), 1),
+            copy_d2h: dual_dma.then(|| Resource::new(&format!("{name}-copy-d2h"), 1)),
+            host_dram_bw,
+            overheads,
+            spec,
+            stats: Mutex::new(GpuStats::default()),
+            context_epoch: AtomicU64::new(0),
+        })
+    }
+
+    /// Snapshot of the device counters.
+    pub fn stats(&self) -> GpuStats {
+        *self.stats.lock()
+    }
+
+    /// The device name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attaches an execution-timeline recorder; subsequent kernels and
+    /// transfers append busy intervals to it.
+    pub fn attach_timeline(&self, timeline: Timeline) {
+        *self.timeline.lock() = Some(timeline);
+    }
+
+    fn record(&self, engine: &str, kind: &str, start: simtime::SimTime, end: simtime::SimTime) {
+        if let Some(t) = self.timeline.lock().as_ref() {
+            t.record(&format!("{}-{engine}", self.name), kind, start, end);
+        }
+    }
+
+    /// Creates a GPU context, paying the creation cost in virtual time.
+    /// The paper funnels all GPU access through one daemon precisely to
+    /// avoid paying this per task (§III.C.3).
+    pub fn create_context(self: &Arc<Self>, ctx: &SimCtx) -> GpuContext {
+        ctx.hold(self.overheads.context_create);
+        self.stats.lock().contexts += 1;
+        GpuContext {
+            gpu: self.clone(),
+            epoch: self.context_epoch.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Transfers `bytes` host→device on the H2D DMA engine.
+    pub fn transfer_h2d(&self, ctx: &SimCtx, bytes: u64) {
+        let t = pcie_transfer_time(self.host_dram_bw, &self.spec, &self.overheads, bytes as f64);
+        self.copy_h2d.acquire(ctx, 1);
+        let t0 = ctx.now();
+        ctx.hold(t);
+        self.record("copy", "h2d", t0, ctx.now());
+        self.copy_h2d.release(ctx, 1);
+        let mut s = self.stats.lock();
+        s.bytes_h2d += bytes;
+        s.copy_busy += t.as_secs_f64();
+    }
+
+    /// Transfers `bytes` device→host: on Kepler-class parts this uses the
+    /// second DMA engine and overlaps H2D traffic; on Fermi both
+    /// directions share one engine.
+    pub fn transfer_d2h(&self, ctx: &SimCtx, bytes: u64) {
+        let t = pcie_transfer_time(self.host_dram_bw, &self.spec, &self.overheads, bytes as f64);
+        let engine = self.copy_d2h.as_ref().unwrap_or(&self.copy_h2d);
+        engine.acquire(ctx, 1);
+        let t0 = ctx.now();
+        ctx.hold(t);
+        self.record("copy", "d2h", t0, ctx.now());
+        engine.release(ctx, 1);
+        let mut s = self.stats.lock();
+        s.bytes_d2h += bytes;
+        s.copy_busy += t.as_secs_f64();
+    }
+
+    /// Launches a kernel described by `work`, blocking until completion.
+    /// `body` executes the kernel's real host-side computation while the
+    /// compute engine is held.
+    pub fn launch<R>(&self, ctx: &SimCtx, work: &WorkProfile, body: impl FnOnce() -> R) -> R {
+        let t = self.overheads.kernel_launch + gpu_kernel_time(&self.spec, work);
+        self.compute.acquire(ctx, 1);
+        let result = body();
+        let t0 = ctx.now();
+        ctx.hold(t);
+        self.record("compute", "kernel", t0, ctx.now());
+        self.compute.release(ctx, 1);
+        let mut s = self.stats.lock();
+        s.kernels += 1;
+        s.flops += work.flops;
+        s.compute_busy += t.as_secs_f64();
+        result
+    }
+
+    /// Timing-only launch (no host-side body).
+    pub fn launch_timed(&self, ctx: &SimCtx, work: &WorkProfile) {
+        self.launch(ctx, work, || ());
+    }
+
+    /// The duration [`Gpu::launch`] would charge for `work`, without
+    /// running anything.
+    pub fn kernel_cost(&self, work: &WorkProfile) -> SimTime {
+        self.overheads.kernel_launch + gpu_kernel_time(&self.spec, work)
+    }
+
+    /// The duration a transfer of `bytes` would take, without running it.
+    pub fn transfer_cost(&self, bytes: u64) -> SimTime {
+        pcie_transfer_time(self.host_dram_bw, &self.spec, &self.overheads, bytes as f64)
+    }
+}
+
+/// A CUDA-like context guard. Holding one is a precondition for stream
+/// operations; creating many of them is the anti-pattern the paper's
+/// funneled daemon avoids.
+pub struct GpuContext {
+    gpu: Arc<Gpu>,
+    epoch: u64,
+}
+
+impl GpuContext {
+    /// The device this context binds to.
+    pub fn gpu(&self) -> &Arc<Gpu> {
+        &self.gpu
+    }
+
+    /// Monotone context id (diagnostics).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Opens a stream on this context.
+    pub fn stream(&self) -> Stream<'_> {
+        Stream { context: self }
+    }
+}
+
+/// A CUDA-like stream: issues H2D → kernel → D2H pipelines. Because the
+/// copy and compute engines are independent resources, blocks issued on
+/// *different* streams overlap transfer and compute; within one stream the
+/// stages are ordered, as on hardware.
+pub struct Stream<'a> {
+    context: &'a GpuContext,
+}
+
+impl Stream<'_> {
+    /// Runs one block through the stream: optional input transfer, kernel
+    /// (with real host-side `body`), optional output transfer.
+    pub fn run_block<R>(
+        &self,
+        ctx: &SimCtx,
+        h2d_bytes: u64,
+        work: &WorkProfile,
+        d2h_bytes: u64,
+        body: impl FnOnce() -> R,
+    ) -> R {
+        let gpu = self.context.gpu();
+        if h2d_bytes > 0 {
+            gpu.transfer_h2d(ctx, h2d_bytes);
+        }
+        let r = gpu.launch(ctx, work, body);
+        if d2h_bytes > 0 {
+            gpu.transfer_d2h(ctx, d2h_bytes);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roofline::profiles::DeviceProfile;
+    use simtime::Sim;
+
+    fn delta_gpu(overheads: OverheadModel) -> Arc<Gpu> {
+        let prof = DeviceProfile::delta_node();
+        Gpu::new("gpu0", prof.gpu().clone(), prof.cpu.dram_bw, overheads)
+    }
+
+    #[test]
+    fn kernel_time_matches_roofline() {
+        let gpu = delta_gpu(OverheadModel::zero());
+        let mut sim = Sim::new();
+        let g = gpu.clone();
+        sim.spawn("k", move |ctx| {
+            // 1030 Gflop at high AI -> exactly 1 s on the C2070.
+            let w = WorkProfile::from_intensity(1030e9, 1e9);
+            g.launch_timed(ctx, &w);
+        });
+        let report = sim.run().unwrap();
+        assert!((report.end_time.as_secs_f64() - 1.0).abs() < 1e-9);
+        assert_eq!(gpu.stats().kernels, 1);
+    }
+
+    #[test]
+    fn kernels_serialize_on_one_compute_engine() {
+        let gpu = delta_gpu(OverheadModel::zero());
+        let mut sim = Sim::new();
+        for i in 0..3 {
+            let g = gpu.clone();
+            sim.spawn(&format!("k{i}"), move |ctx| {
+                let w = WorkProfile::from_intensity(103e9, 1e9); // 0.1 s each
+                g.launch_timed(ctx, &w);
+            });
+        }
+        let report = sim.run().unwrap();
+        assert!((report.end_time.as_secs_f64() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streams_overlap_transfer_and_compute() {
+        // Two streams, each: H2D then kernel. With overlap the makespan is
+        // less than the serialized sum.
+        let gpu = delta_gpu(OverheadModel::zero());
+        let xfer = gpu.transfer_cost(1 << 30).as_secs_f64();
+        let w = WorkProfile::from_intensity(1030e9, 1e9); // 1 s kernel
+        let mut sim = Sim::new();
+        for i in 0..2 {
+            let g = gpu.clone();
+            sim.spawn(&format!("stream{i}"), move |ctx| {
+                let cctx = g.create_context(ctx);
+                let s = cctx.stream();
+                s.run_block(ctx, 1 << 30, &w, 0, || ());
+            });
+        }
+        let report = sim.run().unwrap();
+        let serialized = 2.0 * (xfer + 1.0);
+        let overlapped = report.end_time.as_secs_f64();
+        assert!(
+            overlapped < serialized - 0.5,
+            "overlapped {overlapped} vs serialized {serialized}"
+        );
+        // Lower bound: both transfers serialized on one copy engine, then
+        // the last kernel.
+        assert!(overlapped >= 2.0 * xfer + 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn context_creation_costs_time() {
+        let gpu = delta_gpu(OverheadModel::default());
+        let mut sim = Sim::new();
+        let g = gpu.clone();
+        sim.spawn("p", move |ctx| {
+            let _c1 = g.create_context(ctx);
+            let _c2 = g.create_context(ctx);
+        });
+        let report = sim.run().unwrap();
+        let expect = 2.0 * OverheadModel::default().context_create.as_secs_f64();
+        assert!((report.end_time.as_secs_f64() - expect).abs() < 1e-9);
+        assert_eq!(gpu.stats().contexts, 2);
+    }
+
+    #[test]
+    fn launch_runs_real_body() {
+        let gpu = delta_gpu(OverheadModel::zero());
+        let mut sim = Sim::new();
+        let g = gpu.clone();
+        let result = Arc::new(Mutex::new(0u64));
+        let r2 = result.clone();
+        sim.spawn("p", move |ctx| {
+            let w = WorkProfile::from_intensity(1e9, 10.0);
+            let sum = g.launch(ctx, &w, || (0..100u64).sum::<u64>());
+            *r2.lock() = sum;
+        });
+        sim.run().unwrap();
+        assert_eq!(*result.lock(), 4950);
+    }
+
+    #[test]
+    fn transfer_accounting() {
+        let gpu = delta_gpu(OverheadModel::zero());
+        let mut sim = Sim::new();
+        let g = gpu.clone();
+        sim.spawn("p", move |ctx| {
+            g.transfer_h2d(ctx, 1000);
+            g.transfer_d2h(ctx, 500);
+        });
+        sim.run().unwrap();
+        let s = gpu.stats();
+        assert_eq!(s.bytes_h2d, 1000);
+        assert_eq!(s.bytes_d2h, 500);
+        assert!(s.copy_busy > 0.0);
+    }
+
+    #[test]
+    fn kepler_dual_dma_overlaps_h2d_and_d2h() {
+        let prof = DeviceProfile::bigred2_node(); // K20: hw_queues > 1
+        let gpu = Gpu::new(
+            "k20",
+            prof.gpu().clone(),
+            prof.cpu.dram_bw,
+            OverheadModel::zero(),
+        );
+        let one = gpu.transfer_cost(1 << 30).as_secs_f64();
+        let mut sim = Sim::new();
+        let g1 = gpu.clone();
+        sim.spawn("h2d", move |ctx| g1.transfer_h2d(ctx, 1 << 30));
+        let g2 = gpu.clone();
+        sim.spawn("d2h", move |ctx| g2.transfer_d2h(ctx, 1 << 30));
+        let report = sim.run().unwrap();
+        assert!(
+            (report.end_time.as_secs_f64() - one).abs() < 1e-9,
+            "dual DMA should fully overlap"
+        );
+    }
+
+    #[test]
+    fn fermi_single_copy_engine_serializes_transfers() {
+        let gpu = delta_gpu(OverheadModel::zero()); // C2070: 1 queue
+        let one = gpu.transfer_cost(1 << 30).as_secs_f64();
+        let mut sim = Sim::new();
+        let g1 = gpu.clone();
+        sim.spawn("h2d", move |ctx| g1.transfer_h2d(ctx, 1 << 30));
+        let g2 = gpu.clone();
+        sim.spawn("d2h", move |ctx| g2.transfer_d2h(ctx, 1 << 30));
+        let report = sim.run().unwrap();
+        assert!((report.end_time.as_secs_f64() - 2.0 * one).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,304 @@
+//! Simulated memory spaces and the region-based allocator of paper
+//! §III.C.2.
+//!
+//! Memory here is *bookkeeping*: application data lives in ordinary Rust
+//! structures, while these types track capacity, allocation counts and the
+//! virtual-time cost of allocation so that the region-vs-malloc ablation
+//! (A3) measures the effect the paper describes.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A handle to a tracked allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BufferId(pub u64);
+
+/// A simulated memory space (host DRAM or one GPU's global memory).
+#[derive(Clone)]
+pub struct MemorySpace {
+    name: Arc<str>,
+    inner: Arc<Mutex<SpaceInner>>,
+}
+
+struct SpaceInner {
+    capacity: u64,
+    used: u64,
+    next_id: u64,
+    live: std::collections::HashMap<u64, u64>,
+    peak: u64,
+}
+
+/// Error returned when a space cannot satisfy an allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// The space that refused.
+    pub space: String,
+    /// Requested bytes.
+    pub requested: u64,
+    /// Bytes free at the time.
+    pub available: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of memory in '{}': requested {} bytes, {} available",
+            self.space, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+impl MemorySpace {
+    /// Creates a space with `capacity` bytes.
+    pub fn new(name: &str, capacity: u64) -> Self {
+        MemorySpace {
+            name: name.into(),
+            inner: Arc::new(Mutex::new(SpaceInner {
+                capacity,
+                used: 0,
+                next_id: 0,
+                live: std::collections::HashMap::new(),
+                peak: 0,
+            })),
+        }
+    }
+
+    /// The space name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.lock().capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.inner.lock().used
+    }
+
+    /// High-water mark of `used`.
+    pub fn peak(&self) -> u64 {
+        self.inner.lock().peak
+    }
+
+    /// Allocates `bytes`, failing with [`OutOfMemory`] when they don't fit.
+    pub fn alloc(&self, bytes: u64) -> Result<BufferId, OutOfMemory> {
+        let mut g = self.inner.lock();
+        if g.used + bytes > g.capacity {
+            return Err(OutOfMemory {
+                space: self.name.to_string(),
+                requested: bytes,
+                available: g.capacity - g.used,
+            });
+        }
+        let id = g.next_id;
+        g.next_id += 1;
+        g.used += bytes;
+        g.peak = g.peak.max(g.used);
+        g.live.insert(id, bytes);
+        Ok(BufferId(id))
+    }
+
+    /// Frees a previously allocated buffer. Panics on double-free.
+    pub fn free(&self, id: BufferId) {
+        let mut g = self.inner.lock();
+        let bytes = g
+            .live
+            .remove(&id.0)
+            .unwrap_or_else(|| panic!("double free of {id:?} in '{}'", self.name));
+        g.used -= bytes;
+    }
+
+    /// Size of a live buffer.
+    pub fn size_of(&self, id: BufferId) -> Option<u64> {
+        self.inner.lock().live.get(&id.0).copied()
+    }
+}
+
+/// Statistics of a [`Region`], for the A3 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RegionStats {
+    /// Objects placed in the region.
+    pub objects: u64,
+    /// Bytes handed out (before alignment padding).
+    pub object_bytes: u64,
+    /// Backing blocks allocated from the memory space.
+    pub blocks: u64,
+    /// Bytes reserved in backing blocks.
+    pub reserved_bytes: u64,
+}
+
+/// Region-based allocator (paper §III.C.2): objects are bump-allocated
+/// into large blocks taken from a [`MemorySpace`]; the whole region is
+/// freed at once. Only block acquisition pays the simulated `malloc`
+/// overhead, so many small allocations amortize to almost nothing.
+pub struct Region {
+    space: MemorySpace,
+    block_bytes: u64,
+    align: u64,
+    blocks: Vec<(BufferId, u64)>, // (backing buffer, bytes used)
+    stats: RegionStats,
+}
+
+impl Region {
+    /// Creates a region drawing blocks of `block_bytes` from `space`.
+    pub fn new(space: MemorySpace, block_bytes: u64) -> Self {
+        assert!(block_bytes > 0);
+        Region {
+            space,
+            block_bytes,
+            align: 8,
+            blocks: Vec::new(),
+            stats: RegionStats::default(),
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> RegionStats {
+        self.stats
+    }
+
+    /// Bump-allocates `bytes`; returns `(offset-in-block, grew)` where
+    /// `grew` reports whether a new backing block had to be acquired (the
+    /// caller charges the simulated malloc overhead only in that case).
+    pub fn alloc(&mut self, bytes: u64) -> Result<(u64, bool), OutOfMemory> {
+        let padded = bytes.div_ceil(self.align) * self.align;
+        self.stats.objects += 1;
+        self.stats.object_bytes += bytes;
+        if let Some((_, used)) = self.blocks.last_mut() {
+            if *used + padded <= self.block_bytes {
+                let offset = *used;
+                *used += padded;
+                return Ok((offset, false));
+            }
+        }
+        // Need a new block, big enough even for oversized objects.
+        let block = self.block_bytes.max(padded);
+        let id = self.space.alloc(block)?;
+        self.blocks.push((id, padded));
+        self.stats.blocks += 1;
+        self.stats.reserved_bytes += block;
+        Ok((0, true))
+    }
+
+    /// Releases every backing block at once — the region's second
+    /// advantage in the paper.
+    pub fn free_all(&mut self) {
+        for (id, _) in self.blocks.drain(..) {
+            self.space.free(id);
+        }
+    }
+}
+
+impl Drop for Region {
+    fn drop(&mut self) {
+        self.free_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_alloc_free_cycle() {
+        let s = MemorySpace::new("gpu0", 1000);
+        let a = s.alloc(400).unwrap();
+        let b = s.alloc(600).unwrap();
+        assert_eq!(s.used(), 1000);
+        assert!(s.alloc(1).is_err());
+        s.free(a);
+        assert_eq!(s.used(), 600);
+        let c = s.alloc(100).unwrap();
+        s.free(b);
+        s.free(c);
+        assert_eq!(s.used(), 0);
+        assert_eq!(s.peak(), 1000);
+    }
+
+    #[test]
+    fn oom_error_reports_details() {
+        let s = MemorySpace::new("tiny", 10);
+        let e = s.alloc(11).unwrap_err();
+        assert_eq!(e.space, "tiny");
+        assert_eq!(e.requested, 11);
+        assert_eq!(e.available, 10);
+        assert!(e.to_string().contains("tiny"));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let s = MemorySpace::new("s", 100);
+        let a = s.alloc(10).unwrap();
+        s.free(a);
+        s.free(a);
+    }
+
+    #[test]
+    fn region_amortizes_blocks() {
+        let s = MemorySpace::new("gpu", 1 << 20);
+        let mut r = Region::new(s.clone(), 4096);
+        let mut grows = 0;
+        for _ in 0..1000 {
+            let (_, grew) = r.alloc(16).unwrap();
+            if grew {
+                grows += 1;
+            }
+        }
+        // 1000 x 16 bytes (aligned to 16) in 4096-byte blocks: 4 blocks.
+        assert_eq!(grows, 4);
+        assert_eq!(r.stats().objects, 1000);
+        assert_eq!(r.stats().blocks, 4);
+        assert_eq!(s.used(), 4 * 4096);
+        r.free_all();
+        assert_eq!(s.used(), 0);
+    }
+
+    #[test]
+    fn region_handles_oversized_objects() {
+        let s = MemorySpace::new("gpu", 1 << 20);
+        let mut r = Region::new(s.clone(), 128);
+        let (_, grew) = r.alloc(1000).unwrap();
+        assert!(grew);
+        assert!(s.used() >= 1000);
+    }
+
+    #[test]
+    fn region_alignment() {
+        let s = MemorySpace::new("gpu", 1 << 16);
+        let mut r = Region::new(s, 4096);
+        let (o1, _) = r.alloc(3).unwrap();
+        let (o2, _) = r.alloc(3).unwrap();
+        assert_eq!(o1 % 8, 0);
+        assert_eq!(o2 % 8, 0);
+        assert_eq!(o2 - o1, 8);
+    }
+
+    #[test]
+    fn region_frees_on_drop() {
+        let s = MemorySpace::new("gpu", 1 << 16);
+        {
+            let mut r = Region::new(s.clone(), 1024);
+            r.alloc(100).unwrap();
+            assert!(s.used() > 0);
+        }
+        assert_eq!(s.used(), 0);
+    }
+
+    #[test]
+    fn region_propagates_oom() {
+        let s = MemorySpace::new("gpu", 100);
+        let mut r = Region::new(s, 64);
+        assert!(r.alloc(32).is_ok()); // first 64-byte block: space used = 64
+        assert!(r.alloc(32).is_ok()); // fills the first block
+        // A third object needs a second 64-byte block: 128 > 100.
+        assert!(r.alloc(32).is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! Execution-timeline recording: devices append busy intervals (kernel,
+//! transfer, task) to an attached [`Timeline`], and [`render_ascii`]
+//! draws the classic runtime-paper Gantt chart — the quickest way to see
+//! whether transfers overlap compute and whether the CPU and GPU finish
+//! together (Equation (4)'s balance, visually).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use simtime::SimTime;
+use std::sync::Arc;
+
+/// One busy interval on one lane (device engine).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lane name, e.g. `node0-gpu0-compute`.
+    pub lane: String,
+    /// Start, virtual seconds.
+    pub start: f64,
+    /// End, virtual seconds.
+    pub end: f64,
+    /// What occupied the lane (`kernel`, `h2d`, `d2h`, `cpu-task`).
+    pub kind: String,
+}
+
+/// A shared recorder devices append to.
+#[derive(Clone, Default)]
+pub struct Timeline {
+    intervals: Arc<Mutex<Vec<Interval>>>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one interval.
+    pub fn record(&self, lane: &str, kind: &str, start: SimTime, end: SimTime) {
+        self.intervals.lock().push(Interval {
+            lane: lane.to_string(),
+            start: start.as_secs_f64(),
+            end: end.as_secs_f64(),
+            kind: kind.to_string(),
+        });
+    }
+
+    /// All intervals recorded so far, in recording order.
+    pub fn intervals(&self) -> Vec<Interval> {
+        self.intervals.lock().clone()
+    }
+
+    /// Total busy time per lane.
+    pub fn busy_by_lane(&self) -> Vec<(String, f64)> {
+        let mut map: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+        for iv in self.intervals.lock().iter() {
+            *map.entry(iv.lane.clone()).or_default() += iv.end - iv.start;
+        }
+        map.into_iter().collect()
+    }
+}
+
+/// Renders intervals as an ASCII Gantt chart, `width` columns wide.
+/// Lanes are ordered by first appearance; overlapping intervals on one
+/// lane merge visually. Interval kinds are drawn with distinct glyphs:
+/// `#` kernel/cpu-task, `>` h2d, `<` d2h, `*` mixed.
+pub fn render_ascii(intervals: &[Interval], width: usize) -> String {
+    assert!(width >= 10);
+    if intervals.is_empty() {
+        return "(empty timeline)\n".to_string();
+    }
+    let t_end = intervals.iter().map(|i| i.end).fold(0.0, f64::max);
+    let t_start = intervals.iter().map(|i| i.start).fold(f64::INFINITY, f64::min);
+    let span = (t_end - t_start).max(1e-12);
+
+    let mut lanes: Vec<String> = Vec::new();
+    for iv in intervals {
+        if !lanes.contains(&iv.lane) {
+            lanes.push(iv.lane.clone());
+        }
+    }
+    let name_w = lanes.iter().map(|l| l.len()).max().unwrap_or(4).max(4);
+
+    let glyph = |kind: &str| match kind {
+        "h2d" => '>',
+        "d2h" => '<',
+        _ => '#',
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:name_w$} |t = {:.3}ms .. {:.3}ms|\n",
+        "lane",
+        t_start * 1e3,
+        t_end * 1e3
+    ));
+    for lane in &lanes {
+        let mut row = vec![' '; width];
+        for iv in intervals.iter().filter(|i| &i.lane == lane) {
+            let a = (((iv.start - t_start) / span) * width as f64).floor() as usize;
+            let b = (((iv.end - t_start) / span) * width as f64).ceil() as usize;
+            let g = glyph(&iv.kind);
+            for cell in row.iter_mut().take(b.min(width)).skip(a.min(width.saturating_sub(1))) {
+                *cell = if *cell == ' ' || *cell == g { g } else { '*' };
+            }
+        }
+        let row: String = row.into_iter().collect();
+        out.push_str(&format!("{lane:name_w$} |{row}|\n"));
+    }
+    out
+}
+
+/// Serializes intervals in the Chrome tracing (`chrome://tracing` /
+/// Perfetto) "trace event" JSON format: one complete (`X`) event per
+/// interval, lanes mapped to thread names. Load the returned string from
+/// a file in any trace viewer.
+pub fn to_chrome_trace(intervals: &[Interval]) -> String {
+    let mut lanes: Vec<&str> = Vec::new();
+    let mut events = Vec::with_capacity(intervals.len() + 8);
+    for iv in intervals {
+        let tid = match lanes.iter().position(|l| *l == iv.lane) {
+            Some(i) => i,
+            None => {
+                lanes.push(&iv.lane);
+                lanes.len() - 1
+            }
+        };
+        events.push(serde_json::json!({
+            "name": iv.kind,
+            "ph": "X",
+            "ts": iv.start * 1e6,             // microseconds
+            "dur": (iv.end - iv.start) * 1e6,
+            "pid": 0,
+            "tid": tid,
+        }));
+    }
+    for (tid, lane) in lanes.iter().enumerate() {
+        events.push(serde_json::json!({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": lane},
+        }));
+    }
+    serde_json::to_string_pretty(&serde_json::json!({ "traceEvents": events }))
+        .expect("serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lane: &str, kind: &str, start: f64, end: f64) -> Interval {
+        Interval {
+            lane: lane.into(),
+            start,
+            end,
+            kind: kind.into(),
+        }
+    }
+
+    #[test]
+    fn record_and_read_back() {
+        let t = Timeline::new();
+        t.record("gpu", "kernel", SimTime::ZERO, SimTime::from_secs(1));
+        t.record("gpu", "h2d", SimTime::from_secs(1), SimTime::from_secs(2));
+        let ivs = t.intervals();
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0].kind, "kernel");
+        assert_eq!(ivs[1].end, 2.0);
+    }
+
+    #[test]
+    fn busy_by_lane_sums() {
+        let t = Timeline::new();
+        t.record("a", "kernel", SimTime::ZERO, SimTime::from_secs(1));
+        t.record("a", "kernel", SimTime::from_secs(2), SimTime::from_secs(3));
+        t.record("b", "h2d", SimTime::ZERO, SimTime::from_secs(5));
+        let busy = t.busy_by_lane();
+        assert_eq!(busy, vec![("a".to_string(), 2.0), ("b".to_string(), 5.0)]);
+    }
+
+    #[test]
+    fn ascii_render_shows_all_lanes_and_glyphs() {
+        let ivs = vec![
+            iv("gpu-compute", "kernel", 0.5, 1.0),
+            iv("gpu-copy", "h2d", 0.0, 0.5),
+            iv("cpu", "cpu-task", 0.0, 1.0),
+        ];
+        let s = render_ascii(&ivs, 40);
+        assert!(s.contains("gpu-compute"));
+        assert!(s.contains("gpu-copy"));
+        assert!(s.contains('#'));
+        assert!(s.contains('>'));
+        // CPU row fully busy: a long run of '#'.
+        let cpu_line = s.lines().find(|l| l.starts_with("cpu ")).unwrap();
+        assert!(cpu_line.matches('#').count() > 30);
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        assert!(render_ascii(&[], 40).contains("empty"));
+    }
+
+    #[test]
+    fn shared_clone_records_to_same_store() {
+        let t = Timeline::new();
+        let t2 = t.clone();
+        t2.record("x", "kernel", SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(t.intervals().len(), 1);
+    }
+
+    #[test]
+    fn chrome_trace_has_events_and_lane_names() {
+        let ivs = vec![
+            iv("gpu-compute", "kernel", 0.001, 0.002),
+            iv("cpu", "cpu-task", 0.0, 0.003),
+        ];
+        let json = to_chrome_trace(&ivs);
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        // 2 X events + 2 thread_name metadata events.
+        assert_eq!(events.len(), 4);
+        let x: Vec<_> = events.iter().filter(|e| e["ph"] == "X").collect();
+        assert_eq!(x.len(), 2);
+        assert_eq!(x[0]["ts"], 1000.0);
+        assert_eq!(x[0]["dur"], 1000.0);
+        assert!(json.contains("gpu-compute"));
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_timeline_is_valid_json() {
+        let doc: serde_json::Value = serde_json::from_str(&to_chrome_trace(&[])).unwrap();
+        assert_eq!(doc["traceEvents"].as_array().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Point-to-point messaging: a full-bisection fabric of α-β links with
+//! per-sender egress serialization, and MPI-style tagged, typed
+//! send/receive.
+
+use crate::params::NetworkParams;
+use parking_lot::Mutex;
+use simtime::{Channel, Resource, SimCtx};
+use std::any::Any;
+use std::sync::Arc;
+
+/// An in-flight message. Payloads are type-erased; [`Communicator::recv`]
+/// downcasts back to the concrete type.
+struct Message {
+    src: usize,
+    tag: u64,
+    bytes: u64,
+    payload: Box<dyn Any + Send>,
+}
+
+/// The shared fabric: one inbox per rank plus one egress port per rank.
+pub struct Network {
+    params: NetworkParams,
+    inboxes: Vec<Channel<Message>>,
+    egress: Vec<Resource>,
+}
+
+impl Network {
+    /// Builds a fabric connecting `n` ranks.
+    pub fn new(name: &str, n: usize, params: NetworkParams) -> Arc<Self> {
+        assert!(n > 0);
+        Arc::new(Network {
+            params,
+            inboxes: (0..n)
+                .map(|r| Channel::new(&format!("{name}-inbox{r}")))
+                .collect(),
+            egress: (0..n)
+                .map(|r| Resource::new(&format!("{name}-egress{r}"), 1))
+                .collect(),
+        })
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// The fabric's link parameters.
+    pub fn params(&self) -> NetworkParams {
+        self.params
+    }
+
+    /// Creates the endpoint for `rank`. Each rank's communicator must be
+    /// used from exactly one simulation process.
+    pub fn communicator(self: &Arc<Self>, rank: usize) -> Communicator {
+        assert!(rank < self.size());
+        Communicator {
+            net: self.clone(),
+            rank,
+            pending: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// One rank's endpoint: typed tagged point-to-point operations. The
+/// collective operations live in [`crate::collectives`] as methods on this
+/// type via an extension impl.
+pub struct Communicator {
+    pub(crate) net: Arc<Network>,
+    pub(crate) rank: usize,
+    /// Received-but-unmatched messages (MPI's unexpected-message queue).
+    pending: Mutex<Vec<Message>>,
+}
+
+impl Communicator {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total ranks in the fabric.
+    pub fn size(&self) -> usize {
+        self.net.size()
+    }
+
+    /// Link parameters (for cost estimation in schedulers).
+    pub fn params(&self) -> NetworkParams {
+        self.net.params()
+    }
+
+    /// Sends `value` (declared wire size `bytes`) to `dst` with `tag`.
+    ///
+    /// The sender blocks for the egress-serialization time `bytes/β`
+    /// (messages from one rank share its NIC), then the message arrives at
+    /// `dst` after the additional link latency α. Self-sends deliver
+    /// immediately without touching the NIC.
+    pub fn send<T: Send + 'static>(&self, ctx: &SimCtx, dst: usize, tag: u64, bytes: u64, value: T) {
+        assert!(dst < self.size(), "send to out-of-range rank {dst}");
+        let msg = Message {
+            src: self.rank,
+            tag,
+            bytes,
+            payload: Box::new(value),
+        };
+        if dst == self.rank {
+            self.net.inboxes[dst].send(ctx, msg);
+            return;
+        }
+        let egress = &self.net.egress[self.rank];
+        egress.acquire(ctx, 1);
+        ctx.hold(self.net.params.wire_time(bytes));
+        egress.release(ctx, 1);
+        self.net.inboxes[dst].send_delayed(ctx, msg, self.net.params.latency);
+    }
+
+    /// Blocks until a message from `src` with `tag` arrives; returns its
+    /// payload. Panics if the payload type does not match `T` (a protocol
+    /// error, not a recoverable condition).
+    pub fn recv<T: Send + 'static>(&self, ctx: &SimCtx, src: usize, tag: u64) -> T {
+        self.recv_with_bytes(ctx, src, tag).0
+    }
+
+    /// Like [`Communicator::recv`], additionally returning the declared
+    /// wire size.
+    pub fn recv_with_bytes<T: Send + 'static>(
+        &self,
+        ctx: &SimCtx,
+        src: usize,
+        tag: u64,
+    ) -> (T, u64) {
+        // Check the unexpected-message queue first.
+        {
+            let mut pending = self.pending.lock();
+            if let Some(pos) = pending.iter().position(|m| m.src == src && m.tag == tag) {
+                let m = pending.swap_remove(pos);
+                return (downcast_payload(m.payload, src, tag), m.bytes);
+            }
+        }
+        loop {
+            let m = self.net.inboxes[self.rank]
+                .recv(ctx)
+                .expect("network inbox closed while receiving");
+            if m.src == src && m.tag == tag {
+                return (downcast_payload(m.payload, src, tag), m.bytes);
+            }
+            self.pending.lock().push(m);
+        }
+    }
+
+    /// Non-blocking probe: is a matching message already queued?
+    pub fn probe(&self, src: usize, tag: u64) -> bool {
+        if self
+            .pending
+            .lock()
+            .iter()
+            .any(|m| m.src == src && m.tag == tag)
+        {
+            return true;
+        }
+        // Drain the inbox into pending without blocking.
+        while let Some(m) = self.net.inboxes[self.rank].try_recv() {
+            let hit = m.src == src && m.tag == tag;
+            self.pending.lock().push(m);
+            if hit {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn downcast_payload<T: 'static>(payload: Box<dyn Any + Send>, src: usize, tag: u64) -> T {
+    *payload.downcast::<T>().unwrap_or_else(|_| {
+        panic!(
+            "type mismatch receiving message src={src} tag={tag}: expected {}",
+            std::any::type_name::<T>()
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::{Sim, SimTime};
+
+    fn params() -> NetworkParams {
+        NetworkParams {
+            latency: SimTime::from_secs(1),
+            bandwidth: 100.0,
+        }
+    }
+
+    #[test]
+    fn send_recv_round_trip() {
+        let mut sim = Sim::new();
+        let net = Network::new("n", 2, params());
+        let c0 = net.communicator(0);
+        let c1 = net.communicator(1);
+        sim.spawn("r0", move |ctx| {
+            c0.send(ctx, 1, 7, 200, vec![1u32, 2, 3]);
+        });
+        sim.spawn("r1", move |ctx| {
+            let v: Vec<u32> = c1.recv(ctx, 0, 7);
+            assert_eq!(v, vec![1, 2, 3]);
+            // 200 bytes at 100 B/s = 2 s wire + 1 s latency.
+            assert_eq!(ctx.now(), SimTime::from_secs(3));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        let mut sim = Sim::new();
+        let net = Network::new("n", 2, NetworkParams::ideal());
+        let c0 = net.communicator(0);
+        let c1 = net.communicator(1);
+        sim.spawn("r0", move |ctx| {
+            c0.send(ctx, 1, 1, 10, "first");
+            c0.send(ctx, 1, 2, 10, "second");
+        });
+        sim.spawn("r1", move |ctx| {
+            // Receive in the opposite order of sending.
+            let b: &str = c1.recv(ctx, 0, 2);
+            let a: &str = c1.recv(ctx, 0, 1);
+            assert_eq!((a, b), ("first", "second"));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn egress_serializes_a_senders_messages() {
+        let mut sim = Sim::new();
+        let net = Network::new("n", 3, params());
+        let c0 = net.communicator(0);
+        sim.spawn("r0", move |ctx| {
+            // Two 100-byte messages to different ranks share rank 0's NIC:
+            // sender is busy 1 s + 1 s.
+            c0.send(ctx, 1, 0, 100, ());
+            c0.send(ctx, 2, 0, 100, ());
+            assert_eq!(ctx.now(), SimTime::from_secs(2));
+        });
+        let c1 = net.communicator(1);
+        sim.spawn("r1", move |ctx| {
+            c1.recv::<()>(ctx, 0, 0);
+            assert_eq!(ctx.now(), SimTime::from_secs(2)); // 1 wire + 1 α
+        });
+        let c2 = net.communicator(2);
+        sim.spawn("r2", move |ctx| {
+            c2.recv::<()>(ctx, 0, 0);
+            assert_eq!(ctx.now(), SimTime::from_secs(3)); // queued behind msg 1
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn different_senders_proceed_in_parallel() {
+        let mut sim = Sim::new();
+        let net = Network::new("n", 3, params());
+        for src in 0..2usize {
+            let c = net.communicator(src);
+            sim.spawn(&format!("r{src}"), move |ctx| {
+                c.send(ctx, 2, src as u64, 100, src);
+            });
+        }
+        let c2 = net.communicator(2);
+        sim.spawn("r2", move |ctx| {
+            let a: usize = c2.recv(ctx, 0, 0);
+            let b: usize = c2.recv(ctx, 1, 1);
+            assert_eq!((a, b), (0, 1));
+            // Both arrive at t = 2 (parallel NICs), not t = 3.
+            assert_eq!(ctx.now(), SimTime::from_secs(2));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn self_send_is_free_and_immediate() {
+        let mut sim = Sim::new();
+        let net = Network::new("n", 1, params());
+        let c = net.communicator(0);
+        sim.spawn("r0", move |ctx| {
+            c.send(ctx, 0, 5, 1 << 30, 42u64);
+            let v: u64 = c.recv(ctx, 0, 5);
+            assert_eq!(v, 42);
+            assert_eq!(ctx.now(), SimTime::ZERO);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn probe_sees_queued_messages() {
+        let mut sim = Sim::new();
+        let net = Network::new("n", 2, NetworkParams::ideal());
+        let c0 = net.communicator(0);
+        let c1 = net.communicator(1);
+        sim.spawn("r0", move |ctx| {
+            c0.send(ctx, 1, 9, 8, 1u8);
+        });
+        sim.spawn("r1", move |ctx| {
+            assert!(!c1.probe(0, 4), "no message with tag 4");
+            ctx.hold(SimTime::from_secs(1));
+            assert!(c1.probe(0, 9));
+            let _: u8 = c1.recv(ctx, 0, 9);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn type_mismatch_panics_with_context() {
+        let mut sim = Sim::new();
+        let net = Network::new("n", 2, NetworkParams::ideal());
+        let c0 = net.communicator(0);
+        let c1 = net.communicator(1);
+        sim.spawn("r0", move |ctx| c0.send(ctx, 1, 0, 8, 1u32));
+        sim.spawn("r1", move |ctx| {
+            let _: String = c1.recv(ctx, 0, 0);
+        });
+        let err = sim.run().unwrap_err();
+        assert!(err.to_string().contains("type mismatch"));
+    }
+}

@@ -1,0 +1,191 @@
+//! The MapReduce shuffle: an all-to-all exchange that routes each item to
+//! the rank owning its bucket, so that "pairs with the same key are stored
+//! consecutively in a bucket on the same node" (paper §III.A.2).
+
+use crate::collectives::CollectiveSeq;
+use crate::comm::Communicator;
+use simtime::SimCtx;
+
+/// Tag space reserved for shuffle traffic.
+const SHUFFLE_TAG_BASE: u64 = 1 << 47;
+
+/// An item entering the shuffle: destined for `bucket`, carrying `bytes`
+/// of payload on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShuffleItem<T> {
+    /// Bucket (hashed key) the item belongs to.
+    pub bucket: u64,
+    /// Wire size used for timing.
+    pub bytes: u64,
+    /// The payload.
+    pub value: T,
+}
+
+/// Maps a bucket to its owning rank (contiguous block mapping is *not*
+/// used — modulo spreads hot buckets like MapReduce's default hash
+/// partitioner).
+pub fn bucket_owner(bucket: u64, ranks: usize) -> usize {
+    (bucket % ranks as u64) as usize
+}
+
+/// Executes the shuffle from this rank: sends every item to its bucket
+/// owner and returns all items this rank owns, grouped by bucket
+/// (ascending), with stable source order (by source rank, then send
+/// order) inside each bucket.
+///
+/// Every rank must call `shuffle` collectively. Each rank sends exactly
+/// one message to every other rank (possibly empty), so the exchange is
+/// deterministic.
+pub fn shuffle<T: Send + 'static>(
+    comm: &Communicator,
+    seq: &CollectiveSeq,
+    ctx: &SimCtx,
+    items: Vec<ShuffleItem<T>>,
+) -> Vec<ShuffleItem<T>> {
+    let n = comm.size();
+    let me = comm.rank();
+    // A fresh op id, shared across ranks because they call the same
+    // collectives and shuffles in the same (SPMD) order.
+    let op = seq.next();
+
+    // Partition items by destination.
+    let mut outgoing: Vec<Vec<ShuffleItem<T>>> = (0..n).map(|_| Vec::new()).collect();
+    for item in items {
+        let dst = bucket_owner(item.bucket, n);
+        outgoing[dst].push(item);
+    }
+
+    let mut mine: Vec<ShuffleItem<T>> = Vec::new();
+
+    // Send to every other rank (deterministic order), keep own locally.
+    for offset in 0..n {
+        let dst = (me + offset) % n;
+        let batch = std::mem::take(&mut outgoing[dst]);
+        if dst == me {
+            mine.extend(batch);
+        } else {
+            let bytes: u64 = batch.iter().map(|i| i.bytes).sum();
+            comm.send(ctx, dst, SHUFFLE_TAG_BASE | op, bytes, batch);
+        }
+    }
+
+    // Receive one batch from every other rank, in rank order for
+    // determinism.
+    let mut received: Vec<(usize, Vec<ShuffleItem<T>>)> = Vec::with_capacity(n);
+    received.push((me, mine));
+    for src in (0..n).filter(|&s| s != me) {
+        let batch = comm.recv::<Vec<ShuffleItem<T>>>(ctx, src, SHUFFLE_TAG_BASE | op);
+        received.push((src, batch));
+    }
+    received.sort_by_key(|(src, _)| *src);
+
+    // Group by bucket with stable source order.
+    let mut all: Vec<ShuffleItem<T>> = received.into_iter().flat_map(|(_, b)| b).collect();
+    all.sort_by_key(|item| item.bucket);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Network;
+    use crate::params::NetworkParams;
+    use parking_lot::Mutex;
+    use simtime::Sim;
+    use std::sync::Arc;
+
+    fn run_shuffle(
+        n: usize,
+        make_items: impl Fn(usize) -> Vec<ShuffleItem<u64>> + Send + Sync + 'static,
+    ) -> Vec<Vec<ShuffleItem<u64>>> {
+        let mut sim = Sim::new();
+        let net = Network::new("n", n, NetworkParams::ideal());
+        let results: Arc<Mutex<Vec<Vec<ShuffleItem<u64>>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| Vec::new()).collect()));
+        let make_items = Arc::new(make_items);
+        for rank in 0..n {
+            let comm = net.communicator(rank);
+            let results = results.clone();
+            let make_items = make_items.clone();
+            sim.spawn(&format!("rank{rank}"), move |ctx| {
+                let seq = CollectiveSeq::new();
+                let out = shuffle(&comm, &seq, ctx, make_items(rank));
+                results.lock()[rank] = out;
+            });
+        }
+        sim.run().unwrap();
+        Arc::try_unwrap(results).ok().unwrap().into_inner()
+    }
+
+    fn item(bucket: u64, value: u64) -> ShuffleItem<u64> {
+        ShuffleItem {
+            bucket,
+            bytes: 8,
+            value,
+        }
+    }
+
+    #[test]
+    fn items_land_on_bucket_owners() {
+        let out = run_shuffle(3, |rank| {
+            (0..6).map(|b| item(b, rank as u64 * 100 + b)).collect()
+        });
+        for (rank, items) in out.iter().enumerate() {
+            assert!(!items.is_empty());
+            for it in items {
+                assert_eq!(bucket_owner(it.bucket, 3), rank);
+            }
+        }
+    }
+
+    #[test]
+    fn multiset_is_conserved() {
+        let out = run_shuffle(4, |rank| {
+            (0..10)
+                .map(|i| item((rank as u64 * 7 + i) % 5, rank as u64 * 1000 + i))
+                .collect()
+        });
+        let mut all: Vec<u64> = out.iter().flatten().map(|i| i.value).collect();
+        all.sort_unstable();
+        let mut expect: Vec<u64> = (0..4u64)
+            .flat_map(|r| (0..10).map(move |i| r * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn buckets_are_grouped_and_sorted() {
+        let out = run_shuffle(2, |rank| {
+            vec![item(4, rank as u64), item(0, rank as u64), item(2, rank as u64)]
+        });
+        // Rank 0 owns buckets 0, 2, 4.
+        let buckets: Vec<u64> = out[0].iter().map(|i| i.bucket).collect();
+        let mut sorted = buckets.clone();
+        sorted.sort_unstable();
+        assert_eq!(buckets, sorted);
+        assert!(out[1].is_empty());
+    }
+
+    #[test]
+    fn source_order_is_stable_within_bucket() {
+        let out = run_shuffle(2, |rank| {
+            vec![item(0, rank as u64 * 10), item(0, rank as u64 * 10 + 1)]
+        });
+        let values: Vec<u64> = out[0].iter().map(|i| i.value).collect();
+        assert_eq!(values, vec![0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn empty_shuffle_works() {
+        let out = run_shuffle(3, |_| Vec::new());
+        assert!(out.iter().all(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn single_rank_shuffle_is_local() {
+        let out = run_shuffle(1, |_| vec![item(7, 1), item(3, 2)]);
+        let buckets: Vec<u64> = out[0].iter().map(|i| i.bucket).collect();
+        assert_eq!(buckets, vec![3, 7]);
+    }
+}

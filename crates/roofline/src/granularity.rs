@@ -1,0 +1,249 @@
+//! Task-granularity analysis — Equations (9)–(11) and the paper's two
+//! conditions for launching multiple CUDA streams (§III.B.3b).
+//!
+//! - Equation (9): the *overlap percentage* `op` — the share of a block's
+//!   end-to-end time spent in data transfer, i.e. how much there is to hide
+//!   by overlapping transfers with computation.
+//! - Equations (10)/(11): for applications whose arithmetic intensity grows
+//!   with input size (e.g. BLAS3), the minimal block size `MinBs` whose
+//!   intensity reaches the GPU ridge point, saturating peak performance.
+
+use crate::profiles::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// Equation (9): overlap percentage for a block of `block_bytes` at GPU
+/// intensity `ai_gpu` on `profile`.
+///
+/// `op = T_xfer / (T_xfer + T_comp)` with
+/// `T_xfer = Bs/B_dram + Bs/B_pcie` and `T_comp = Bs * A_g / P_g`.
+pub fn overlap_percentage(profile: &DeviceProfile, block_bytes: f64, ai_gpu: f64) -> f64 {
+    assert!(block_bytes > 0.0 && ai_gpu > 0.0);
+    let g = profile.gpu();
+    let t_xfer = block_bytes / profile.cpu.dram_bw + block_bytes / g.pcie_eff_bw;
+    let t_comp = block_bytes * ai_gpu / g.peak_flops;
+    t_xfer / (t_xfer + t_comp)
+}
+
+/// An application's arithmetic intensity as a function of block size in
+/// bytes (`A_g = F_ag(B_s)`, Equation (10)). Implementations must be
+/// monotonically non-decreasing in `bytes`.
+pub trait IntensityCurve {
+    /// Arithmetic intensity (flops/byte) of a block of `bytes`.
+    fn ai(&self, bytes: f64) -> f64;
+}
+
+/// Constant intensity: applications like GEMV or C-means whose flops/byte
+/// does not change with the block size.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ConstantIntensity(pub f64);
+
+impl IntensityCurve for ConstantIntensity {
+    fn ai(&self, _bytes: f64) -> f64 {
+        self.0
+    }
+}
+
+/// Square single-precision GEMM blocks: a block of `n × n` tiles holds
+/// three matrices (`A`, `B`, `C`, 4 bytes each) and performs `2n³` flops,
+/// so `AI(n) = 2n³ / 12n² = n/6` — the paper's "BLAS3, whose arithmetic
+/// intensity is O(N)".
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GemmIntensity;
+
+impl GemmIntensity {
+    /// Tile edge length for a block of `bytes`.
+    pub fn edge(bytes: f64) -> f64 {
+        (bytes / 12.0).sqrt()
+    }
+
+    /// Closed-form inverse of the intensity curve: block bytes whose
+    /// intensity equals `ai`.
+    pub fn bytes_for_ai(ai: f64) -> f64 {
+        12.0 * (6.0 * ai).powi(2)
+    }
+}
+
+impl IntensityCurve for GemmIntensity {
+    fn ai(&self, bytes: f64) -> f64 {
+        Self::edge(bytes) / 6.0
+    }
+}
+
+/// Equation (11): the minimal block size (bytes) at which `curve` reaches
+/// the GPU ridge point of `profile` under *resident* data (the block is on
+/// the device while computing), i.e. `MinBs = F_ag⁻¹(A_gr)`.
+///
+/// Returns `None` when the curve never reaches the ridge point within
+/// `max_bytes` (constant-intensity apps below the ridge cannot saturate
+/// the GPU by growing blocks — the paper's reason to not bother with
+/// streams for them).
+pub fn min_block_size(
+    profile: &DeviceProfile,
+    curve: &dyn IntensityCurve,
+    max_bytes: f64,
+) -> Option<f64> {
+    let target = profile
+        .gpu_roofline(crate::model::DataResidency::Resident)
+        .ridge_point();
+    // Bisection over a monotone curve.
+    let mut lo = 1.0;
+    let mut hi = max_bytes;
+    if curve.ai(hi) < target {
+        return None;
+    }
+    if curve.ai(lo) >= target {
+        return Some(lo);
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if curve.ai(mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// The paper's two conditions for using multiple CUDA streams on a block:
+/// (1) the overlap percentage exceeds `op_threshold`, and (2) the block is
+/// larger than `MinBs`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamDecision {
+    /// Equation (9) result for this block.
+    pub overlap: f64,
+    /// Equation (11) result, if the intensity curve can reach the ridge.
+    pub min_block_bytes: Option<f64>,
+    /// Whether both conditions hold and streams should be used.
+    pub use_streams: bool,
+}
+
+/// Evaluates both stream conditions for a block of `block_bytes`.
+pub fn stream_decision(
+    profile: &DeviceProfile,
+    curve: &dyn IntensityCurve,
+    block_bytes: f64,
+    op_threshold: f64,
+) -> StreamDecision {
+    let ai = curve.ai(block_bytes);
+    let overlap = overlap_percentage(profile, block_bytes, ai);
+    let min_bs = min_block_size(profile, curve, block_bytes.max(1e15));
+    let big_enough = min_bs.map(|m| block_bytes >= m).unwrap_or(false);
+    StreamDecision {
+        overlap,
+        min_block_bytes: min_bs,
+        use_streams: overlap > op_threshold && big_enough,
+    }
+}
+
+/// The CPU-side splitting pattern the paper adopts (§III.B.3b): split a
+/// partition into blocks numbering `blocks_per_core` times the core count.
+/// Returns the per-block byte size (at least 1 byte, and never more blocks
+/// than bytes).
+pub fn cpu_block_bytes(partition_bytes: u64, cores: u32, blocks_per_core: u32) -> u64 {
+    let blocks = (cores as u64 * blocks_per_core as u64).max(1);
+    (partition_bytes / blocks).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::DeviceProfile;
+
+    fn delta() -> DeviceProfile {
+        DeviceProfile::delta_node()
+    }
+
+    #[test]
+    fn overlap_is_high_for_low_intensity() {
+        // GEMV (AI=2): transfer dominates — op close to 1.
+        let op = overlap_percentage(&delta(), 1e8, 2.0);
+        assert!(op > 0.99, "op = {op}");
+    }
+
+    #[test]
+    fn overlap_is_low_for_high_intensity() {
+        // GMM (AI=6600): compute dominates — little to overlap.
+        let op = overlap_percentage(&delta(), 1e8, 6600.0);
+        assert!(op < 0.2, "op = {op}");
+    }
+
+    #[test]
+    fn overlap_is_independent_of_block_size_for_constant_ai() {
+        // Eq (9) cancels Bs for constant intensity.
+        let d = delta();
+        let a = overlap_percentage(&d, 1e6, 50.0);
+        let b = overlap_percentage(&d, 1e9, 50.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gemm_intensity_grows_with_block() {
+        let c = GemmIntensity;
+        assert!(c.ai(12.0 * 36.0 * 36.0) > c.ai(12.0 * 6.0 * 6.0));
+        // n = 60 tiles -> AI = 10.
+        let bytes = 12.0 * 60.0 * 60.0;
+        assert!((c.ai(bytes) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_block_size_matches_gemm_closed_form() {
+        let d = delta();
+        let ridge = d
+            .gpu_roofline(crate::model::DataResidency::Resident)
+            .ridge_point();
+        let analytic = GemmIntensity::bytes_for_ai(ridge);
+        let numeric = min_block_size(&d, &GemmIntensity, 1e15).unwrap();
+        assert!(
+            (analytic - numeric).abs() / analytic < 1e-6,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn constant_intensity_below_ridge_never_saturates() {
+        let d = delta();
+        // GEMV at AI=2 can never reach the resident ridge (~7.15).
+        assert!(min_block_size(&d, &ConstantIntensity(2.0), 1e15).is_none());
+    }
+
+    #[test]
+    fn constant_intensity_above_ridge_saturates_at_any_size() {
+        let d = delta();
+        let m = min_block_size(&d, &ConstantIntensity(500.0), 1e15).unwrap();
+        assert!(m <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn stream_decision_for_large_gemm_block() {
+        let d = delta();
+        let big = GemmIntensity::bytes_for_ai(20.0); // AI 20 > ridge 7.15
+        let s = stream_decision(&d, &GemmIntensity, big, 0.1);
+        assert!(s.use_streams, "{s:?}");
+    }
+
+    #[test]
+    fn stream_decision_rejects_small_gemm_block() {
+        let d = delta();
+        let small = GemmIntensity::bytes_for_ai(1.0); // AI 1 << ridge
+        let s = stream_decision(&d, &GemmIntensity, small, 0.1);
+        assert!(!s.use_streams);
+    }
+
+    #[test]
+    fn stream_decision_rejects_compute_dominated_app() {
+        // Very high constant AI: blocks saturate, but op is tiny, so no
+        // streams (nothing to hide).
+        let d = delta();
+        let s = stream_decision(&d, &ConstantIntensity(1e5), 1e9, 0.1);
+        assert!(s.overlap < 0.1);
+        assert!(!s.use_streams);
+    }
+
+    #[test]
+    fn cpu_block_sizing_follows_core_multiple_pattern() {
+        assert_eq!(cpu_block_bytes(1200, 12, 4), 25);
+        assert_eq!(cpu_block_bytes(10, 12, 4), 1); // floors at 1 byte
+        assert_eq!(cpu_block_bytes(0, 12, 4), 1);
+    }
+}

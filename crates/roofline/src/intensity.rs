@@ -1,0 +1,156 @@
+//! Arithmetic-intensity catalogue for the applications discussed in the
+//! paper (Figure 4's spectrum, and the per-app formulas of Table 5).
+//!
+//! Intensities are stated in single-precision flops per byte of *input*
+//! data, matching how the paper's Table 5 counts them (`A = flops/bytes`).
+
+use serde::{Deserialize, Serialize};
+
+/// A named application with its arithmetic-intensity formula, for the
+/// Figure-4 spectrum and for driving Equation (8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppIntensity {
+    /// Application name as it appears in the paper.
+    pub name: String,
+    /// Arithmetic intensity in flops/byte.
+    pub ai: f64,
+    /// Short derivation note.
+    pub note: String,
+}
+
+/// Word count / log analysis: a handful of ops per scanned byte — the
+/// paper's canonical disk/DRAM-bound low end.
+pub fn wordcount() -> AppIntensity {
+    AppIntensity {
+        name: "WordCount".into(),
+        ai: 0.1,
+        note: "compare+hash per input byte, no flops to speak of".into(),
+    }
+}
+
+/// Single-precision GEMV: `2MN` flops over `4MN` matrix bytes — Table 5
+/// states `A = 2`.
+pub fn gemv() -> AppIntensity {
+    AppIntensity {
+        name: "GEMV".into(),
+        ai: 2.0,
+        note: "2MN flops / (4 bytes per element), vector reuse ignored".into(),
+    }
+}
+
+/// Sparse matrix-vector multiply: ~2 flops per 8-byte (value+index) entry.
+pub fn spmv() -> AppIntensity {
+    AppIntensity {
+        name: "SpMV".into(),
+        ai: 0.25,
+        note: "2 flops per CSR entry of 8 bytes".into(),
+    }
+}
+
+/// 1-D FFT of length n: `5 n log2 n` flops over `8n` bytes; for n = 2^20
+/// this is ~12.5 — the paper's "moderate" band.
+pub fn fft(n: f64) -> AppIntensity {
+    AppIntensity {
+        name: "FFT".into(),
+        ai: 5.0 * n.log2() / 8.0,
+        note: format!("5 n log2 n / 8n at n = {n}"),
+    }
+}
+
+/// K-means with `m` clusters: ~`3m` flops per 4-byte coordinate → `0.75 m`
+/// per byte; the paper groups it with the moderate band.
+pub fn kmeans(m: u32) -> AppIntensity {
+    AppIntensity {
+        name: "Kmeans".into(),
+        ai: 0.75 * m as f64,
+        note: format!("3 flops x {m} centers per 4-byte coordinate"),
+    }
+}
+
+/// C-means with `m` clusters: Table 5 gives `A = 5 M` (distance, membership
+/// update and center accumulation across `M` centers per input element).
+pub fn cmeans(m: u32) -> AppIntensity {
+    AppIntensity {
+        name: "C-means".into(),
+        ai: 5.0 * m as f64,
+        note: format!("5*M with M = {m} (paper Table 5)"),
+    }
+}
+
+/// GMM/EM with `m` clusters in `d` dimensions: Table 5 gives `A = 11 M D`
+/// (mahalanobis distance + responsibility + covariance updates).
+pub fn gmm(m: u32, d: u32) -> AppIntensity {
+    AppIntensity {
+        name: "GMM".into(),
+        ai: 11.0 * m as f64 * d as f64,
+        note: format!("11*M*D with M = {m}, D = {d} (paper Table 5)"),
+    }
+}
+
+/// Single-precision GEMM on `n × n` matrices: `2n³ / 12n²  = n/6` (the
+/// paper's DGEMM high end, here in SP to match the rest).
+pub fn gemm(n: f64) -> AppIntensity {
+    AppIntensity {
+        name: "DGEMM".into(),
+        ai: n / 6.0,
+        note: format!("2n^3 flops over 3 n^2 4-byte matrices at n = {n}"),
+    }
+}
+
+/// The Figure-4 spectrum: all applications ordered by intensity, using the
+/// paper's evaluation parameters (C-means M=100; GMM M=10, D=60; FFT 2^20;
+/// GEMM n=4096; K-means M=100).
+pub fn figure4_spectrum() -> Vec<AppIntensity> {
+    let mut v = vec![
+        wordcount(),
+        spmv(),
+        gemv(),
+        fft((1u64 << 20) as f64),
+        kmeans(100),
+        cmeans(100),
+        gmm(10, 60),
+        gemm(4096.0),
+    ];
+    v.sort_by(|a, b| a.ai.total_cmp(&b.ai));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_values() {
+        assert_eq!(gemv().ai, 2.0);
+        assert_eq!(cmeans(100).ai, 500.0);
+        assert_eq!(gmm(10, 60).ai, 6600.0);
+    }
+
+    #[test]
+    fn spectrum_is_sorted_and_spans_figure4() {
+        let s = figure4_spectrum();
+        assert!(s.windows(2).all(|w| w[0].ai <= w[1].ai));
+        // Low end below 1 flop/byte, high end above 500.
+        assert!(s.first().unwrap().ai < 1.0);
+        assert!(s.last().unwrap().ai > 500.0);
+        // WordCount is the left-most; GMM or DGEMM the right-most.
+        assert_eq!(s.first().unwrap().name, "WordCount");
+    }
+
+    #[test]
+    fn fft_lands_in_moderate_band() {
+        let ai = fft((1u64 << 20) as f64).ai;
+        assert!(ai > 2.0 && ai < 50.0, "ai = {ai}");
+    }
+
+    #[test]
+    fn gemm_intensity_grows_with_n() {
+        assert!(gemm(8192.0).ai > gemm(4096.0).ai);
+        assert!((gemm(4096.0).ai - 682.6667).abs() < 1e-3);
+    }
+
+    #[test]
+    fn kmeans_below_cmeans_for_same_m() {
+        assert!(kmeans(100).ai < cmeans(100).ai);
+    }
+}

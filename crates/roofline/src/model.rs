@@ -1,0 +1,163 @@
+//! The roofline model proper: attainable performance as a function of
+//! arithmetic intensity, and ridge points (paper §III.B.3, Figure 3,
+//! Equations (6) and (7)).
+
+use serde::{Deserialize, Serialize};
+
+/// Where a task's input bytes live relative to the device that computes on
+/// them. This decides which bandwidth term bounds the device (paper §IV.B:
+/// iterative applications cache loop-invariant data in GPU memory, so their
+/// "average arithmetic intensity depends on the bandwidth of DRAM and peak
+/// performance of GPU, rather than bandwidth of PCI-E bus").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataResidency {
+    /// Every task's data is staged from host memory over PCI-E
+    /// (single-pass applications such as GEMV). The GPU's effective
+    /// bandwidth is the series combination of host DRAM and PCI-E:
+    /// `1/B_eff = 1/B_dram + 1/B_pcie` — Equation (7), first branch.
+    Staged,
+    /// Loop-invariant data is resident in device memory (iterative
+    /// applications such as C-means/GMM after the first iteration); the GPU
+    /// is bounded by its own DRAM bandwidth.
+    Resident,
+}
+
+/// A single compute device's roofline: a peak compute rate and the
+/// bandwidth of the memory system feeding it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak compute rate, flop/s (`P_c` or `P_g` in Table 2).
+    pub peak_flops: f64,
+    /// Bandwidth bounding the slanted part of the roof, bytes/s.
+    pub bandwidth: f64,
+}
+
+impl Roofline {
+    /// Creates a roofline; both parameters must be positive and finite.
+    pub fn new(peak_flops: f64, bandwidth: f64) -> Self {
+        assert!(
+            peak_flops > 0.0 && peak_flops.is_finite(),
+            "peak_flops must be positive"
+        );
+        assert!(
+            bandwidth > 0.0 && bandwidth.is_finite(),
+            "bandwidth must be positive"
+        );
+        Roofline {
+            peak_flops,
+            bandwidth,
+        }
+    }
+
+    /// Attainable performance (flop/s) at arithmetic intensity `ai`
+    /// (flops/byte): `min(ai * B, P)` — Equations (6)/(7).
+    pub fn attainable_flops(&self, ai: f64) -> f64 {
+        assert!(ai > 0.0, "arithmetic intensity must be positive");
+        (ai * self.bandwidth).min(self.peak_flops)
+    }
+
+    /// The ridge point: the arithmetic intensity at which the device first
+    /// reaches peak (`A_cr` / `A_gr` in the paper).
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_flops / self.bandwidth
+    }
+
+    /// True when `ai` lies on the bandwidth-bound (slanted) part of the roof.
+    pub fn is_bandwidth_bound(&self, ai: f64) -> bool {
+        ai < self.ridge_point()
+    }
+
+    /// Time to execute `flops` floating point operations that touch
+    /// `flops / ai` bytes, in seconds.
+    pub fn time_for_flops(&self, flops: f64, ai: f64) -> f64 {
+        flops / self.attainable_flops(ai)
+    }
+
+    /// Samples the roofline at each intensity in `ais`, for plotting
+    /// (Figure 3). Returns `(ai, attainable flops)` pairs.
+    pub fn curve(&self, ais: &[f64]) -> Vec<(f64, f64)> {
+        ais.iter()
+            .map(|&ai| (ai, self.attainable_flops(ai)))
+            .collect()
+    }
+}
+
+/// Combines host-DRAM and PCI-E bandwidth in series: the effective rate at
+/// which staged data reaches the GPU (`1/B_eff = 1/B_dram + 1/B_pcie`).
+pub fn series_bandwidth(b_dram: f64, b_pcie: f64) -> f64 {
+    assert!(b_dram > 0.0 && b_pcie > 0.0);
+    1.0 / (1.0 / b_dram + 1.0 / b_pcie)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r() -> Roofline {
+        Roofline::new(1000e9, 100e9)
+    }
+
+    #[test]
+    fn ridge_point_is_peak_over_bandwidth() {
+        assert_eq!(r().ridge_point(), 10.0);
+    }
+
+    #[test]
+    fn bandwidth_bound_below_ridge() {
+        let r = r();
+        assert_eq!(r.attainable_flops(1.0), 100e9);
+        assert_eq!(r.attainable_flops(5.0), 500e9);
+        assert!(r.is_bandwidth_bound(5.0));
+    }
+
+    #[test]
+    fn compute_bound_above_ridge() {
+        let r = r();
+        assert_eq!(r.attainable_flops(10.0), 1000e9);
+        assert_eq!(r.attainable_flops(1e6), 1000e9);
+        assert!(!r.is_bandwidth_bound(10.0));
+    }
+
+    #[test]
+    fn attainable_is_continuous_at_ridge() {
+        let r = r();
+        let eps = 1e-9;
+        let below = r.attainable_flops(r.ridge_point() - eps);
+        let at = r.attainable_flops(r.ridge_point());
+        assert!((below - at).abs() / at < 1e-9);
+    }
+
+    #[test]
+    fn time_for_flops_scales_linearly() {
+        let r = r();
+        // 100 Gflop at AI=1 -> bandwidth bound at 100 Gflop/s -> 1 s.
+        assert!((r.time_for_flops(100e9, 1.0) - 1.0).abs() < 1e-12);
+        assert!((r.time_for_flops(200e9, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_bandwidth_harmonic() {
+        // 32 GB/s DRAM + 8 GB/s PCIe -> 6.4 GB/s effective.
+        let b = series_bandwidth(32e9, 8e9);
+        assert!((b - 6.4e9).abs() < 1.0);
+        // Series combination is below both components.
+        assert!(b < 8e9);
+    }
+
+    #[test]
+    fn curve_matches_pointwise_eval() {
+        let r = r();
+        let ais = [0.5, 1.0, 10.0, 100.0];
+        let c = r.curve(&ais);
+        assert_eq!(c.len(), 4);
+        for (ai, f) in c {
+            assert_eq!(f, r.attainable_flops(ai));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ai_rejected() {
+        r().attainable_flops(0.0);
+    }
+}

@@ -1,0 +1,487 @@
+//! The paper's analytic workload-distribution model — Equations (1)–(5) and
+//! the three-regime Equation (8).
+//!
+//! The core question: given a fat node and an application with arithmetic
+//! intensity `A`, what fraction `p` of the input should the CPU process so
+//! that CPU and GPU finish together (Equation (4))?
+//!
+//! ### Note on the printed Equation (8)
+//!
+//! The paper's printed regime-1/2 formulas contain `A_g * (1/B_pcie +
+//! 1/B_dram)`, which has units of flops·s/byte² — not a flop rate. Deriving
+//! Eq (8) from Eqs (5)–(7) as the text instructs gives the dimensionally
+//! consistent `F_g = A_g / (1/B_dram + 1/B_pcie) = A_g · B_eff`, which is
+//! what we implement. At the paper's own parameter points the consistent
+//! form reproduces the paper's Table-5 values; the printed form does not.
+
+use crate::model::{DataResidency, Roofline};
+use crate::profiles::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// Which branch of Equation (8) applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Regime {
+    /// `A < A_cr`: both devices bandwidth-bound.
+    BothBandwidthBound,
+    /// `A_cr <= A < A_gr`: CPU at peak, GPU still bandwidth-bound.
+    CpuPeakGpuBandwidth,
+    /// `A >= A_gr`: both devices at peak.
+    BothPeakBound,
+}
+
+/// The analytic split decision for one fat node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitDecision {
+    /// Fraction of input bytes assigned to the CPU (`p` in the paper).
+    pub cpu_fraction: f64,
+    /// Which Equation-(8) branch produced it.
+    pub regime: Regime,
+    /// Predicted CPU throughput at this intensity, flop/s (`F_c`).
+    pub cpu_flops: f64,
+    /// Predicted GPU throughput at this intensity, flop/s (`F_g`).
+    pub gpu_flops: f64,
+}
+
+/// Workload characteristics needed by the scheduler (Table 2 parameters
+/// that belong to the application rather than the hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Arithmetic intensity on the CPU, flops/byte (`A_c`).
+    pub ai_cpu: f64,
+    /// Arithmetic intensity on the GPU, flops/byte (`A_g`). Usually equal
+    /// to `ai_cpu`; may differ with different algorithm variants.
+    pub ai_gpu: f64,
+    /// Whether GPU-side data is staged over PCI-E per task or resident.
+    pub residency: DataResidency,
+}
+
+impl Workload {
+    /// A workload with equal CPU/GPU intensity (`A_c ≅ A_g`, the common
+    /// case the paper's Eq (5) assumes).
+    pub fn uniform(ai: f64, residency: DataResidency) -> Self {
+        Workload {
+            ai_cpu: ai,
+            ai_gpu: ai,
+            residency,
+        }
+    }
+}
+
+/// Equation (8): the optimal CPU fraction `p` for `workload` on `profile`,
+/// along with the regime and the per-device throughputs used.
+///
+/// Derivation: Eq (4) balances `p·M·A_c/F_c = (1-p)·M·A_g/F_g`. With
+/// `A_c ≅ A_g` this reduces to Eq (5), `p = F_c/(F_c + F_g)`; we keep the
+/// general form so heterogeneous intensities also work:
+/// `p = (F_c/A_c) / (F_c/A_c + F_g/A_g)` (balance byte-processing rates).
+pub fn split(profile: &DeviceProfile, workload: &Workload) -> SplitDecision {
+    assert!(
+        !profile.gpus.is_empty(),
+        "Equation (8) needs a fat node with at least one GPU"
+    );
+    let cpu_roof = profile.cpu_roofline();
+    let gpu_roof = profile.gpu_roofline(workload.residency);
+
+    let f_c = cpu_roof.attainable_flops(workload.ai_cpu);
+    let f_g = gpu_roof.attainable_flops(workload.ai_gpu);
+
+    let regime = regime_of(&cpu_roof, &gpu_roof, workload);
+
+    // Balance *byte* rates: the CPU consumes bytes at F_c/A_c, the GPU at
+    // F_g/A_g. For A_c = A_g this is exactly Eq (5).
+    let rc = f_c / workload.ai_cpu;
+    let rg = f_g / workload.ai_gpu;
+    let p = rc / (rc + rg);
+
+    SplitDecision {
+        cpu_fraction: p,
+        regime,
+        cpu_flops: f_c,
+        gpu_flops: f_g,
+    }
+}
+
+fn regime_of(cpu: &Roofline, gpu: &Roofline, w: &Workload) -> Regime {
+    let cpu_bound = cpu.is_bandwidth_bound(w.ai_cpu);
+    let gpu_bound = gpu.is_bandwidth_bound(w.ai_gpu);
+    match (cpu_bound, gpu_bound) {
+        (true, true) | (true, false) => Regime::BothBandwidthBound,
+        (false, true) => Regime::CpuPeakGpuBandwidth,
+        (false, false) => Regime::BothPeakBound,
+    }
+}
+
+/// Equation (2)/(3): time for a device running at `flops_rate` to process
+/// `bytes` of input at intensity `ai`.
+pub fn device_time(bytes: f64, ai: f64, flops_rate: f64) -> f64 {
+    bytes * ai / flops_rate
+}
+
+/// Equation (1): makespan of a node processing `bytes` of input when the
+/// CPU takes fraction `p` — `max(T_c_p, T_g_p)`.
+pub fn makespan(profile: &DeviceProfile, workload: &Workload, bytes: f64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let d = split(profile, workload);
+    let t_c = if p > 0.0 {
+        device_time(p * bytes, workload.ai_cpu, d.cpu_flops)
+    } else {
+        0.0
+    };
+    let t_g = if p < 1.0 {
+        device_time((1.0 - p) * bytes, workload.ai_gpu, d.gpu_flops)
+    } else {
+        0.0
+    };
+    t_c.max(t_g)
+}
+
+/// Equation (8) **as literally printed in the paper**, for comparison
+/// with the dimensionally consistent [`split`] (see the module docs for
+/// the typo analysis). The printed regime-1/2 denominators multiply
+/// `A_g` by `(1/B_pcie + 1/B_dram)` — flops·s/byte² — instead of
+/// dividing; this function reproduces that formula verbatim.
+///
+/// Returned values are *not* a valid workload split: the units are
+/// inconsistent, and at the paper's own Table-5 parameter points the
+/// printed form fails to reproduce the paper's reported `p` values while
+/// the corrected form matches them — the strongest evidence the printed
+/// form is a typo. Kept for scholarship and regression-tested against
+/// that conclusion.
+pub fn split_as_printed(profile: &DeviceProfile, workload: &Workload) -> f64 {
+    let cpu = profile.cpu_roofline();
+    let gpu = profile.gpu_roofline(workload.residency);
+    let b_dram = cpu.bandwidth;
+    let g = profile.gpu();
+    let inv_sum = 1.0 / g.pcie_eff_bw + 1.0 / b_dram;
+    let a_c = workload.ai_cpu;
+    let a_g = workload.ai_gpu;
+    if cpu.is_bandwidth_bound(a_c) {
+        // Printed regime 1: p = Ac·B_dram / (Ag·(1/B_pcie + 1/B_dram) + Ac·B_dram)
+        a_c * b_dram / (a_g * inv_sum + a_c * b_dram)
+    } else if gpu.is_bandwidth_bound(a_g) {
+        // Printed regime 2: p = Pc / (Ag·(1/B_dram + 1/B_pcie) + Pc)
+        cpu.peak_flops / (a_g * inv_sum + cpu.peak_flops)
+    } else {
+        // Regime 3 is consistent in the paper.
+        cpu.peak_flops / (gpu.peak_flops + cpu.peak_flops)
+    }
+}
+
+/// Equation (8) generalized to `n_gpus` identical GPUs per fat node (the
+/// paper's threading model spawns "one daemon thread for each GPU card";
+/// its experiments use one, but Delta nodes carry two C2070s). The GPUs'
+/// byte rates add: `p = r_c / (r_c + n·r_g)`.
+pub fn split_multi_gpu(
+    profile: &DeviceProfile,
+    workload: &Workload,
+    n_gpus: usize,
+) -> SplitDecision {
+    assert!(n_gpus >= 1);
+    assert!(
+        profile.gpus.len() >= n_gpus,
+        "profile '{}' has {} GPUs, {n_gpus} requested",
+        profile.name,
+        profile.gpus.len()
+    );
+    let base = split(profile, workload);
+    let rc = base.cpu_flops / workload.ai_cpu;
+    let rg = base.gpu_flops / workload.ai_gpu * n_gpus as f64;
+    SplitDecision {
+        cpu_fraction: rc / (rc + rg),
+        regime: base.regime,
+        cpu_flops: base.cpu_flops,
+        gpu_flops: base.gpu_flops * n_gpus as f64,
+    }
+}
+
+/// §V(a) future-work extension: Equation (8) with a network term. When the
+/// input must first arrive over a network of bandwidth `net_bw`, the
+/// effective feed bandwidth of *both* devices is bounded by the network;
+/// we fold it in series with each device's memory path.
+pub fn split_with_network(
+    profile: &DeviceProfile,
+    workload: &Workload,
+    net_bw: f64,
+) -> SplitDecision {
+    assert!(net_bw > 0.0, "network bandwidth must be positive");
+    let cpu_roof = profile.cpu_roofline();
+    let gpu_roof = profile.gpu_roofline(workload.residency);
+
+    let cpu_eff = Roofline::new(
+        cpu_roof.peak_flops,
+        crate::model::series_bandwidth(cpu_roof.bandwidth, net_bw),
+    );
+    let gpu_eff = Roofline::new(
+        gpu_roof.peak_flops,
+        crate::model::series_bandwidth(gpu_roof.bandwidth, net_bw),
+    );
+
+    let f_c = cpu_eff.attainable_flops(workload.ai_cpu);
+    let f_g = gpu_eff.attainable_flops(workload.ai_gpu);
+    let rc = f_c / workload.ai_cpu;
+    let rg = f_g / workload.ai_gpu;
+    let p = rc / (rc + rg);
+    SplitDecision {
+        cpu_fraction: p,
+        regime: regime_of(&cpu_eff, &gpu_eff, workload),
+        cpu_flops: f_c,
+        gpu_flops: f_g,
+    }
+}
+
+/// §V(c) future-work extension: split `bytes` across *heterogeneous* fat
+/// nodes in proportion to each node's aggregate (CPU+GPU) byte rate, so all
+/// nodes finish together. Returns one byte count per node, summing to
+/// `bytes`.
+pub fn partition_across_nodes(
+    profiles: &[DeviceProfile],
+    workload: &Workload,
+    bytes: u64,
+) -> Vec<u64> {
+    assert!(!profiles.is_empty());
+    let rates: Vec<f64> = profiles
+        .iter()
+        .map(|prof| {
+            let cpu = prof.cpu_roofline().attainable_flops(workload.ai_cpu) / workload.ai_cpu;
+            let gpu = if prof.gpus.is_empty() {
+                0.0
+            } else {
+                prof.gpu_roofline(workload.residency)
+                    .attainable_flops(workload.ai_gpu)
+                    / workload.ai_gpu
+            };
+            cpu + gpu
+        })
+        .collect();
+    let total: f64 = rates.iter().sum();
+    let mut out: Vec<u64> = rates
+        .iter()
+        .map(|r| ((r / total) * bytes as f64).floor() as u64)
+        .collect();
+    // Hand the rounding remainder to the fastest node.
+    let assigned: u64 = out.iter().sum();
+    let fastest = rates
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap();
+    out[fastest] += bytes - assigned;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DataResidency;
+
+    fn delta() -> DeviceProfile {
+        DeviceProfile::delta_node()
+    }
+
+    #[test]
+    fn table5_gemv_low_intensity_staged() {
+        // GEMV: AI = 2, staged over PCI-E. Paper Table 5: p = 97.3 %.
+        let w = Workload::uniform(2.0, DataResidency::Staged);
+        let d = split(&delta(), &w);
+        assert_eq!(d.regime, Regime::BothBandwidthBound);
+        assert!(
+            (d.cpu_fraction - 0.973).abs() < 0.005,
+            "p = {}",
+            d.cpu_fraction
+        );
+    }
+
+    #[test]
+    fn table5_cmeans_high_intensity_resident() {
+        // C-means: AI = 5*M = 500 (M=100), resident. Paper Table 5: 11.2 %.
+        let w = Workload::uniform(500.0, DataResidency::Resident);
+        let d = split(&delta(), &w);
+        assert_eq!(d.regime, Regime::BothPeakBound);
+        assert!(
+            (d.cpu_fraction - 0.112).abs() < 0.002,
+            "p = {}",
+            d.cpu_fraction
+        );
+    }
+
+    #[test]
+    fn table5_gmm_high_intensity_resident() {
+        // GMM: AI = 11*M*D = 6600 (M=10, D=60). Paper Table 5: 11.2 %.
+        let w = Workload::uniform(6600.0, DataResidency::Resident);
+        let d = split(&delta(), &w);
+        assert_eq!(d.regime, Regime::BothPeakBound);
+        assert!((d.cpu_fraction - 0.112).abs() < 0.002);
+    }
+
+    #[test]
+    fn middle_regime_exists_for_resident_data() {
+        // Between A_cr (~4.06) and resident A_gr (~7.15) the CPU is at peak
+        // while the GPU is still DRAM-bound.
+        let d = delta();
+        let a_cr = d.cpu_ridge();
+        let a_gr = d.gpu_ridge(DataResidency::Resident);
+        assert!(a_cr < a_gr, "A_cr={a_cr} A_gr={a_gr}");
+        let mid = 0.5 * (a_cr + a_gr);
+        let s = split(&d, &Workload::uniform(mid, DataResidency::Resident));
+        assert_eq!(s.regime, Regime::CpuPeakGpuBandwidth);
+    }
+
+    #[test]
+    fn p_is_continuous_across_ridge_points() {
+        let d = delta();
+        for residency in [DataResidency::Staged, DataResidency::Resident] {
+            for ridge in [d.cpu_ridge(), d.gpu_ridge(residency)] {
+                let eps = ridge * 1e-9;
+                let lo = split(&d, &Workload::uniform(ridge - eps, residency)).cpu_fraction;
+                let hi = split(&d, &Workload::uniform(ridge + eps, residency)).cpu_fraction;
+                assert!(
+                    (lo - hi).abs() < 1e-6,
+                    "discontinuity at ridge {ridge} ({residency:?}): {lo} vs {hi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_intensity_shifts_work_to_gpu() {
+        // Sweep AI: p must be non-increasing (the GPU's advantage grows or
+        // stays flat as intensity rises).
+        let d = delta();
+        let mut last = f64::INFINITY;
+        for exp in -4..=13 {
+            let ai = 2f64.powi(exp);
+            let p = split(&d, &Workload::uniform(ai, DataResidency::Resident)).cpu_fraction;
+            assert!(p <= last + 1e-12, "p increased at AI={ai}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn balanced_split_equalizes_device_times() {
+        // Eq (4): at the analytic p, CPU and GPU times match exactly.
+        let d = delta();
+        let w = Workload::uniform(100.0, DataResidency::Resident);
+        let s = split(&d, &w);
+        let bytes = 1e9;
+        let t_c = device_time(s.cpu_fraction * bytes, w.ai_cpu, s.cpu_flops);
+        let t_g = device_time((1.0 - s.cpu_fraction) * bytes, w.ai_gpu, s.gpu_flops);
+        assert!((t_c - t_g).abs() / t_c < 1e-12);
+    }
+
+    #[test]
+    fn analytic_p_minimizes_makespan() {
+        // Linear-programming claim under Eq (1): any other p is no better.
+        let d = delta();
+        let w = Workload::uniform(50.0, DataResidency::Resident);
+        let p_star = split(&d, &w).cpu_fraction;
+        let best = makespan(&d, &w, 1e9, p_star);
+        for i in 0..=100 {
+            let p = i as f64 / 100.0;
+            assert!(makespan(&d, &w, 1e9, p) >= best - 1e-9);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_intensities_balance_byte_rates() {
+        // A_g twice A_c: GPU does more flops per byte, so the byte-rate
+        // balance differs from the flop-rate balance.
+        let d = delta();
+        let w = Workload {
+            ai_cpu: 100.0,
+            ai_gpu: 200.0,
+            residency: DataResidency::Resident,
+        };
+        let s = split(&d, &w);
+        let bytes = 1e9;
+        let t_c = device_time(s.cpu_fraction * bytes, w.ai_cpu, s.cpu_flops);
+        let t_g = device_time((1.0 - s.cpu_fraction) * bytes, w.ai_gpu, s.gpu_flops);
+        assert!((t_c - t_g).abs() / t_c < 1e-12);
+    }
+
+    #[test]
+    fn network_extension_pulls_split_toward_even() {
+        // A very slow network bounds both devices equally, so p drifts
+        // toward 1/2 relative to the no-network high-AI split only when the
+        // network is the common bottleneck at low AI.
+        let d = delta();
+        let w = Workload::uniform(2.0, DataResidency::Staged);
+        let base = split(&d, &w).cpu_fraction;
+        let slow = split_with_network(&d, &w, 0.1e9).cpu_fraction;
+        assert!((slow - 0.5).abs() < (base - 0.5).abs());
+    }
+
+    #[test]
+    fn node_partition_conserves_bytes_and_favors_fast_nodes() {
+        let nodes = vec![
+            DeviceProfile::delta_node(),
+            DeviceProfile::bigred2_node(),
+            DeviceProfile::cpu_only("plain", 8, 80e9, 20e9),
+        ];
+        let w = Workload::uniform(1000.0, DataResidency::Resident);
+        let parts = partition_across_nodes(&nodes, &w, 1_000_000_007);
+        assert_eq!(parts.iter().sum::<u64>(), 1_000_000_007);
+        // BigRed2 (K20, 3.5 Tflops) gets the most work; the CPU-only node
+        // the least.
+        assert!(parts[1] > parts[0]);
+        assert!(parts[2] < parts[0]);
+    }
+
+    #[test]
+    fn printed_equation8_fails_to_reproduce_table5_where_corrected_succeeds() {
+        // The typo analysis from DESIGN.md, as a regression test: at the
+        // paper's own GEMV point (AI = 2, staged) the corrected form gives
+        // the paper's 97.3 % while the literally printed form does not.
+        let d = delta();
+        let w = Workload::uniform(2.0, DataResidency::Staged);
+        let corrected = split(&d, &w).cpu_fraction;
+        let printed = split_as_printed(&d, &w);
+        assert!((corrected - 0.973).abs() < 0.005, "corrected: {corrected}");
+        assert!(
+            (printed - 0.973).abs() > 0.02,
+            "printed form unexpectedly matches the paper: {printed}"
+        );
+        // Regime 3 (high AI, both at peak) is identical in both forms.
+        let w = Workload::uniform(6600.0, DataResidency::Resident);
+        assert!((split(&d, &w).cpu_fraction - split_as_printed(&d, &w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_gpu_split_shrinks_cpu_share() {
+        let d = delta();
+        let w = Workload::uniform(500.0, DataResidency::Resident);
+        let one = split_multi_gpu(&d, &w, 1);
+        let two = split_multi_gpu(&d, &w, 2);
+        assert_eq!(one.cpu_fraction, split(&d, &w).cpu_fraction);
+        assert!(two.cpu_fraction < one.cpu_fraction);
+        // p = Pc/(Pc + 2 Pg) = 130/2190 ~ 5.9 %.
+        assert!((two.cpu_fraction - 130.0 / 2190.0).abs() < 1e-6);
+        assert_eq!(two.gpu_flops, 2.0 * one.gpu_flops);
+    }
+
+    #[test]
+    fn multi_gpu_split_balances_device_times() {
+        let d = delta();
+        let w = Workload::uniform(100.0, DataResidency::Resident);
+        let s = split_multi_gpu(&d, &w, 2);
+        let bytes = 1e9;
+        let t_c = device_time(s.cpu_fraction * bytes, w.ai_cpu, s.cpu_flops);
+        // The GPU side splits across both devices, each at the base rate.
+        let t_g = device_time((1.0 - s.cpu_fraction) * bytes, w.ai_gpu, s.gpu_flops);
+        assert!((t_c - t_g).abs() / t_c < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 GPUs, 3 requested")]
+    fn multi_gpu_split_checks_device_count() {
+        let w = Workload::uniform(2.0, DataResidency::Staged);
+        let _ = split_multi_gpu(&delta(), &w, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn split_requires_a_gpu() {
+        let w = Workload::uniform(2.0, DataResidency::Staged);
+        let _ = split(&DeviceProfile::cpu_only("c", 8, 80e9, 20e9), &w);
+    }
+}

@@ -1,0 +1,269 @@
+//! Simulation-aware message channels: unbounded, multi-producer
+//! multi-consumer, with optional delivery delay. Blocking `recv` integrates
+//! with the virtual clock, making channels the building block for task
+//! queues, request/reply protocols, and the network layer.
+
+use crate::engine::SimCtx;
+use crate::kernel::Pid;
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+struct ChanInner<T> {
+    queue: VecDeque<T>,
+    waiters: VecDeque<Pid>,
+    closed: bool,
+}
+
+/// An unbounded MPMC channel living inside a simulation.
+///
+/// `send` is non-blocking and delivers at the current virtual time;
+/// `send_delayed` delivers after a virtual delay (used to model link
+/// latency). `recv` blocks the calling process until a message or close.
+pub struct Channel<T> {
+    name: Arc<str>,
+    inner: Arc<Mutex<ChanInner<T>>>,
+}
+
+impl<T> Clone for Channel<T> {
+    fn clone(&self) -> Self {
+        Channel {
+            name: self.name.clone(),
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Send + 'static> Channel<T> {
+    /// Creates an empty open channel.
+    pub fn new(name: &str) -> Self {
+        Channel {
+            name: name.into(),
+            inner: Arc::new(Mutex::new(ChanInner {
+                queue: VecDeque::new(),
+                waiters: VecDeque::new(),
+                closed: false,
+            })),
+        }
+    }
+
+    /// The channel name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True when no messages are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().queue.is_empty()
+    }
+
+    /// Delivers `msg` at the current virtual time.
+    pub fn send(&self, ctx: &SimCtx, msg: T) {
+        let wake = {
+            let mut g = self.inner.lock();
+            assert!(!g.closed, "send on closed channel '{}'", self.name);
+            g.queue.push_back(msg);
+            g.waiters.pop_front()
+        };
+        if let Some(pid) = wake {
+            ctx.with_kernel(|ks| {
+                let now = ks.now;
+                ks.schedule_wake(now, pid);
+            });
+        }
+    }
+
+    /// Delivers `msg` after `delay` of virtual time (the sender does not
+    /// block — the message is "in flight").
+    pub fn send_delayed(&self, ctx: &SimCtx, msg: T, delay: SimTime) {
+        let inner = self.inner.clone();
+        let name = self.name.clone();
+        ctx.with_kernel(move |ks| {
+            let at = ks.now + delay;
+            ks.schedule_action(at, move |ks2| {
+                let wake = {
+                    let mut g = inner.lock();
+                    assert!(!g.closed, "delayed send on closed channel '{name}'");
+                    g.queue.push_back(msg);
+                    g.waiters.pop_front()
+                };
+                if let Some(pid) = wake {
+                    let now = ks2.now;
+                    ks2.schedule_wake(now, pid);
+                }
+            });
+        });
+    }
+
+    /// Blocks until a message is available; returns `None` once the channel
+    /// is closed *and* drained.
+    pub fn recv(&self, ctx: &SimCtx) -> Option<T> {
+        loop {
+            {
+                let mut g = self.inner.lock();
+                if let Some(m) = g.queue.pop_front() {
+                    return Some(m);
+                }
+                if g.closed {
+                    return None;
+                }
+                g.waiters.push_back(ctx.pid());
+            }
+            ctx.set_block_reason(format!("recv on '{}'", self.name));
+            ctx.yield_to_engine();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.lock().queue.pop_front()
+    }
+
+    /// Closes the channel: future `recv` calls drain the buffer then return
+    /// `None`; blocked receivers are woken.
+    pub fn close(&self, ctx: &SimCtx) {
+        let waiters: Vec<Pid> = {
+            let mut g = self.inner.lock();
+            g.closed = true;
+            g.waiters.drain(..).collect()
+        };
+        if !waiters.is_empty() {
+            ctx.with_kernel(|ks| {
+                let now = ks.now;
+                for pid in waiters {
+                    ks.schedule_wake(now, pid);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, SimTime};
+
+    #[test]
+    fn send_then_recv_same_time() {
+        let mut sim = Sim::new();
+        let ch: Channel<u32> = Channel::new("c");
+        let tx = ch.clone();
+        sim.spawn("sender", move |ctx| {
+            tx.send(ctx, 7);
+        });
+        let rx = ch.clone();
+        let got = Arc::new(Mutex::new(None));
+        let got2 = got.clone();
+        sim.spawn("receiver", move |ctx| {
+            *got2.lock() = rx.recv(ctx);
+            assert_eq!(ctx.now(), SimTime::ZERO);
+        });
+        sim.run().unwrap();
+        assert_eq!(*got.lock(), Some(7));
+    }
+
+    #[test]
+    fn recv_blocks_until_delivery() {
+        let mut sim = Sim::new();
+        let ch: Channel<&'static str> = Channel::new("c");
+        let tx = ch.clone();
+        sim.spawn("sender", move |ctx| {
+            ctx.hold(SimTime::from_secs(3));
+            tx.send(ctx, "late");
+        });
+        let rx = ch.clone();
+        sim.spawn("receiver", move |ctx| {
+            assert_eq!(rx.recv(ctx), Some("late"));
+            assert_eq!(ctx.now(), SimTime::from_secs(3));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn delayed_send_models_latency() {
+        let mut sim = Sim::new();
+        let ch: Channel<u8> = Channel::new("link");
+        let tx = ch.clone();
+        sim.spawn("sender", move |ctx| {
+            tx.send_delayed(ctx, 1, SimTime::from_millis(10.0));
+            // Sender continues immediately.
+            assert_eq!(ctx.now(), SimTime::ZERO);
+        });
+        let rx = ch.clone();
+        sim.spawn("receiver", move |ctx| {
+            assert_eq!(rx.recv(ctx), Some(1));
+            assert_eq!(ctx.now(), SimTime::from_millis(10.0));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn close_wakes_receivers_with_none() {
+        let mut sim = Sim::new();
+        let ch: Channel<u8> = Channel::new("c");
+        let rx = ch.clone();
+        sim.spawn("receiver", move |ctx| {
+            assert_eq!(rx.recv(ctx), None);
+        });
+        let cl = ch.clone();
+        sim.spawn("closer", move |ctx| {
+            ctx.hold(SimTime::from_secs(1));
+            cl.close(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn close_drains_buffer_first() {
+        let mut sim = Sim::new();
+        let ch: Channel<u8> = Channel::new("c");
+        let tx = ch.clone();
+        sim.spawn("producer", move |ctx| {
+            tx.send(ctx, 1);
+            tx.send(ctx, 2);
+            tx.close(ctx);
+        });
+        let rx = ch.clone();
+        sim.spawn("consumer", move |ctx| {
+            ctx.hold(SimTime::from_secs(1));
+            assert_eq!(rx.recv(ctx), Some(1));
+            assert_eq!(rx.recv(ctx), Some(2));
+            assert_eq!(rx.recv(ctx), None);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn mpmc_distributes_work() {
+        let mut sim = Sim::new();
+        let ch: Channel<u32> = Channel::new("tasks");
+        let done = Arc::new(Mutex::new(Vec::new()));
+        for w in 0..2 {
+            let rx = ch.clone();
+            let done = done.clone();
+            sim.spawn(&format!("worker{w}"), move |ctx| {
+                while let Some(task) = rx.recv(ctx) {
+                    ctx.hold(SimTime::from_secs(1));
+                    done.lock().push((w, task));
+                }
+            });
+        }
+        let tx = ch.clone();
+        sim.spawn("producer", move |ctx| {
+            for t in 0..4 {
+                tx.send(ctx, t);
+            }
+            tx.close(ctx);
+        });
+        let report = sim.run().unwrap();
+        // Two workers, four 1-second tasks: finishes at t=2, not t=4.
+        assert_eq!(report.end_time, SimTime::from_secs(2));
+        assert_eq!(done.lock().len(), 4);
+    }
+}

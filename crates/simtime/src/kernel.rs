@@ -1,0 +1,214 @@
+//! Engine internals: the event queue, the process table, and the shared
+//! kernel state that processes and synchronization primitives manipulate.
+
+use crate::gate::Gate;
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Process identifier: an index into the process table.
+pub(crate) type Pid = usize;
+
+/// What an event does when it fires.
+pub(crate) enum EventKind {
+    /// Transfer control to a blocked process.
+    Wake(Pid),
+    /// Run a kernel action (used by delayed channel deliveries etc.).
+    Action(Box<dyn FnOnce(&mut KState) + Send>),
+}
+
+pub(crate) struct Event {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the earliest
+    /// `(time, seq)` first. `seq` breaks ties deterministically in
+    /// scheduling order.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProcState {
+    /// Parked on its gate, waiting for a wake event or a grant.
+    Blocked,
+    /// Currently holding the execution token.
+    Running,
+    /// Body returned (or unwound); will never run again.
+    Finished,
+}
+
+pub(crate) struct ProcEntry {
+    pub name: String,
+    pub gate: Arc<Gate>,
+    pub state: ProcState,
+    /// Human-readable reason recorded before blocking, for deadlock reports.
+    pub block_reason: String,
+    /// Pids waiting in `join` for this process to finish.
+    pub join_waiters: Vec<Pid>,
+}
+
+/// A single timestamped trace record, available when tracing is enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time at which the record was emitted.
+    pub time: SimTime,
+    /// Name of the emitting process.
+    pub process: String,
+    /// Free-form message.
+    pub message: String,
+}
+
+/// Mutable kernel state, guarded by the kernel mutex. Because only one
+/// thread (the engine or a single process) ever runs at a time, the lock is
+/// uncontended; it exists to satisfy the type system and to make the
+/// handoff points explicit.
+pub(crate) struct KState {
+    pub now: SimTime,
+    pub seq: u64,
+    pub heap: BinaryHeap<Event>,
+    pub procs: Vec<ProcEntry>,
+    pub live: usize,
+    pub trace: Option<Vec<TraceEvent>>,
+    pub events_processed: u64,
+    pub event_limit: Option<u64>,
+    pub shutdown: bool,
+    pub panic_info: Option<(String, String)>,
+}
+
+impl KState {
+    pub fn new() -> Self {
+        KState {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            procs: Vec::new(),
+            live: 0,
+            trace: None,
+            events_processed: 0,
+            event_limit: None,
+            shutdown: false,
+            panic_info: None,
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Schedules a wake of `pid` at absolute time `at`.
+    pub fn schedule_wake(&mut self, at: SimTime, pid: Pid) {
+        debug_assert!(at >= self.now, "cannot schedule in the past");
+        let seq = self.next_seq();
+        self.heap.push(Event {
+            time: at,
+            seq,
+            kind: EventKind::Wake(pid),
+        });
+    }
+
+    /// Schedules a kernel action at absolute time `at`.
+    pub fn schedule_action<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut KState) + Send + 'static,
+    {
+        debug_assert!(at >= self.now, "cannot schedule in the past");
+        let seq = self.next_seq();
+        self.heap.push(Event {
+            time: at,
+            seq,
+            kind: EventKind::Action(Box::new(f)),
+        });
+    }
+
+    pub fn emit_trace(&mut self, pid: Pid, message: String) {
+        if let Some(trace) = &mut self.trace {
+            let process = self.procs[pid].name.clone();
+            trace.push(TraceEvent {
+                time: self.now,
+                process,
+                message,
+            });
+        }
+    }
+
+    /// Names and block reasons of all non-finished processes, for deadlock
+    /// diagnostics.
+    pub fn blocked_summary(&self) -> Vec<(String, String)> {
+        self.procs
+            .iter()
+            .filter(|p| p.state == ProcState::Blocked)
+            .map(|p| (p.name.clone(), p.block_reason.clone()))
+            .collect()
+    }
+}
+
+/// Shared kernel: state plus the engine's own handoff gate.
+pub(crate) struct Kernel {
+    pub state: Mutex<KState>,
+    pub engine_gate: Gate,
+}
+
+impl Kernel {
+    pub fn new() -> Arc<Kernel> {
+        Arc::new(Kernel {
+            state: Mutex::new(KState::new()),
+            engine_gate: Gate::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_pops_in_time_then_seq_order() {
+        let mut ks = KState::new();
+        ks.schedule_wake(SimTime::from_secs_f64(2.0), 0);
+        ks.schedule_wake(SimTime::from_secs_f64(1.0), 1);
+        ks.schedule_wake(SimTime::from_secs_f64(1.0), 2);
+        let e1 = ks.heap.pop().unwrap();
+        let e2 = ks.heap.pop().unwrap();
+        let e3 = ks.heap.pop().unwrap();
+        assert!(matches!(e1.kind, EventKind::Wake(1)));
+        assert!(matches!(e2.kind, EventKind::Wake(2)));
+        assert!(matches!(e3.kind, EventKind::Wake(0)));
+        assert!(e1.seq < e2.seq, "ties broken by scheduling order");
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut ks = KState::new();
+        ks.procs.push(ProcEntry {
+            name: "p".into(),
+            gate: Arc::new(crate::gate::Gate::new()),
+            state: ProcState::Blocked,
+            block_reason: String::new(),
+            join_waiters: vec![],
+        });
+        ks.emit_trace(0, "hello".into());
+        assert!(ks.trace.is_none());
+    }
+}

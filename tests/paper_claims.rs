@@ -1,0 +1,207 @@
+//! CI-checked versions of the paper's qualitative claims: who wins, by
+//! roughly what factor, and where the crossovers fall. These are the
+//! same comparisons the `prs-bench` binaries print, at test-friendly
+//! scale, using timing-faithful synthetic workloads where real kernels
+//! would be too slow.
+
+use prs_apps::CMeans;
+use prs_baselines::{run_mahout_like, run_mpi_cpu, run_mpi_gpu, MahoutParams};
+use prs_bench::SyntheticApp;
+use prs_core::{run_iterative, ClusterSpec, JobConfig};
+use prs_data::gaussian::clustering_workload;
+use roofline::model::DataResidency;
+use roofline::schedule::{split, Workload};
+use std::sync::Arc;
+
+fn synthetic(n: usize, ai: f64, residency: DataResidency) -> Arc<SyntheticApp> {
+    Arc::new(SyntheticApp {
+        n,
+        item_bytes: 256,
+        workload: Workload::uniform(ai, residency),
+        keys: 12,
+        value_bytes: 512,
+    })
+}
+
+/// Table 3's ordering: MPI/GPU < PRS/GPU < MPI/CPU << Mahout.
+#[test]
+fn table3_runtime_ordering() {
+    let spec = ClusterSpec::delta(2);
+    let pts = Arc::new(clustering_workload(40_000, 100, 10, 3).points);
+    let mk = || Arc::new(CMeans::new(pts.clone(), 10, 2.0, 1e-12, 5));
+
+    let mpi_gpu = run_mpi_gpu(&spec, mk(), 2).compute_seconds;
+    let prs_gpu = run_iterative(&spec, mk(), JobConfig::gpu_only().with_iterations(2))
+        .unwrap()
+        .metrics
+        .compute_seconds;
+    let mpi_cpu = run_mpi_cpu(&spec, mk(), 2).compute_seconds;
+    let mahout = run_mahout_like(&spec, mk(), 2, MahoutParams::default()).compute_seconds;
+
+    assert!(mpi_gpu < prs_gpu, "PRS adds overhead over bare MPI: {mpi_gpu} vs {prs_gpu}");
+    assert!(prs_gpu < mpi_cpu, "one GPU beats 12 cores at AI=50: {prs_gpu} vs {mpi_cpu}");
+    assert!(
+        mahout > 50.0 * mpi_cpu,
+        "Hadoop-style runtime is orders of magnitude slower: {mahout} vs {mpi_cpu}"
+    );
+}
+
+/// Table 5: the analytic split sits within 10 points of the profiled
+/// optimum for all three application classes.
+#[test]
+fn table5_analytic_matches_profiled_split() {
+    let spec = ClusterSpec::delta(1);
+    let cases = [
+        (2.0, DataResidency::Staged, 2_000_000usize),
+        (500.0, DataResidency::Resident, 500_000),
+        (6600.0, DataResidency::Resident, 100_000),
+    ];
+    for (ai, residency, n) in cases {
+        let w = Workload::uniform(ai, residency);
+        let p_eq8 = split(&spec.nodes[0], &w).cpu_fraction;
+        // Coarse profiling sweep.
+        let mut best = (f64::INFINITY, 0.5);
+        for i in 0..=20 {
+            let p = i as f64 / 20.0;
+            let t = run_iterative(&spec, synthetic(n, ai, residency), JobConfig::static_with_p(p))
+                .unwrap()
+                .metrics
+                .compute_seconds;
+            if t < best.0 {
+                best = (t, p);
+            }
+        }
+        assert!(
+            (p_eq8 - best.1).abs() < 0.10,
+            "AI={ai}: Eq(8) p={p_eq8:.3} vs profiled {:.3}",
+            best.1
+        );
+    }
+}
+
+/// Figure 6, GEMV: adding the CPUs speeds the low-AI staged workload up
+/// by an order of magnitude.
+#[test]
+fn fig6_gemv_gains_an_order_of_magnitude_from_cpus() {
+    let spec = ClusterSpec::delta(2);
+    let mk = || synthetic(1_000_000, 2.0, DataResidency::Staged);
+    let gpu = run_iterative(&spec, mk(), JobConfig::gpu_only())
+        .unwrap()
+        .metrics
+        .compute_seconds;
+    let both = run_iterative(&spec, mk(), JobConfig::static_analytic())
+        .unwrap()
+        .metrics
+        .compute_seconds;
+    let speedup = gpu / both;
+    assert!(speedup > 5.0, "expected ~10x-class speedup, got {speedup:.2}");
+}
+
+/// Figure 6, C-means/GMM class: adding the CPUs buys roughly the
+/// Pc/(Pc+Pg) share (~11 %) for high-AI resident workloads.
+#[test]
+fn fig6_high_ai_gains_cpu_share() {
+    let spec = ClusterSpec::delta(2);
+    let mk = || synthetic(2_000_000, 500.0, DataResidency::Resident);
+    let gpu = run_iterative(&spec, mk(), JobConfig::gpu_only())
+        .unwrap()
+        .metrics
+        .compute_seconds;
+    let both = run_iterative(&spec, mk(), JobConfig::static_analytic())
+        .unwrap()
+        .metrics
+        .compute_seconds;
+    let gain = gpu / both - 1.0;
+    assert!(
+        (0.05..0.14).contains(&gain),
+        "expected ~11% gain, got {:.1}%",
+        gain * 100.0
+    );
+}
+
+/// Figure 6: weak scaling is roughly flat from 1 to 8 nodes.
+#[test]
+fn fig6_weak_scaling_flat_to_eight_nodes() {
+    let mut rates = Vec::new();
+    for nodes in [1usize, 2, 4, 8] {
+        let app = synthetic(500_000 * nodes, 500.0, DataResidency::Resident);
+        let r = run_iterative(
+            &ClusterSpec::delta(nodes),
+            app,
+            JobConfig::static_analytic().with_iterations(2),
+        )
+        .unwrap();
+        rates.push(r.metrics.gflops_per_node());
+    }
+    let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = rates.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max / min < 1.25,
+        "weak scaling should be near-flat: {rates:?}"
+    );
+}
+
+/// §V: the co-processing benefit peaks in the middle of the intensity
+/// spectrum for single-pass workloads.
+#[test]
+fn conclusion_midrange_benefits_most() {
+    let spec = ClusterSpec::delta(1);
+    let gain = |ai: f64| {
+        let cpu = run_iterative(&spec, synthetic(1_000_000, ai, DataResidency::Staged), JobConfig::cpu_only())
+            .unwrap()
+            .metrics
+            .compute_seconds;
+        let gpu = run_iterative(&spec, synthetic(1_000_000, ai, DataResidency::Staged), JobConfig::gpu_only())
+            .unwrap()
+            .metrics
+            .compute_seconds;
+        let both = run_iterative(
+            &spec,
+            synthetic(1_000_000, ai, DataResidency::Staged),
+            JobConfig::static_analytic(),
+        )
+        .unwrap()
+        .metrics
+        .compute_seconds;
+        cpu.min(gpu) / both
+    };
+    let low = gain(1.0);
+    let mid = gain(128.0);
+    let high = gain(8192.0);
+    assert!(mid > low + 0.2, "middle band should beat the low end: {mid} vs {low}");
+    assert!(mid > high + 0.2, "middle band should beat the high end: {mid} vs {high}");
+}
+
+/// §V(c): roofline-weighted partitioning beats equal splitting on a
+/// heterogeneous cluster.
+#[test]
+fn hetero_weighted_partitioning_wins() {
+    let spec = ClusterSpec {
+        nodes: vec![
+            roofline::DeviceProfile::delta_node(),
+            roofline::DeviceProfile::bigred2_node(),
+        ],
+        network: netsim::NetworkParams::infiniband_qdr(),
+        overheads: Default::default(),
+    };
+    let mk = || synthetic(2_000_000, 500.0, DataResidency::Resident);
+    let equal = run_iterative(
+        &spec,
+        mk(),
+        JobConfig {
+            hetero_aware_partitioning: false,
+            ..JobConfig::static_analytic()
+        },
+    )
+    .unwrap()
+    .metrics
+    .compute_seconds;
+    let weighted = run_iterative(&spec, mk(), JobConfig::static_analytic())
+        .unwrap()
+        .metrics
+        .compute_seconds;
+    assert!(
+        weighted < equal * 0.8,
+        "weighted {weighted} should clearly beat equal {equal}"
+    );
+}

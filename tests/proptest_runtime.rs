@@ -1,0 +1,152 @@
+//! Property-based tests over the full runtime: for *any* workload shape,
+//! cluster size, and scheduling mode, a job's outputs must equal the
+//! serial reference, and its virtual timings must be finite, positive and
+//! internally consistent.
+
+use prs_bench::SyntheticApp;
+use prs_core::{run_iterative, run_job, ClusterSpec, DeviceClass, JobConfig, Key, SpmdApp};
+use proptest::prelude::*;
+use roofline::model::DataResidency;
+use roofline::schedule::Workload;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Deterministic value histogram used as the correctness oracle.
+struct HistApp {
+    n: usize,
+    k: u64,
+    residency: DataResidency,
+    ai: f64,
+}
+
+impl SpmdApp for HistApp {
+    type Inter = u64;
+    type Output = u64;
+    fn num_items(&self) -> usize {
+        self.n
+    }
+    fn item_bytes(&self) -> u64 {
+        16
+    }
+    fn workload(&self) -> Workload {
+        Workload::uniform(self.ai, self.residency)
+    }
+    fn cpu_map(&self, _node: usize, range: Range<usize>) -> Vec<(Key, u64)> {
+        range.map(|i| ((i as u64 * 2654435761) % self.k, 1)).collect()
+    }
+    fn gpu_map(&self, node: usize, range: Range<usize>) -> Vec<(Key, u64)> {
+        self.cpu_map(node, range)
+    }
+    fn reduce(&self, _d: DeviceClass, _k: Key, v: Vec<u64>) -> u64 {
+        v.iter().sum()
+    }
+    fn combine(&self, _k: Key, v: Vec<u64>) -> Vec<u64> {
+        vec![v.iter().sum()]
+    }
+}
+
+fn serial_histogram(n: usize, k: u64) -> Vec<(Key, u64)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for i in 0..n {
+        *counts.entry((i as u64 * 2654435761) % k).or_insert(0u64) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+fn arb_config() -> impl Strategy<Value = JobConfig> {
+    prop_oneof![
+        Just(JobConfig::static_analytic()),
+        (0.0..=1.0f64).prop_map(JobConfig::static_with_p),
+        (1usize..5000).prop_map(JobConfig::dynamic),
+        Just(JobConfig::gpu_only()),
+        Just(JobConfig::cpu_only()),
+    ]
+    .prop_flat_map(|base| {
+        (1usize..=4, 1u32..=6, 1usize..=3, any::<bool>()).prop_map(
+            move |(partitions, blocks_per_core, streams, combiner)| JobConfig {
+                partitions_per_node: partitions,
+                blocks_per_core,
+                gpu_streams: streams,
+                gpu_blocks_per_partition: streams.max(2),
+                use_combiner: combiner,
+                ..base
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_config_produces_the_serial_histogram(
+        n in 1usize..4000,
+        k in 1u64..40,
+        nodes in 1usize..5,
+        residency in prop_oneof![Just(DataResidency::Staged), Just(DataResidency::Resident)],
+        ai in 0.5..2000.0f64,
+        config in arb_config(),
+    ) {
+        let app = Arc::new(HistApp { n, k, residency, ai });
+        let result = run_job(&ClusterSpec::delta(nodes), app, config).unwrap();
+        prop_assert_eq!(result.outputs, serial_histogram(n, k));
+        let m = result.metrics;
+        prop_assert!(m.total_seconds.is_finite() && m.total_seconds > 0.0);
+        prop_assert!(m.compute_seconds.is_finite() && m.compute_seconds > 0.0);
+        prop_assert!(m.total_seconds + 1e-12 >= m.compute_seconds);
+        prop_assert_eq!(m.cpu_map_tasks + m.gpu_map_tasks > 0, true);
+    }
+
+    #[test]
+    fn iterative_jobs_run_exactly_to_cap(
+        iterations in 1usize..6,
+        nodes in 1usize..4,
+        ai in 1.0..1000.0f64,
+    ) {
+        let app = Arc::new(SyntheticApp {
+            n: 10_000,
+            item_bytes: 64,
+            workload: Workload::uniform(ai, DataResidency::Resident),
+            keys: 4,
+            value_bytes: 64,
+        });
+        let r = run_iterative(
+            &ClusterSpec::delta(nodes),
+            app,
+            JobConfig::static_analytic().with_iterations(iterations),
+        )
+        .unwrap();
+        prop_assert_eq!(r.metrics.iterations.len(), iterations);
+        // Per-iteration times are all positive and comparable (the same
+        // work repeats): max/min bounded.
+        let times: Vec<f64> = r.metrics.iterations.iter().map(|s| s.total()).collect();
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(min > 0.0);
+        prop_assert!(max / min < 1.5, "iterations vary too much: {:?}", times);
+    }
+
+    #[test]
+    fn more_nodes_never_slow_down_fixed_work(
+        ai in 50.0..5000.0f64,
+    ) {
+        // Strong scaling sanity: the same total work on 4 nodes should not
+        // take longer than on 1 (compute-dominated workload).
+        let mk = || Arc::new(SyntheticApp {
+            n: 1_000_000,
+            item_bytes: 256,
+            workload: Workload::uniform(ai, DataResidency::Resident),
+            keys: 4,
+            value_bytes: 64,
+        });
+        let t1 = run_job(&ClusterSpec::delta(1), mk(), JobConfig::static_analytic())
+            .unwrap()
+            .metrics
+            .compute_seconds;
+        let t4 = run_job(&ClusterSpec::delta(4), mk(), JobConfig::static_analytic())
+            .unwrap()
+            .metrics
+            .compute_seconds;
+        prop_assert!(t4 <= t1 * 1.05, "4 nodes ({t4}) slower than 1 ({t1})");
+    }
+}
