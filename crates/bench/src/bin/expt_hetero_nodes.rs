@@ -30,6 +30,7 @@ fn mixed_cluster() -> ClusterSpec {
         ],
         network: NetworkParams::infiniband_qdr(),
         overheads: Default::default(),
+        faults: Default::default(),
     }
 }
 

@@ -1,6 +1,7 @@
 //! Cluster description: how many fat nodes, of what profile, connected by
 //! what fabric.
 
+use crate::faults::FaultPlan;
 use device::OverheadModel;
 use netsim::NetworkParams;
 use roofline::DeviceProfile;
@@ -17,6 +18,8 @@ pub struct ClusterSpec {
     pub network: NetworkParams,
     /// Software-stack overheads.
     pub overheads: OverheadModel,
+    /// Injected failure scenario (empty by default — a healthy cluster).
+    pub faults: FaultPlan,
 }
 
 impl ClusterSpec {
@@ -27,6 +30,7 @@ impl ClusterSpec {
             nodes: vec![profile; n],
             network,
             overheads: OverheadModel::default(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -63,6 +67,12 @@ impl ClusterSpec {
         self.overheads = overheads;
         self
     }
+
+    /// Installs a failure scenario (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -81,5 +91,13 @@ mod tests {
     fn with_overheads_replaces() {
         let c = ClusterSpec::delta(1).with_overheads(OverheadModel::zero());
         assert_eq!(c.overheads, OverheadModel::zero());
+    }
+
+    #[test]
+    fn faults_default_empty_and_builder_installs() {
+        let c = ClusterSpec::delta(2);
+        assert!(c.faults.is_empty());
+        let c = c.with_faults(FaultPlan::default().crash_gpu(1, 0, 0.5));
+        assert_eq!(c.faults.gpu_crashes.len(), 1);
     }
 }

@@ -68,6 +68,13 @@ pub struct JobConfig {
     /// [`crate::JobMetrics::timeline`] (Gantt observability; small
     /// overhead in host time, none in virtual time).
     pub record_timeline: bool,
+    /// Master-side deadline (virtual seconds) for a node to acknowledge a
+    /// partition assignment. `None` disables straggler detection: the
+    /// master waits forever (the seed's original behaviour).
+    pub partition_timeout_secs: Option<f64>,
+    /// Re-sends to the same node after a timeout before the partition is
+    /// reassigned to the next surviving node.
+    pub max_partition_retries: u32,
 }
 
 impl Default for JobConfig {
@@ -86,6 +93,8 @@ impl Default for JobConfig {
             cache_resident_data: true,
             hetero_aware_partitioning: true,
             record_timeline: false,
+            partition_timeout_secs: None,
+            max_partition_retries: 2,
         }
     }
 }
@@ -151,6 +160,15 @@ impl JobConfig {
         self.gpu_blocks_per_partition = self.gpu_blocks_per_partition.max(streams);
         self
     }
+
+    /// Builder-style straggler detection: acknowledgement deadline and
+    /// per-node retry budget before reassignment.
+    pub fn with_partition_timeout(mut self, secs: f64, retries: u32) -> Self {
+        assert!(secs.is_finite() && secs > 0.0, "timeout must be positive");
+        self.partition_timeout_secs = Some(secs);
+        self.max_partition_retries = retries;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +199,9 @@ mod tests {
         assert_eq!(c.max_iterations, 5);
         assert_eq!(c.gpu_streams, 8);
         assert!(c.gpu_blocks_per_partition >= 8);
+        let c = JobConfig::default().with_partition_timeout(0.25, 3);
+        assert_eq!(c.partition_timeout_secs, Some(0.25));
+        assert_eq!(c.max_partition_retries, 3);
     }
 
     #[test]

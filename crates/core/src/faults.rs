@@ -1,0 +1,474 @@
+//! Fault-injection plans: deterministic, seedable failure scenarios
+//! threaded through every layer of the runtime.
+//!
+//! A [`FaultPlan`] travels inside the [`crate::ClusterSpec`] and is applied
+//! once, before the simulation starts: GPU crash times and slowdown
+//! windows are armed on the [`device`] layer, link disruptions on the
+//! [`netsim`] fabric, and node stalls on the per-node sub-task schedulers.
+//! Because every fault fires at a fixed virtual time (or is derived from
+//! the plan's `seed` by a fixed generator), two runs of the same plan on
+//! the same job replay identically — the property the failure-scenario
+//! test suite pins down.
+//!
+//! Times are plain `f64` seconds rather than [`simtime::SimTime`] so plans
+//! serialize cleanly into experiment configs.
+
+use device::SlowdownWindow;
+use netsim::LinkDisruption;
+use serde::{Deserialize, Serialize};
+use simtime::SimTime;
+
+/// Kill one GPU's daemon at a fixed virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuCrash {
+    /// Node rank.
+    pub node: usize,
+    /// GPU index within the node.
+    pub gpu: usize,
+    /// Crash time (virtual seconds). A kernel spanning this instant is
+    /// interrupted; work already done on it is lost.
+    pub at_secs: f64,
+}
+
+/// Stretch CPU task durations on one node during a window (a straggling
+/// node whose cores are stolen by an external job).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuSlowdown {
+    /// Node rank.
+    pub node: usize,
+    /// Window start (virtual seconds, inclusive).
+    pub from_secs: f64,
+    /// Window end (virtual seconds, exclusive).
+    pub until_secs: f64,
+    /// Duration multiplier for tasks starting inside the window (> 1
+    /// slows the node down).
+    pub factor: f64,
+}
+
+/// Stretch GPU kernel durations on one device during a window (thermal
+/// throttling, ECC scrubbing).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSlowdown {
+    /// Node rank.
+    pub node: usize,
+    /// GPU index within the node.
+    pub gpu: usize,
+    /// Window start (virtual seconds, inclusive).
+    pub from_secs: f64,
+    /// Window end (virtual seconds, exclusive).
+    pub until_secs: f64,
+    /// Duration multiplier for kernels starting inside the window.
+    pub factor: f64,
+}
+
+/// Delay a node's control-plane acknowledgements during a window: the
+/// node still works, but looks dead to the master's partition timeout —
+/// the straggler scenario that triggers reassignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeStall {
+    /// Node rank.
+    pub node: usize,
+    /// Window start (virtual seconds, inclusive).
+    pub from_secs: f64,
+    /// Window end (virtual seconds, exclusive).
+    pub until_secs: f64,
+    /// Extra delay before acknowledging a partition assignment that
+    /// arrives inside the window.
+    pub ack_delay_secs: f64,
+}
+
+/// Transient network fault on the shuffle/collective path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFault {
+    /// Source rank filter (`None` matches any sender).
+    pub src: Option<usize>,
+    /// Destination rank filter (`None` matches any receiver).
+    pub dst: Option<usize>,
+    /// Window start (virtual seconds, inclusive).
+    pub from_secs: f64,
+    /// Window end (virtual seconds, exclusive).
+    pub until_secs: f64,
+    /// Extra one-way latency (jitter) on matching sends.
+    pub extra_latency_secs: f64,
+    /// Bandwidth multiplier in `(0, 1]` (congestion).
+    pub bandwidth_factor: f64,
+    /// Full partition: matching traffic is held until the window closes.
+    pub partition: bool,
+}
+
+/// A complete, deterministic failure scenario for one job run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the plan's derived faults (see
+    /// [`FaultPlan::with_random_jitter`]); also useful as a scenario label.
+    pub seed: u64,
+    /// GPU daemon crashes.
+    pub gpu_crashes: Vec<GpuCrash>,
+    /// CPU straggler windows.
+    pub cpu_slowdowns: Vec<CpuSlowdown>,
+    /// GPU straggler windows.
+    pub gpu_slowdowns: Vec<GpuSlowdown>,
+    /// Control-plane stall windows.
+    pub node_stalls: Vec<NodeStall>,
+    /// Network jitter / congestion / partition windows.
+    pub link_faults: Vec<LinkFault>,
+}
+
+/// splitmix64 step — the plan's only randomness source, fully determined
+/// by the seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.gpu_crashes.is_empty()
+            && self.cpu_slowdowns.is_empty()
+            && self.gpu_slowdowns.is_empty()
+            && self.node_stalls.is_empty()
+            && self.link_faults.is_empty()
+    }
+
+    /// Adds a GPU crash (builder style).
+    pub fn crash_gpu(mut self, node: usize, gpu: usize, at_secs: f64) -> Self {
+        self.gpu_crashes.push(GpuCrash { node, gpu, at_secs });
+        self
+    }
+
+    /// Adds a CPU straggler window.
+    pub fn slow_cpu(mut self, node: usize, from_secs: f64, until_secs: f64, factor: f64) -> Self {
+        self.cpu_slowdowns.push(CpuSlowdown {
+            node,
+            from_secs,
+            until_secs,
+            factor,
+        });
+        self
+    }
+
+    /// Adds a GPU straggler window.
+    pub fn slow_gpu(
+        mut self,
+        node: usize,
+        gpu: usize,
+        from_secs: f64,
+        until_secs: f64,
+        factor: f64,
+    ) -> Self {
+        self.gpu_slowdowns.push(GpuSlowdown {
+            node,
+            gpu,
+            from_secs,
+            until_secs,
+            factor,
+        });
+        self
+    }
+
+    /// Adds a control-plane stall window.
+    pub fn stall_node(
+        mut self,
+        node: usize,
+        from_secs: f64,
+        until_secs: f64,
+        ack_delay_secs: f64,
+    ) -> Self {
+        self.node_stalls.push(NodeStall {
+            node,
+            from_secs,
+            until_secs,
+            ack_delay_secs,
+        });
+        self
+    }
+
+    /// Adds a network jitter window on `src -> dst` (either side `None` =
+    /// wildcard).
+    pub fn jitter_link(
+        mut self,
+        src: Option<usize>,
+        dst: Option<usize>,
+        from_secs: f64,
+        until_secs: f64,
+        extra_latency_secs: f64,
+    ) -> Self {
+        self.link_faults.push(LinkFault {
+            src,
+            dst,
+            from_secs,
+            until_secs,
+            extra_latency_secs,
+            bandwidth_factor: 1.0,
+            partition: false,
+        });
+        self
+    }
+
+    /// Adds a network partition window on `src -> dst`.
+    pub fn partition_link(
+        mut self,
+        src: Option<usize>,
+        dst: Option<usize>,
+        from_secs: f64,
+        until_secs: f64,
+    ) -> Self {
+        self.link_faults.push(LinkFault {
+            src,
+            dst,
+            from_secs,
+            until_secs,
+            extra_latency_secs: 0.0,
+            bandwidth_factor: 1.0,
+            partition: true,
+        });
+        self
+    }
+
+    /// Derives `count` jitter windows from the plan's seed: each picks a
+    /// source rank, a start within `[0, span_secs)`, a duration up to
+    /// `span_secs / 4`, and an extra latency up to `max_extra_secs`. The
+    /// same seed always derives the same windows.
+    pub fn with_random_jitter(
+        mut self,
+        ranks: usize,
+        count: usize,
+        span_secs: f64,
+        max_extra_secs: f64,
+    ) -> Self {
+        assert!(ranks > 0);
+        let mut state = self.seed ^ 0xa076_1d64_78bd_642f;
+        let unit = |s: &mut u64| (splitmix64(s) >> 11) as f64 / (1u64 << 53) as f64;
+        for _ in 0..count {
+            let src = (splitmix64(&mut state) % ranks as u64) as usize;
+            let from = unit(&mut state) * span_secs;
+            let len = unit(&mut state) * span_secs / 4.0;
+            let extra = unit(&mut state) * max_extra_secs;
+            self = self.jitter_link(Some(src), None, from, from + len, extra);
+        }
+        self
+    }
+
+    // ---- Conversions consumed by the runtime when arming the layers. ----
+
+    /// The earliest armed crash time for `(node, gpu)`, if any.
+    pub fn gpu_crash_at(&self, node: usize, gpu: usize) -> Option<SimTime> {
+        self.gpu_crashes
+            .iter()
+            .filter(|c| c.node == node && c.gpu == gpu)
+            .map(|c| c.at_secs)
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.min(t)))
+            })
+            .map(SimTime::from_secs_f64)
+    }
+
+    /// CPU slowdown windows for `node`, in device form.
+    pub fn cpu_windows(&self, node: usize) -> Vec<SlowdownWindow> {
+        self.cpu_slowdowns
+            .iter()
+            .filter(|s| s.node == node)
+            .map(|s| {
+                SlowdownWindow::new(
+                    SimTime::from_secs_f64(s.from_secs),
+                    SimTime::from_secs_f64(s.until_secs),
+                    s.factor,
+                )
+            })
+            .collect()
+    }
+
+    /// GPU slowdown windows for `(node, gpu)`, in device form.
+    pub fn gpu_windows(&self, node: usize, gpu: usize) -> Vec<SlowdownWindow> {
+        self.gpu_slowdowns
+            .iter()
+            .filter(|s| s.node == node && s.gpu == gpu)
+            .map(|s| {
+                SlowdownWindow::new(
+                    SimTime::from_secs_f64(s.from_secs),
+                    SimTime::from_secs_f64(s.until_secs),
+                    s.factor,
+                )
+            })
+            .collect()
+    }
+
+    /// Stall windows for `node` (used by its sub-task scheduler).
+    pub fn stalls_for(&self, node: usize) -> Vec<NodeStall> {
+        self.node_stalls
+            .iter()
+            .filter(|s| s.node == node)
+            .copied()
+            .collect()
+    }
+
+    /// All link faults, in fabric form.
+    pub fn link_disruptions(&self) -> Vec<LinkDisruption> {
+        self.link_faults
+            .iter()
+            .map(|f| LinkDisruption {
+                src: f.src,
+                dst: f.dst,
+                from: SimTime::from_secs_f64(f.from_secs),
+                until: SimTime::from_secs_f64(f.until_secs),
+                extra_latency: SimTime::from_secs_f64(f.extra_latency_secs),
+                bandwidth_factor: f.bandwidth_factor,
+                partition: f.partition,
+            })
+            .collect()
+    }
+
+    /// Largest node rank referenced anywhere in the plan, for validation.
+    pub fn max_node_ref(&self) -> Option<usize> {
+        let mut max: Option<usize> = None;
+        let mut push = |n: usize| max = Some(max.map_or(n, |m| m.max(n)));
+        for c in &self.gpu_crashes {
+            push(c.node);
+        }
+        for s in &self.cpu_slowdowns {
+            push(s.node);
+        }
+        for s in &self.gpu_slowdowns {
+            push(s.node);
+        }
+        for s in &self.node_stalls {
+            push(s.node);
+        }
+        for f in &self.link_faults {
+            if let Some(s) = f.src {
+                push(s);
+            }
+            if let Some(d) = f.dst {
+                push(d);
+            }
+        }
+        max
+    }
+
+    /// Checks internal consistency (finite, ordered windows; positive
+    /// factors). Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for c in &self.gpu_crashes {
+            if !c.at_secs.is_finite() || c.at_secs < 0.0 {
+                return Err(format!("gpu crash time {} must be finite and >= 0", c.at_secs));
+            }
+        }
+        let window = |from: f64, until: f64, what: &str| -> Result<(), String> {
+            if !from.is_finite() || !until.is_finite() || from < 0.0 || until <= from {
+                return Err(format!("{what} window [{from}, {until}) is invalid"));
+            }
+            Ok(())
+        };
+        for s in &self.cpu_slowdowns {
+            window(s.from_secs, s.until_secs, "cpu slowdown")?;
+            if !s.factor.is_finite() || s.factor <= 0.0 {
+                return Err(format!("cpu slowdown factor {} must be positive", s.factor));
+            }
+        }
+        for s in &self.gpu_slowdowns {
+            window(s.from_secs, s.until_secs, "gpu slowdown")?;
+            if !s.factor.is_finite() || s.factor <= 0.0 {
+                return Err(format!("gpu slowdown factor {} must be positive", s.factor));
+            }
+        }
+        for s in &self.node_stalls {
+            window(s.from_secs, s.until_secs, "node stall")?;
+            if !s.ack_delay_secs.is_finite() || s.ack_delay_secs < 0.0 {
+                return Err(format!("stall ack delay {} must be >= 0", s.ack_delay_secs));
+            }
+        }
+        for f in &self.link_faults {
+            window(f.from_secs, f.until_secs, "link fault")?;
+            if !f.extra_latency_secs.is_finite() || f.extra_latency_secs < 0.0 {
+                return Err(format!(
+                    "link extra latency {} must be >= 0",
+                    f.extra_latency_secs
+                ));
+            }
+            if !f.bandwidth_factor.is_finite()
+                || f.bandwidth_factor <= 0.0
+                || f.bandwidth_factor > 1.0
+            {
+                return Err(format!(
+                    "link bandwidth factor {} must be in (0, 1]",
+                    f.bandwidth_factor
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_accumulate_and_validate() {
+        let plan = FaultPlan::seeded(7)
+            .crash_gpu(0, 0, 1.5)
+            .slow_cpu(1, 0.0, 2.0, 3.0)
+            .stall_node(2, 0.0, 1.0, 0.5)
+            .jitter_link(Some(0), None, 0.0, 1.0, 0.01)
+            .partition_link(None, Some(1), 2.0, 3.0);
+        assert!(!plan.is_empty());
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.max_node_ref(), Some(2));
+        assert_eq!(
+            plan.gpu_crash_at(0, 0),
+            Some(SimTime::from_secs_f64(1.5))
+        );
+        assert_eq!(plan.gpu_crash_at(0, 1), None);
+        assert_eq!(plan.cpu_windows(1).len(), 1);
+        assert_eq!(plan.cpu_windows(0).len(), 0);
+        assert_eq!(plan.link_disruptions().len(), 2);
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        assert!(FaultPlan::default()
+            .crash_gpu(0, 0, -1.0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::default()
+            .slow_cpu(0, 2.0, 1.0, 2.0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::default()
+            .slow_cpu(0, 0.0, 1.0, 0.0)
+            .validate()
+            .is_err());
+        let mut bad_bw = FaultPlan::default().jitter_link(None, None, 0.0, 1.0, 0.0);
+        bad_bw.link_faults[0].bandwidth_factor = 1.5;
+        assert!(bad_bw.validate().is_err());
+    }
+
+    #[test]
+    fn seeded_jitter_is_reproducible() {
+        let a = FaultPlan::seeded(42).with_random_jitter(4, 5, 10.0, 0.01);
+        let b = FaultPlan::seeded(42).with_random_jitter(4, 5, 10.0, 0.01);
+        let c = FaultPlan::seeded(43).with_random_jitter(4, 5, 10.0, 0.01);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.link_faults.len(), 5);
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn earliest_crash_wins() {
+        let plan = FaultPlan::default().crash_gpu(0, 0, 5.0).crash_gpu(0, 0, 2.0);
+        assert_eq!(plan.gpu_crash_at(0, 0), Some(SimTime::from_secs_f64(2.0)));
+    }
+}

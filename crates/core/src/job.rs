@@ -5,14 +5,15 @@
 use crate::api::{DeviceClass, IterativeApp, Key, SpmdApp};
 use crate::cluster::ClusterSpec;
 use crate::config::{JobConfig, SchedulingMode};
-use crate::metrics::{JobMetrics, StageTimes};
+use crate::faults::NodeStall;
+use crate::metrics::{JobMetrics, RecoveryCounters, StageTimes};
 use crate::task::{split_fixed, split_range, Task, TaskResult};
 use device::FatNode;
 use netsim::{shuffle, CollectiveSeq, Network, ShuffleItem};
 use parking_lot::Mutex;
 use roofline::model::DataResidency;
 use roofline::schedule::{partition_across_nodes, split_multi_gpu};
-use simtime::{Channel, Sim, SimCtx, SimError};
+use simtime::{Channel, RecvOutcome, Sim, SimCtx, SimError, SimTime};
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::Arc;
@@ -76,8 +77,13 @@ pub fn run_iterative<A: IterativeApp>(
 type UpdateFn<A> = Arc<dyn Fn(&[(Key, <A as SpmdApp>::Output)]) -> bool + Send + Sync>;
 
 enum CtrlMsg {
-    Partition(Range<usize>),
-    Done,
+    /// A partition assignment. `id` is unique per *attempt*: a re-sent or
+    /// reassigned partition carries a fresh id, so a late acknowledgement
+    /// of an abandoned attempt can never confirm the wrong placement.
+    Partition { id: u64, range: Range<usize> },
+    /// End of assignment: the ids this node must actually execute (its
+    /// other received assignments were reassigned elsewhere meanwhile).
+    Done { confirmed: Vec<u64> },
 }
 
 /// Per-node accumulation shared between the simulation and the caller.
@@ -151,6 +157,24 @@ fn validate<A: SpmdApp>(spec: &ClusterSpec, app: &A, config: &JobConfig) -> Resu
             ));
         }
     }
+    if let Some(t) = config.partition_timeout_secs {
+        if !t.is_finite() || t <= 0.0 {
+            return Err(JobError::InvalidConfig(format!(
+                "partition_timeout_secs {t} must be positive and finite"
+            )));
+        }
+    }
+    if let Err(msg) = spec.faults.validate() {
+        return Err(JobError::InvalidConfig(format!("fault plan: {msg}")));
+    }
+    if let Some(max) = spec.faults.max_node_ref() {
+        if max >= spec.len() {
+            return Err(JobError::InvalidConfig(format!(
+                "fault plan references node {max} but the cluster has {} nodes",
+                spec.len()
+            )));
+        }
+    }
     Ok(())
 }
 
@@ -176,10 +200,27 @@ fn run_with_update<A: SpmdApp>(
             node.attach_timeline(t);
         }
     }
+
+    // Arm the failure scenario on every layer before the clock starts:
+    // device slowdown/crash state, then fabric disruption windows.
+    let faults = spec.faults.clone();
+    for (rank, node) in nodes.iter().enumerate() {
+        node.cpu.set_slowdowns(faults.cpu_windows(rank));
+        for (g, gpu) in node.gpus.iter().enumerate() {
+            gpu.set_crash_at(faults.gpu_crash_at(rank, g));
+            gpu.set_slowdowns(faults.gpu_windows(rank, g));
+        }
+    }
     let network = Network::new("data", n, spec.network);
+    network.set_disruptions(faults.link_disruptions());
+
     let ctrl: Vec<Channel<CtrlMsg>> = (0..n)
         .map(|r| Channel::new(&format!("ctrl{r}")))
         .collect();
+    // Acknowledgement path from the sub-task schedulers back to the
+    // master: (rank, attempt id).
+    let acks: Channel<(usize, u64)> = Channel::new("acks");
+    let recovery: Arc<Mutex<RecoveryCounters>> = Arc::new(Mutex::new(RecoveryCounters::default()));
 
     let collect: Arc<Mutex<Collected<A::Output>>> = Arc::new(Mutex::new(Collected {
         outputs: Vec::new(),
@@ -190,13 +231,19 @@ fn run_with_update<A: SpmdApp>(
         gpu_map_tasks: 0,
     }));
 
-    // Master: the first-level task scheduler.
+    // Master: the first-level task scheduler. Every partition assignment
+    // must be acknowledged; with `partition_timeout_secs` set, a node that
+    // misses the deadline is retried `max_partition_retries` times, then
+    // the partition is reassigned round-robin to the next node — the
+    // paper's master augmented with straggler resilience.
     {
         let ctrl = ctrl.clone();
+        let acks = acks.clone();
         let app = app.clone();
         let profiles = spec.nodes.clone();
         let latency = spec.network.latency;
         let dispatch = spec.overheads.task_dispatch;
+        let recovery = recovery.clone();
         sim.spawn("master", move |ctx| {
             let total_items = app.num_items();
             let weights = if config.hetero_aware_partitioning {
@@ -207,17 +254,85 @@ fn run_with_update<A: SpmdApp>(
                 let extra = total_items as u64 % n;
                 (0..n).map(|i| base + u64::from(i < extra)).collect()
             };
+            let mut plan: Vec<(usize, Range<usize>)> = Vec::new();
             let mut start = 0usize;
             for (rank, &items) in weights.iter().enumerate() {
                 let node_range = start..start + items as usize;
                 start = node_range.end;
                 for part in split_range(node_range, config.partitions_per_node) {
-                    ctx.hold(dispatch);
-                    ctrl[rank].send_delayed(ctx, CtrlMsg::Partition(part), latency);
+                    plan.push((rank, part));
                 }
             }
-            for ch in &ctrl {
-                ch.send_delayed(ctx, CtrlMsg::Done, latency);
+            let n = ctrl.len();
+            let timeout = config.partition_timeout_secs.map(SimTime::from_secs_f64);
+            let mut confirmed: Vec<Vec<u64>> = vec![Vec::new(); n];
+            let mut next_id = 0u64;
+            for (home, part) in plan {
+                let mut target = home;
+                let mut attempts = 0u32;
+                let mut hops = 0usize;
+                loop {
+                    let id = next_id;
+                    next_id += 1;
+                    ctx.hold(dispatch);
+                    ctrl[target].send_delayed(
+                        ctx,
+                        CtrlMsg::Partition {
+                            id,
+                            range: part.clone(),
+                        },
+                        latency,
+                    );
+                    // After two full passes over the cluster every node has
+                    // had its retry budget twice; at that point the master
+                    // waits unconditionally — termination beats detection.
+                    let wait_forever = timeout.is_none() || hops >= 2 * n;
+                    let acked = if wait_forever {
+                        loop {
+                            match acks.recv(ctx) {
+                                Some((_, aid)) if aid == id => break true,
+                                Some(_) => continue, // stale ack of an abandoned attempt
+                                None => break false,
+                            }
+                        }
+                    } else {
+                        let deadline = ctx.now() + timeout.expect("timeout set");
+                        loop {
+                            match acks.recv_deadline(ctx, deadline) {
+                                RecvOutcome::Msg((_, aid)) if aid == id => break true,
+                                RecvOutcome::Msg(_) => continue,
+                                RecvOutcome::TimedOut | RecvOutcome::Closed => break false,
+                            }
+                        }
+                    };
+                    if acked {
+                        confirmed[target].push(id);
+                        break;
+                    }
+                    if wait_forever {
+                        break; // ack channel closed: simulation is ending
+                    }
+                    let mut r = recovery.lock();
+                    r.seconds_lost_to_faults += timeout.expect("timeout set").as_secs_f64();
+                    if attempts < config.max_partition_retries {
+                        attempts += 1;
+                        r.retries += 1;
+                    } else {
+                        attempts = 0;
+                        hops += 1;
+                        r.reassignments += 1;
+                        target = (target + 1) % n;
+                    }
+                }
+            }
+            for (rank, ch) in ctrl.iter().enumerate() {
+                ch.send_delayed(
+                    ctx,
+                    CtrlMsg::Done {
+                        confirmed: std::mem::take(&mut confirmed[rank]),
+                    },
+                    latency,
+                );
             }
         });
     }
@@ -268,7 +383,7 @@ fn run_with_update<A: SpmdApp>(
                     let ready = ready.clone();
                     sim.spawn(&format!("n{rank}-gpu{g}-s{stream}"), move |ctx| {
                         gpu_stream_worker(
-                            ctx, &node, &gpu, app.as_ref(), &q, &results, &ready, config,
+                            ctx, &node, &gpu, g, app.as_ref(), &q, &results, &ready, config,
                             staged,
                         );
                     });
@@ -279,13 +394,16 @@ fn run_with_update<A: SpmdApp>(
         // The sub-task scheduler.
         let comm = network.communicator(rank);
         let ctrl_ch = ctrl[rank].clone();
+        let acks_ch = acks.clone();
+        let stalls = faults.stalls_for(rank);
         let app = app.clone();
         let update = update.clone();
         let collect = collect.clone();
+        let recovery = recovery.clone();
         sim.spawn(&format!("n{rank}-worker"), move |ctx| {
             worker_body(
-                ctx, rank, &node, comm, ctrl_ch, cpu_q, gpu_q, results, ready, app, config,
-                update, collect,
+                ctx, rank, &node, comm, ctrl_ch, acks_ch, stalls, cpu_q, gpu_q, results, ready,
+                app, config, update, collect, recovery,
             );
         });
     }
@@ -330,6 +448,7 @@ fn run_with_update<A: SpmdApp>(
         cpu_map_tasks: collected.cpu_map_tasks,
         gpu_map_tasks: collected.gpu_map_tasks,
         timeline: timeline.map(|t| t.intervals()).unwrap_or_default(),
+        recovery: *recovery.lock(),
     };
 
     Ok(JobResult {
@@ -376,6 +495,7 @@ fn gpu_stream_worker<A: SpmdApp>(
     ctx: &SimCtx,
     node: &Arc<FatNode>,
     gpu: &Arc<device::Gpu>,
+    gpu_index: usize,
     app: &A,
     q: &Channel<Task<A::Inter>>,
     results: &Channel<TaskResult<A::Inter, A::Output>>,
@@ -393,6 +513,19 @@ fn gpu_stream_worker<A: SpmdApp>(
     };
     ready.send(ctx, ());
     while let Some(task) = q.recv(ctx) {
+        // Graceful degradation: a daemon whose device has died hands the
+        // task straight back to the sub-task scheduler and exits.
+        if gpu.is_crashed(ctx.now()) {
+            results.send(
+                ctx,
+                TaskResult::GpuDown {
+                    gpu: gpu_index,
+                    task: Some(task),
+                    lost: 0.0,
+                },
+            );
+            return;
+        }
         if config.context_per_task {
             let _per_task = gpu.create_context(ctx);
         }
@@ -402,20 +535,97 @@ fn gpu_stream_worker<A: SpmdApp>(
                     gpu.transfer_h2d(ctx, range.len() as u64 * app.item_bytes());
                 }
                 let work = app.map_work(range.len());
-                let pairs = gpu.launch(ctx, &work, || app.gpu_map(node.rank, range.clone()));
-                results.send(
-                    ctx,
-                    TaskResult::Map {
-                        device: DeviceClass::Gpu,
-                        pairs,
-                    },
-                );
+                match gpu.try_launch(ctx, &work, || app.gpu_map(node.rank, range.clone())) {
+                    Ok(pairs) => results.send(
+                        ctx,
+                        TaskResult::Map {
+                            device: DeviceClass::Gpu,
+                            pairs,
+                        },
+                    ),
+                    Err(dead) => {
+                        results.send(
+                            ctx,
+                            TaskResult::GpuDown {
+                                gpu: gpu_index,
+                                task: Some(Task::Map { range }),
+                                lost: dead.lost.as_secs_f64(),
+                            },
+                        );
+                        return;
+                    }
+                }
             }
             Task::Reduce { key, values } => {
                 let work = app.reduce_work(values.len());
-                let output = gpu.launch(ctx, &work, || app.reduce(DeviceClass::Gpu, key, values));
-                results.send(ctx, TaskResult::Reduce { key, output });
+                // Keep a copy so an interrupted reduce can be re-queued
+                // intact on a surviving device.
+                let backup = values.clone();
+                match gpu.try_launch(ctx, &work, || app.reduce(DeviceClass::Gpu, key, values)) {
+                    Ok(output) => results.send(ctx, TaskResult::Reduce { key, output }),
+                    Err(dead) => {
+                        results.send(
+                            ctx,
+                            TaskResult::GpuDown {
+                                gpu: gpu_index,
+                                task: Some(Task::Reduce {
+                                    key,
+                                    values: backup,
+                                }),
+                                lost: dead.lost.as_secs_f64(),
+                            },
+                        );
+                        return;
+                    }
+                }
             }
+        }
+    }
+}
+
+/// Sub-task-scheduler reaction to a GPU daemon death: account for it,
+/// re-queue the interrupted task onto a surviving device class, and — once
+/// the node's last GPU daemon is gone in a split-queue mode — drain the
+/// GPU backlog over to the CPU queue so no block is stranded.
+///
+/// GPU-only jobs can only bounce work to other GPU daemons; if none
+/// survive, the simulation deadlocks and `run_job` reports
+/// [`JobError::Sim`] — there is no device left that could make progress.
+#[allow(clippy::too_many_arguments)]
+fn gpu_down<A: SpmdApp>(
+    ctx: &SimCtx,
+    gpu: usize,
+    task: Option<Task<A::Inter>>,
+    lost: f64,
+    alive: &mut [usize],
+    config: &JobConfig,
+    cpu_q: &Channel<Task<A::Inter>>,
+    gpu_q: &Channel<Task<A::Inter>>,
+    recovery: &Arc<Mutex<RecoveryCounters>>,
+) {
+    {
+        let mut r = recovery.lock();
+        if alive[gpu] == config.gpu_streams {
+            r.gpu_daemon_crashes += 1;
+        }
+        r.seconds_lost_to_faults += lost;
+    }
+    alive[gpu] = alive[gpu].saturating_sub(1);
+    let gpu_only = matches!(config.scheduling, SchedulingMode::GpuOnly);
+    if let Some(t) = task {
+        recovery.lock().blocks_requeued += 1;
+        if gpu_only {
+            gpu_q.send(ctx, t);
+        } else {
+            cpu_q.send(ctx, t);
+        }
+    }
+    let shared = matches!(config.scheduling, SchedulingMode::Dynamic { .. });
+    if !shared && !gpu_only && alive.iter().all(|&s| s == 0) {
+        // recv_deadline at `now` is a non-blocking drain of the backlog.
+        while let RecvOutcome::Msg(t) = gpu_q.recv_deadline(ctx, ctx.now()) {
+            recovery.lock().blocks_requeued += 1;
+            cpu_q.send(ctx, t);
         }
     }
 }
@@ -442,6 +652,8 @@ fn worker_body<A: SpmdApp>(
     node: &Arc<FatNode>,
     comm: netsim::Communicator,
     ctrl: Channel<CtrlMsg>,
+    acks: Channel<(usize, u64)>,
+    stalls: Vec<NodeStall>,
     cpu_q: Channel<Task<A::Inter>>,
     gpu_q: Channel<Task<A::Inter>>,
     results: Channel<TaskResult<A::Inter, A::Output>>,
@@ -450,16 +662,43 @@ fn worker_body<A: SpmdApp>(
     config: JobConfig,
     update: UpdateFn<A>,
     collect: Arc<Mutex<Collected<A::Output>>>,
+    recovery: Arc<Mutex<RecoveryCounters>>,
 ) {
     let seq = CollectiveSeq::new();
     let coll = comm.collectives(&seq);
     let dispatch = node.overheads.task_dispatch;
+    let latency = comm.params().latency;
 
-    // ---- Setup: receive partitions from the master. ----
-    let mut partitions: Vec<Range<usize>> = Vec::new();
-    while let Some(CtrlMsg::Partition(r)) = ctrl.recv(ctx) {
-        partitions.push(r);
-    }
+    // ---- Setup: receive partition assignments from the master,
+    // acknowledge each one (an active stall window delays the ack — how a
+    // straggling node looks from the master), and keep only the
+    // assignments the master finally confirms: anything else was
+    // reassigned to another node after we missed the deadline.
+    let mut assigned: BTreeMap<u64, Range<usize>> = BTreeMap::new();
+    let partitions: Vec<Range<usize>> = loop {
+        match ctrl.recv(ctx) {
+            Some(CtrlMsg::Partition { id, range }) => {
+                let now = ctx.now().as_secs_f64();
+                let delay: f64 = stalls
+                    .iter()
+                    .filter(|s| now >= s.from_secs && now < s.until_secs)
+                    .map(|s| s.ack_delay_secs)
+                    .sum();
+                if delay > 0.0 {
+                    ctx.hold(SimTime::from_secs_f64(delay));
+                }
+                acks.send_delayed(ctx, (rank, id), latency);
+                assigned.insert(id, range);
+            }
+            Some(CtrlMsg::Done { confirmed }) => {
+                break confirmed
+                    .iter()
+                    .filter_map(|id| assigned.remove(id))
+                    .collect();
+            }
+            None => break Vec::new(),
+        }
+    };
     let my_items: usize = partitions.iter().map(|r| r.len()).sum();
     let my_bytes = my_items as u64 * app.item_bytes();
 
@@ -476,6 +715,13 @@ fn worker_body<A: SpmdApp>(
 
     let uses_gpu = !matches!(config.scheduling, SchedulingMode::CpuOnly);
     let resident = workload.residency == DataResidency::Resident;
+    // Surviving GPU stream daemons per engaged GPU; decremented as
+    // `TaskResult::GpuDown` reports come in.
+    let mut alive: Vec<usize> = if uses_gpu {
+        vec![config.gpu_streams; config.gpus_per_node]
+    } else {
+        Vec::new()
+    };
 
     // Resident data: stage the node's whole share once, outside the timed
     // iterations (the paper's amortized one-off overhead).
@@ -523,6 +769,29 @@ fn worker_body<A: SpmdApp>(
             ctx.join_all(&handles);
         }
 
+        // Surviving-device census: a crashed GPU is excluded from the
+        // static split, so the remaining devices absorb its share — the
+        // per-node scheduler's graceful degradation.
+        let gpu_usable = (0..alive.len())
+            .filter(|&g| alive[g] > 0 && !node.gpus[g].is_crashed(ctx.now()))
+            .count();
+        let p_eff = match config.scheduling {
+            SchedulingMode::Static { p_override } => {
+                if gpu_usable == 0 {
+                    1.0
+                } else if gpu_usable == config.gpus_per_node {
+                    p
+                } else {
+                    // Equation (8) re-evaluated over the surviving device
+                    // profile (a fixed override is honored as given).
+                    p_override.unwrap_or_else(|| {
+                        split_multi_gpu(&node.profile, &workload, gpu_usable).cpu_fraction
+                    })
+                }
+            }
+            _ => p,
+        };
+
         // MAP: second-level scheduling of blocks onto device daemons.
         let mut n_tasks = 0u64;
         match config.scheduling {
@@ -539,7 +808,7 @@ fn worker_body<A: SpmdApp>(
                 let cpu_blocks =
                     (node.cpu.spec.cores as usize) * (config.blocks_per_core as usize);
                 for part in &partitions {
-                    let cpu_items = (p * part.len() as f64).round() as usize;
+                    let cpu_items = (p_eff * part.len() as f64).round() as usize;
                     let cpu_range = part.start..part.start + cpu_items;
                     let gpu_range = part.start + cpu_items..part.end;
                     if !cpu_range.is_empty() {
@@ -562,9 +831,11 @@ fn worker_body<A: SpmdApp>(
 
         let mut cpu_pairs: Vec<(Key, A::Inter)> = Vec::new();
         let mut gpu_pairs: Vec<(Key, A::Inter)> = Vec::new();
-        for _ in 0..n_tasks {
+        let mut done = 0u64;
+        while done < n_tasks {
             match results.recv(ctx).expect("results channel open") {
                 TaskResult::Map { device, pairs } => {
+                    done += 1;
                     let mut c = collect.lock();
                     match device {
                         DeviceClass::Cpu => {
@@ -578,6 +849,11 @@ fn worker_body<A: SpmdApp>(
                             gpu_pairs.extend(pairs);
                         }
                     }
+                }
+                TaskResult::GpuDown { gpu, task, lost } => {
+                    gpu_down::<A>(
+                        ctx, gpu, task, lost, &mut alive, &config, &cpu_q, &gpu_q, &recovery,
+                    );
                 }
                 TaskResult::Reduce { .. } => unreachable!("no reduce tasks dispatched yet"),
             }
@@ -628,14 +904,16 @@ fn worker_body<A: SpmdApp>(
             buckets.entry(k).or_default().push(v);
         }
         // Single-device modes must route reduces to the only live daemon
-        // class; otherwise honor the configured reduce device. (In dynamic
+        // class; otherwise honor the configured reduce device, falling
+        // back to the CPU when every GPU on the node is dead. (In dynamic
         // mode the queues are one shared channel anyway.)
         let reduce_q = match (config.scheduling, config.reduce_device) {
             (SchedulingMode::Dynamic { .. }, _) => &cpu_q,
             (SchedulingMode::GpuOnly, _) => &gpu_q,
             (SchedulingMode::CpuOnly, _) => &cpu_q,
             (_, DeviceClass::Cpu) => &cpu_q,
-            (_, DeviceClass::Gpu) => &gpu_q,
+            (_, DeviceClass::Gpu) if gpu_usable > 0 => &gpu_q,
+            (_, DeviceClass::Gpu) => &cpu_q,
         };
         let n_reduces = buckets.len() as u64;
         for (key, mut values) in buckets {
@@ -650,9 +928,14 @@ fn worker_body<A: SpmdApp>(
             reduce_q.send(ctx, Task::Reduce { key, values });
         }
         let mut outputs: Vec<(Key, A::Output)> = Vec::with_capacity(n_reduces as usize);
-        for _ in 0..n_reduces {
+        while (outputs.len() as u64) < n_reduces {
             match results.recv(ctx).expect("results channel open") {
                 TaskResult::Reduce { key, output } => outputs.push((key, output)),
+                TaskResult::GpuDown { gpu, task, lost } => {
+                    gpu_down::<A>(
+                        ctx, gpu, task, lost, &mut alive, &config, &cpu_q, &gpu_q, &recovery,
+                    );
+                }
                 TaskResult::Map { .. } => unreachable!("map stage already drained"),
             }
         }
@@ -680,7 +963,7 @@ fn worker_body<A: SpmdApp>(
                 update: (t_update - t_reduce).as_secs_f64(),
             });
             if !matches!(config.scheduling, SchedulingMode::Dynamic { .. }) {
-                c.p_used[rank] = Some(p);
+                c.p_used[rank] = Some(p_eff);
             }
         }
 

@@ -11,6 +11,8 @@
 //! - [`job`] — orchestration: master task scheduler, per-node sub-task
 //!   schedulers, CPU/GPU device daemons, shuffle, reduce, iterations.
 //! - [`metrics`] — per-stage timing and device counters.
+//! - [`faults`] — deterministic fault injection (GPU crashes, stragglers,
+//!   network disruptions) and the scheduler's recovery machinery.
 //!
 //! ```
 //! use prs_core::{run_job, ClusterSpec, DeviceClass, JobConfig, Key, SpmdApp};
@@ -54,6 +56,7 @@
 pub mod api;
 pub mod cluster;
 pub mod config;
+pub mod faults;
 pub mod job;
 pub mod metrics;
 mod task;
@@ -61,8 +64,9 @@ mod task;
 pub use api::{DeviceClass, IterativeApp, Key, SpmdApp};
 pub use cluster::ClusterSpec;
 pub use config::{JobConfig, SchedulingMode};
+pub use faults::{CpuSlowdown, FaultPlan, GpuCrash, GpuSlowdown, LinkFault, NodeStall};
 pub use job::{run_iterative, run_job, JobError, JobResult};
-pub use metrics::{JobMetrics, StageTimes};
+pub use metrics::{JobMetrics, RecoveryCounters, StageTimes};
 
 #[cfg(test)]
 mod tests {

@@ -36,6 +36,37 @@ impl StageTimes {
     }
 }
 
+/// Fault-recovery accounting: what the two-level scheduler did to keep a
+/// job running through the injected failures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryCounters {
+    /// Partition assignments re-sent to the same node after an
+    /// acknowledgement timeout.
+    pub retries: u64,
+    /// Partition assignments moved to a different node after the retry
+    /// budget ran out.
+    pub reassignments: u64,
+    /// Map/reduce blocks re-queued from a crashed GPU onto surviving
+    /// devices.
+    pub blocks_requeued: u64,
+    /// GPU daemons observed dead (at most one per engaged GPU).
+    pub gpu_daemon_crashes: u64,
+    /// Virtual wall-clock charged to faults: timeout waits at the master
+    /// plus kernel time lost in crashed launches.
+    pub seconds_lost_to_faults: f64,
+}
+
+impl RecoveryCounters {
+    /// True when the run needed no recovery at all.
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0
+            && self.reassignments == 0
+            && self.blocks_requeued == 0
+            && self.gpu_daemon_crashes == 0
+            && self.seconds_lost_to_faults == 0.0
+    }
+}
+
 /// Everything measured about one job run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct JobMetrics {
@@ -66,6 +97,9 @@ pub struct JobMetrics {
     /// Device busy intervals, when [`crate::JobConfig::record_timeline`]
     /// was set (render with [`device::timeline::render_ascii`]).
     pub timeline: Vec<Interval>,
+    /// Fault-recovery actions taken during the run (all zero on a healthy
+    /// cluster).
+    pub recovery: RecoveryCounters,
 }
 
 impl JobMetrics {
@@ -154,5 +188,15 @@ mod tests {
         assert_eq!(m.gflops_per_node(), 0.0);
         assert_eq!(m.seconds_per_iteration(), 0.0);
         assert_eq!(m.total_flops(), 0.0);
+        assert!(m.recovery.is_clean());
+    }
+
+    #[test]
+    fn recovery_counters_detect_activity() {
+        let r = RecoveryCounters {
+            blocks_requeued: 3,
+            ..Default::default()
+        };
+        assert!(!r.is_clean());
     }
 }

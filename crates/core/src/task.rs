@@ -36,6 +36,17 @@ pub(crate) enum TaskResult<I, O> {
         /// The reduced value.
         output: O,
     },
+    /// A GPU stream daemon died: its device crashed. Reports the
+    /// in-flight task (if one was interrupted) back to the sub-task
+    /// scheduler for re-queueing on a surviving device.
+    GpuDown {
+        /// Index of the crashed GPU within the node.
+        gpu: usize,
+        /// The task the daemon could not complete.
+        task: Option<Task<I>>,
+        /// Virtual seconds of kernel work lost to the crash.
+        lost: f64,
+    },
 }
 
 /// Cuts `range` into `parts` contiguous blocks of near-equal size

@@ -3,6 +3,7 @@
 //! model runs "one mapper or reducer on each CPU core").
 
 use crate::cost::{cpu_core_time, WorkProfile};
+use crate::faults::SlowdownWindow;
 use crate::timeline::Timeline;
 use parking_lot::Mutex;
 use roofline::profiles::CpuSpec;
@@ -29,6 +30,7 @@ pub struct CpuPool {
     stats: Mutex<CpuStats>,
     name: Arc<str>,
     timeline: Mutex<Option<Timeline>>,
+    slowdowns: Mutex<Vec<SlowdownWindow>>,
 }
 
 impl CpuPool {
@@ -40,7 +42,14 @@ impl CpuPool {
             stats: Mutex::new(CpuStats::default()),
             name: name.into(),
             timeline: Mutex::new(None),
+            slowdowns: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Installs straggler windows; tasks starting inside a window take
+    /// `factor` times longer.
+    pub fn set_slowdowns(&self, windows: Vec<SlowdownWindow>) {
+        *self.slowdowns.lock() = windows;
     }
 
     /// Snapshot of the counters.
@@ -66,10 +75,16 @@ impl CpuPool {
     /// Runs one task on one core: blocks for a core, executes the real
     /// `body`, charges the roofline core time for `work`.
     pub fn run_task<R>(&self, ctx: &SimCtx, work: &WorkProfile, body: impl FnOnce() -> R) -> R {
-        let t = cpu_core_time(&self.spec, work);
         self.cores.acquire(ctx, 1);
         let result = body();
         let t0 = ctx.now();
+        let factor = SlowdownWindow::factor_at(&self.slowdowns.lock(), t0);
+        let base = cpu_core_time(&self.spec, work);
+        let t = if factor == 1.0 {
+            base
+        } else {
+            SimTime::from_secs_f64(base.as_secs_f64() * factor)
+        };
         ctx.hold(t);
         if let Some(tl) = self.timeline.lock().as_ref() {
             tl.record(&self.name, "cpu-task", t0, ctx.now());
@@ -163,6 +178,26 @@ mod tests {
             let w = WorkProfile::from_intensity(1e6, 1.0);
             let v = p2.run_task(ctx, &w, || 41 + 1);
             assert_eq!(v, 42);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn slowdown_window_stretches_tasks_started_inside_it() {
+        let p = pool();
+        p.set_slowdowns(vec![SlowdownWindow::new(
+            SimTime::ZERO,
+            SimTime::from_secs_f64(0.5),
+            4.0,
+        )]);
+        let mut sim = Sim::new();
+        let p2 = p.clone();
+        sim.spawn("t", move |ctx| {
+            let w = WorkProfile::from_intensity(130e9 / 12.0, 1e9); // 1 s nominal
+            p2.run_task_timed(ctx, &w); // starts at 0 inside the window: 4 s
+            assert_eq!(ctx.now(), SimTime::from_secs(4));
+            p2.run_task_timed(ctx, &w); // starts at 4, window over: 1 s
+            assert_eq!(ctx.now(), SimTime::from_secs(5));
         });
         sim.run().unwrap();
     }

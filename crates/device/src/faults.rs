@@ -1,0 +1,67 @@
+//! Device-level fault primitives: timed slowdown windows and GPU crash
+//! arming, installed by the runtime before a simulation starts.
+//!
+//! A [`SlowdownWindow`] stretches the virtual duration of work started
+//! inside the window by a constant factor — the straggler model: the
+//! hardware still produces correct results, just late. The factor is
+//! sampled at the instant an operation begins executing (after any queueing
+//! for the engine), so a run with a fixed plan is fully deterministic.
+
+use simtime::SimTime;
+
+/// A window of degraded execution speed on one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowdownWindow {
+    /// Window start, inclusive.
+    pub from: SimTime,
+    /// Window end, exclusive.
+    pub until: SimTime,
+    /// Duration multiplier for work starting inside the window (`> 1`
+    /// slows the device down; overlapping windows compound).
+    pub factor: f64,
+}
+
+impl SlowdownWindow {
+    /// Builds a window stretching durations by `factor` during
+    /// `[from, until)`.
+    pub fn new(from: SimTime, until: SimTime, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "slowdown factor must be positive");
+        SlowdownWindow { from, until, factor }
+    }
+
+    /// Combined duration multiplier of all windows active at `now`.
+    pub fn factor_at(windows: &[SlowdownWindow], now: SimTime) -> f64 {
+        windows
+            .iter()
+            .filter(|w| now >= w.from && now < w.until)
+            .map(|w| w.factor)
+            .product()
+    }
+}
+
+/// Error returned by [`crate::Gpu::try_launch`] when the device has
+/// crashed: its daemon must stop issuing work and report the in-flight
+/// task back to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuCrashed {
+    /// Virtual time the interrupted kernel had already consumed when the
+    /// device died (zero when the crash preceded the launch).
+    pub lost: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_compounds_only_active_windows() {
+        let w = vec![
+            SlowdownWindow::new(SimTime::from_secs(1), SimTime::from_secs(5), 2.0),
+            SlowdownWindow::new(SimTime::from_secs(3), SimTime::from_secs(4), 3.0),
+        ];
+        assert_eq!(SlowdownWindow::factor_at(&w, SimTime::ZERO), 1.0);
+        assert_eq!(SlowdownWindow::factor_at(&w, SimTime::from_secs(2)), 2.0);
+        assert_eq!(SlowdownWindow::factor_at(&w, SimTime::from_secs(3)), 6.0);
+        assert_eq!(SlowdownWindow::factor_at(&w, SimTime::from_secs(5)), 1.0);
+    }
+}

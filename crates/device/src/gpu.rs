@@ -7,13 +7,14 @@
 //! kernels from different streams overlap exactly as on real hardware.
 
 use crate::cost::{gpu_kernel_time, pcie_transfer_time, OverheadModel, WorkProfile};
+use crate::faults::{GpuCrashed, SlowdownWindow};
 use crate::memory::MemorySpace;
 use crate::timeline::Timeline;
 use parking_lot::Mutex;
 use roofline::profiles::GpuSpec;
 use serde::{Deserialize, Serialize};
 use simtime::{Resource, SimCtx, SimTime};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Counters exported for benches and Gflops accounting.
@@ -54,6 +55,11 @@ pub struct Gpu {
     context_epoch: AtomicU64,
     name: Arc<str>,
     timeline: Mutex<Option<Timeline>>,
+    /// Armed crash time; the device dies the first time a kernel would run
+    /// past this instant (or is launched after it).
+    crash_at: Mutex<Option<SimTime>>,
+    crashed: AtomicBool,
+    slowdowns: Mutex<Vec<SlowdownWindow>>,
 }
 
 impl Gpu {
@@ -75,7 +81,37 @@ impl Gpu {
             spec,
             stats: Mutex::new(GpuStats::default()),
             context_epoch: AtomicU64::new(0),
+            crash_at: Mutex::new(None),
+            crashed: AtomicBool::new(false),
+            slowdowns: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Arms a crash: the device dies when a kernel is launched at or would
+    /// run past `at`. `None` disarms.
+    pub fn set_crash_at(&self, at: Option<SimTime>) {
+        *self.crash_at.lock() = at;
+    }
+
+    /// Installs straggler windows; kernels starting inside a window take
+    /// `factor` times longer.
+    pub fn set_slowdowns(&self, windows: Vec<SlowdownWindow>) {
+        *self.slowdowns.lock() = windows;
+    }
+
+    /// Whether the device is dead at virtual time `now` (either already
+    /// observed crashing, or armed to crash at or before `now`).
+    pub fn is_crashed(&self, now: SimTime) -> bool {
+        if self.crashed.load(Ordering::Relaxed) {
+            return true;
+        }
+        match *self.crash_at.lock() {
+            Some(at) if now >= at => {
+                self.crashed.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Snapshot of the device counters.
@@ -143,12 +179,52 @@ impl Gpu {
 
     /// Launches a kernel described by `work`, blocking until completion.
     /// `body` executes the kernel's real host-side computation while the
-    /// compute engine is held.
+    /// compute engine is held. Panics if the device has crashed — fault
+    /// aware callers use [`Gpu::try_launch`].
     pub fn launch<R>(&self, ctx: &SimCtx, work: &WorkProfile, body: impl FnOnce() -> R) -> R {
-        let t = self.overheads.kernel_launch + gpu_kernel_time(&self.spec, work);
+        self.try_launch(ctx, work, body)
+            .unwrap_or_else(|_| panic!("kernel launched on crashed GPU '{}'", self.name))
+    }
+
+    /// Fault-aware kernel launch: fails with [`GpuCrashed`] when the device
+    /// is already dead or dies mid-kernel (the armed crash time falls
+    /// inside the kernel's execution window). On a mid-kernel crash the
+    /// caller is charged the virtual time up to the crash — work lost, not
+    /// results — and `body` is never considered to have produced output.
+    pub fn try_launch<R>(
+        &self,
+        ctx: &SimCtx,
+        work: &WorkProfile,
+        body: impl FnOnce() -> R,
+    ) -> Result<R, GpuCrashed> {
+        if self.is_crashed(ctx.now()) {
+            return Err(GpuCrashed { lost: SimTime::ZERO });
+        }
         self.compute.acquire(ctx, 1);
-        let result = body();
         let t0 = ctx.now();
+        if self.is_crashed(t0) {
+            self.compute.release(ctx, 1);
+            return Err(GpuCrashed { lost: SimTime::ZERO });
+        }
+        let factor = SlowdownWindow::factor_at(&self.slowdowns.lock(), t0);
+        let base = self.overheads.kernel_launch + gpu_kernel_time(&self.spec, work);
+        let t = if factor == 1.0 {
+            base
+        } else {
+            SimTime::from_secs_f64(base.as_secs_f64() * factor)
+        };
+        if let Some(at) = *self.crash_at.lock() {
+            if t0 + t > at {
+                // Dies mid-kernel: burn the time up to the crash, then fail.
+                let lost = if at > t0 { at - t0 } else { SimTime::ZERO };
+                ctx.hold(lost);
+                self.record("compute", "crashed-kernel", t0, ctx.now());
+                self.compute.release(ctx, 1);
+                self.crashed.store(true, Ordering::Relaxed);
+                return Err(GpuCrashed { lost });
+            }
+        }
+        let result = body();
         ctx.hold(t);
         self.record("compute", "kernel", t0, ctx.now());
         self.compute.release(ctx, 1);
@@ -156,7 +232,7 @@ impl Gpu {
         s.kernels += 1;
         s.flops += work.flops;
         s.compute_busy += t.as_secs_f64();
-        result
+        Ok(result)
     }
 
     /// Timing-only launch (no host-side body).
@@ -346,6 +422,60 @@ mod tests {
         assert_eq!(s.bytes_h2d, 1000);
         assert_eq!(s.bytes_d2h, 500);
         assert!(s.copy_busy > 0.0);
+    }
+
+    #[test]
+    fn armed_crash_kills_mid_kernel_and_charges_lost_time() {
+        let gpu = delta_gpu(OverheadModel::zero());
+        gpu.set_crash_at(Some(SimTime::from_secs_f64(0.5)));
+        let mut sim = Sim::new();
+        let g = gpu.clone();
+        sim.spawn("k", move |ctx| {
+            let w = WorkProfile::from_intensity(1030e9, 1e9); // 1 s kernel
+            let err = g.try_launch(ctx, &w, || ()).unwrap_err();
+            assert!((err.lost.as_secs_f64() - 0.5).abs() < 1e-9);
+            assert_eq!(ctx.now(), SimTime::from_secs_f64(0.5));
+            assert!(g.is_crashed(ctx.now()));
+            // Further launches fail immediately with no time lost.
+            let err2 = g.try_launch(ctx, &w, || ()).unwrap_err();
+            assert_eq!(err2.lost, SimTime::ZERO);
+            assert_eq!(ctx.now(), SimTime::from_secs_f64(0.5));
+        });
+        sim.run().unwrap();
+        // The interrupted kernel is not counted as completed.
+        assert_eq!(gpu.stats().kernels, 0);
+    }
+
+    #[test]
+    fn kernel_finishing_before_crash_time_succeeds() {
+        let gpu = delta_gpu(OverheadModel::zero());
+        gpu.set_crash_at(Some(SimTime::from_secs(10)));
+        let mut sim = Sim::new();
+        let g = gpu.clone();
+        sim.spawn("k", move |ctx| {
+            let w = WorkProfile::from_intensity(103e9, 1e9); // 0.1 s
+            assert_eq!(g.try_launch(ctx, &w, || 7).unwrap(), 7);
+        });
+        sim.run().unwrap();
+        assert_eq!(gpu.stats().kernels, 1);
+    }
+
+    #[test]
+    fn slowdown_window_stretches_kernel_time() {
+        let gpu = delta_gpu(OverheadModel::zero());
+        gpu.set_slowdowns(vec![SlowdownWindow::new(
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            3.0,
+        )]);
+        let mut sim = Sim::new();
+        let g = gpu.clone();
+        sim.spawn("k", move |ctx| {
+            let w = WorkProfile::from_intensity(1030e9, 1e9); // 1 s nominal
+            g.launch_timed(ctx, &w);
+        });
+        let report = sim.run().unwrap();
+        assert!((report.end_time.as_secs_f64() - 3.0).abs() < 1e-9);
     }
 
     #[test]

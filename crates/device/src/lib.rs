@@ -15,6 +15,8 @@
 //!   allocator (§III.C.2).
 //! - [`node`] — a [`node::FatNode`] assembling CPU + GPUs from a
 //!   [`roofline::DeviceProfile`].
+//! - [`faults`] — slowdown windows and GPU crash arming for
+//!   fault-injection experiments.
 //!
 //! Real computation executes on host threads inside `launch`/`run_task`
 //! bodies; only its *duration* is simulated, so experiment outputs are
@@ -24,6 +26,7 @@
 
 pub mod cost;
 pub mod cpu;
+pub mod faults;
 pub mod gpu;
 pub mod memory;
 pub mod node;
@@ -31,6 +34,7 @@ pub mod timeline;
 
 pub use cost::{OverheadModel, WorkProfile};
 pub use cpu::CpuPool;
+pub use faults::{GpuCrashed, SlowdownWindow};
 pub use gpu::{Gpu, GpuContext, Stream};
 pub use memory::{MemorySpace, OutOfMemory, Region};
 pub use node::FatNode;

@@ -2,9 +2,10 @@
 //! per-sender egress serialization, and MPI-style tagged, typed
 //! send/receive.
 
+use crate::faults::LinkDisruption;
 use crate::params::NetworkParams;
 use parking_lot::Mutex;
-use simtime::{Channel, Resource, SimCtx};
+use simtime::{Channel, Resource, SimCtx, SimTime};
 use std::any::Any;
 use std::sync::Arc;
 
@@ -22,6 +23,8 @@ pub struct Network {
     params: NetworkParams,
     inboxes: Vec<Channel<Message>>,
     egress: Vec<Resource>,
+    /// Installed fault windows (normally empty; see [`crate::faults`]).
+    disruptions: Mutex<Vec<LinkDisruption>>,
 }
 
 impl Network {
@@ -36,7 +39,54 @@ impl Network {
             egress: (0..n)
                 .map(|r| Resource::new(&format!("{name}-egress{r}"), 1))
                 .collect(),
+            disruptions: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Installs fault windows on the fabric. Call before the simulation
+    /// starts; windows are matched against each send's initiation time.
+    pub fn set_disruptions(&self, windows: Vec<LinkDisruption>) {
+        *self.disruptions.lock() = windows;
+    }
+
+    /// Effective (wire time, delivery delay, partition release time) for a
+    /// send of `bytes` from `src` to `dst` initiated at `now`, after
+    /// applying every matching disruption window. Overlapping windows
+    /// compound: bandwidth factors multiply and extra latencies add.
+    fn disruption_effects(
+        &self,
+        src: usize,
+        dst: usize,
+        now: SimTime,
+        bytes: u64,
+    ) -> (SimTime, SimTime, Option<SimTime>) {
+        let base_wire = self.params.wire_time(bytes);
+        let g = self.disruptions.lock();
+        if g.is_empty() {
+            return (base_wire, self.params.latency, None);
+        }
+        let mut bw = 1.0_f64;
+        let mut extra = SimTime::ZERO;
+        let mut release: Option<SimTime> = None;
+        for d in g.iter() {
+            if !d.applies(src, dst, now) {
+                continue;
+            }
+            bw *= d.bandwidth_factor.clamp(1e-9, 1.0);
+            extra += d.extra_latency;
+            if d.partition {
+                release = Some(match release {
+                    Some(u) if u >= d.until => u,
+                    _ => d.until,
+                });
+            }
+        }
+        let wire = if bw >= 1.0 {
+            base_wire
+        } else {
+            SimTime::from_secs_f64(base_wire.as_secs_f64() / bw)
+        };
+        (wire, self.params.latency + extra, release)
     }
 
     /// Number of ranks.
@@ -105,11 +155,22 @@ impl Communicator {
             self.net.inboxes[dst].send(ctx, msg);
             return;
         }
+        let (wire, mut delay, release) =
+            self.net.disruption_effects(self.rank, dst, ctx.now(), bytes);
         let egress = &self.net.egress[self.rank];
         egress.acquire(ctx, 1);
-        ctx.hold(self.net.params.wire_time(bytes));
+        ctx.hold(wire);
         egress.release(ctx, 1);
-        self.net.inboxes[dst].send_delayed(ctx, msg, self.net.params.latency);
+        if let Some(until) = release {
+            // Partitioned: the message sits in flight until the window
+            // closes, then still pays the link latency.
+            let floor = until + self.net.params.latency;
+            let now = ctx.now();
+            if now + delay < floor {
+                delay = floor - now;
+            }
+        }
+        self.net.inboxes[dst].send_delayed(ctx, msg, delay);
     }
 
     /// Blocks until a message from `src` with `tag` arrives; returns its
@@ -300,6 +361,85 @@ mod tests {
             ctx.hold(SimTime::from_secs(1));
             assert!(c1.probe(0, 9));
             let _: u8 = c1.recv(ctx, 0, 9);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn jitter_window_adds_latency_only_inside_window() {
+        let mut sim = Sim::new();
+        let net = Network::new("n", 2, params());
+        net.set_disruptions(vec![LinkDisruption::jitter(
+            Some(0),
+            Some(1),
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+            SimTime::from_secs(4),
+        )]);
+        let c0 = net.communicator(0);
+        let c1 = net.communicator(1);
+        sim.spawn("r0", move |ctx| {
+            c0.send(ctx, 1, 0, 100, ()); // before the window: normal
+            ctx.hold(SimTime::from_secs(11)); // now t = 12, inside window
+            c0.send(ctx, 1, 1, 100, ());
+        });
+        sim.spawn("r1", move |ctx| {
+            c1.recv::<()>(ctx, 0, 0);
+            assert_eq!(ctx.now(), SimTime::from_secs(2)); // 1 wire + 1 α
+            c1.recv::<()>(ctx, 0, 1);
+            // Sent at 12, 1 s wire, 1 s α + 4 s jitter = arrives at 18.
+            assert_eq!(ctx.now(), SimTime::from_secs(18));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn bandwidth_fault_stretches_wire_time() {
+        let mut sim = Sim::new();
+        let net = Network::new("n", 2, params());
+        net.set_disruptions(vec![LinkDisruption {
+            src: Some(0),
+            dst: None,
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(100),
+            extra_latency: SimTime::ZERO,
+            bandwidth_factor: 0.25,
+            partition: false,
+        }]);
+        let c0 = net.communicator(0);
+        let c1 = net.communicator(1);
+        sim.spawn("r0", move |ctx| {
+            c0.send(ctx, 1, 0, 100, ());
+            // 100 B at an effective 25 B/s: the NIC is busy 4 s, not 1 s.
+            assert_eq!(ctx.now(), SimTime::from_secs(4));
+        });
+        sim.spawn("r1", move |ctx| {
+            c1.recv::<()>(ctx, 0, 0);
+            assert_eq!(ctx.now(), SimTime::from_secs(5));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn partition_holds_traffic_until_window_closes() {
+        let mut sim = Sim::new();
+        let net = Network::new("n", 2, params());
+        net.set_disruptions(vec![LinkDisruption::partition(
+            None,
+            Some(1),
+            SimTime::ZERO,
+            SimTime::from_secs(30),
+        )]);
+        let c0 = net.communicator(0);
+        let c1 = net.communicator(1);
+        sim.spawn("r0", move |ctx| {
+            c0.send(ctx, 1, 0, 100, 77u8);
+        });
+        sim.spawn("r1", move |ctx| {
+            let v: u8 = c1.recv(ctx, 0, 0);
+            assert_eq!(v, 77);
+            // Held until the partition heals at t = 30, plus 1 s latency.
+            assert_eq!(ctx.now(), SimTime::from_secs(31));
         });
         sim.run().unwrap();
     }

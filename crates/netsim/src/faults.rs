@@ -1,0 +1,77 @@
+//! Transient network disruptions for fault-injection experiments.
+//!
+//! A [`LinkDisruption`] describes a virtual-time window during which sends
+//! matching a (source, destination) filter see degraded service: extra
+//! latency (jitter), reduced bandwidth (congestion), or a full partition
+//! that holds matching traffic until the window closes. Windows are
+//! installed on the [`crate::Network`] before the simulation starts and
+//! evaluated deterministically at send-initiation time, so runs with the
+//! same fault plan reproduce bit-for-bit.
+
+use simtime::SimTime;
+
+/// A window of degraded connectivity on the fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkDisruption {
+    /// Source rank filter (`None` matches any sender).
+    pub src: Option<usize>,
+    /// Destination rank filter (`None` matches any receiver).
+    pub dst: Option<usize>,
+    /// Window start, inclusive.
+    pub from: SimTime,
+    /// Window end, exclusive.
+    pub until: SimTime,
+    /// Additional one-way latency applied to matching sends.
+    pub extra_latency: SimTime,
+    /// Multiplier on effective link bandwidth in `(0, 1]`; wire time of a
+    /// matching send is divided by this factor.
+    pub bandwidth_factor: f64,
+    /// Full partition: matching messages are held in flight and delivered
+    /// no earlier than `until` + the link latency.
+    pub partition: bool,
+}
+
+impl LinkDisruption {
+    /// A jitter window adding `extra_latency` to every send from `src` to
+    /// `dst` during `[from, until)`.
+    pub fn jitter(
+        src: Option<usize>,
+        dst: Option<usize>,
+        from: SimTime,
+        until: SimTime,
+        extra_latency: SimTime,
+    ) -> Self {
+        LinkDisruption {
+            src,
+            dst,
+            from,
+            until,
+            extra_latency,
+            bandwidth_factor: 1.0,
+            partition: false,
+        }
+    }
+
+    /// A partition window: traffic matching the filter is held until the
+    /// window closes.
+    pub fn partition(src: Option<usize>, dst: Option<usize>, from: SimTime, until: SimTime) -> Self {
+        LinkDisruption {
+            src,
+            dst,
+            from,
+            until,
+            extra_latency: SimTime::ZERO,
+            bandwidth_factor: 1.0,
+            partition: true,
+        }
+    }
+
+    /// Whether this window applies to a send from `src` to `dst` initiated
+    /// at virtual time `now`.
+    pub fn applies(&self, src: usize, dst: usize, now: SimTime) -> bool {
+        self.src.is_none_or(|s| s == src)
+            && self.dst.is_none_or(|d| d == dst)
+            && now >= self.from
+            && now < self.until
+    }
+}

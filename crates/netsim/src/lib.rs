@@ -8,6 +8,8 @@
 //! - [`collectives`] — binomial-tree broadcast/reduce, barrier, allreduce,
 //!   ring allgather, all with deterministic (tree-fixed) float combining.
 //! - [`mod@shuffle`] — the MapReduce all-to-all bucket exchange.
+//! - [`faults`] — transient link-disruption windows (jitter, congestion,
+//!   partition) for fault-injection experiments.
 //!
 //! Nodes are simulation processes in one address space; payloads move by
 //! pointer, while *timing* follows declared wire sizes — exactly what a
@@ -17,11 +19,13 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod faults;
 pub mod params;
 pub mod shuffle;
 
 pub use collectives::{CollectiveSeq, Collectives};
 pub use comm::{Communicator, Network};
+pub use faults::LinkDisruption;
 pub use params::NetworkParams;
 pub use shuffle::{bucket_owner, shuffle, ShuffleItem};
 

@@ -12,8 +12,34 @@ use std::sync::Arc;
 
 struct ChanInner<T> {
     queue: VecDeque<T>,
-    waiters: VecDeque<Pid>,
+    /// Blocked receivers as `(pid, ticket)`. The ticket uniquely names one
+    /// registration, so a timeout action scheduled for an old registration
+    /// can detect it has already been satisfied and stay silent instead of
+    /// issuing a stale wake.
+    waiters: VecDeque<(Pid, u64)>,
+    next_ticket: u64,
     closed: bool,
+}
+
+/// Result of a [`Channel::recv_deadline`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvOutcome<T> {
+    /// A message arrived before the deadline.
+    Msg(T),
+    /// The channel was closed and drained before the deadline.
+    Closed,
+    /// Virtual time reached the deadline with no message.
+    TimedOut,
+}
+
+impl<T> RecvOutcome<T> {
+    /// Converts to `Option`, mapping both `Closed` and `TimedOut` to `None`.
+    pub fn msg(self) -> Option<T> {
+        match self {
+            RecvOutcome::Msg(m) => Some(m),
+            _ => None,
+        }
+    }
 }
 
 /// An unbounded MPMC channel living inside a simulation.
@@ -43,6 +69,7 @@ impl<T: Send + 'static> Channel<T> {
             inner: Arc::new(Mutex::new(ChanInner {
                 queue: VecDeque::new(),
                 waiters: VecDeque::new(),
+                next_ticket: 0,
                 closed: false,
             })),
         }
@@ -71,7 +98,7 @@ impl<T: Send + 'static> Channel<T> {
             g.queue.push_back(msg);
             g.waiters.pop_front()
         };
-        if let Some(pid) = wake {
+        if let Some((pid, _)) = wake {
             ctx.with_kernel(|ks| {
                 let now = ks.now;
                 ks.schedule_wake(now, pid);
@@ -93,7 +120,7 @@ impl<T: Send + 'static> Channel<T> {
                     g.queue.push_back(msg);
                     g.waiters.pop_front()
                 };
-                if let Some(pid) = wake {
+                if let Some((pid, _)) = wake {
                     let now = ks2.now;
                     ks2.schedule_wake(now, pid);
                 }
@@ -113,9 +140,65 @@ impl<T: Send + 'static> Channel<T> {
                 if g.closed {
                     return None;
                 }
-                g.waiters.push_back(ctx.pid());
+                let ticket = g.next_ticket;
+                g.next_ticket += 1;
+                g.waiters.push_back((ctx.pid(), ticket));
             }
             ctx.set_block_reason(format!("recv on '{}'", self.name));
+            ctx.yield_to_engine();
+        }
+    }
+
+    /// Blocks until a message, close, or the absolute virtual-time
+    /// `deadline`, whichever comes first.
+    ///
+    /// The timeout is implemented as a kernel action keyed by a per-wait
+    /// ticket: if the receiver was already woken by a delivery (or close)
+    /// the ticket is gone and the action is a no-op, so no stale wake can
+    /// reach a process that has moved on.
+    pub fn recv_deadline(&self, ctx: &SimCtx, deadline: SimTime) -> RecvOutcome<T> {
+        loop {
+            let now = ctx.now();
+            {
+                let mut g = self.inner.lock();
+                if let Some(m) = g.queue.pop_front() {
+                    return RecvOutcome::Msg(m);
+                }
+                if g.closed {
+                    return RecvOutcome::Closed;
+                }
+                if now >= deadline {
+                    return RecvOutcome::TimedOut;
+                }
+                let ticket = g.next_ticket;
+                g.next_ticket += 1;
+                let pid = ctx.pid();
+                g.waiters.push_back((pid, ticket));
+                drop(g);
+                let inner = self.inner.clone();
+                ctx.with_kernel(|ks| {
+                    ks.schedule_action(deadline, move |ks2| {
+                        let expired = {
+                            let mut g = inner.lock();
+                            match g.waiters.iter().position(|&w| w == (pid, ticket)) {
+                                Some(i) => {
+                                    g.waiters.remove(i);
+                                    true
+                                }
+                                None => false,
+                            }
+                        };
+                        if expired {
+                            let now = ks2.now;
+                            ks2.schedule_wake(now, pid);
+                        }
+                    });
+                });
+            }
+            ctx.set_block_reason(format!(
+                "recv on '{}' (deadline {deadline})",
+                self.name
+            ));
             ctx.yield_to_engine();
         }
     }
@@ -128,7 +211,7 @@ impl<T: Send + 'static> Channel<T> {
     /// Closes the channel: future `recv` calls drain the buffer then return
     /// `None`; blocked receivers are woken.
     pub fn close(&self, ctx: &SimCtx) {
-        let waiters: Vec<Pid> = {
+        let waiters: Vec<(Pid, u64)> = {
             let mut g = self.inner.lock();
             g.closed = true;
             g.waiters.drain(..).collect()
@@ -136,7 +219,7 @@ impl<T: Send + 'static> Channel<T> {
         if !waiters.is_empty() {
             ctx.with_kernel(|ks| {
                 let now = ks.now;
-                for pid in waiters {
+                for (pid, _) in waiters {
                     ks.schedule_wake(now, pid);
                 }
             });
@@ -235,6 +318,81 @@ mod tests {
             assert_eq!(rx.recv(ctx), Some(1));
             assert_eq!(rx.recv(ctx), Some(2));
             assert_eq!(rx.recv(ctx), None);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_deadline_times_out_at_deadline() {
+        let mut sim = Sim::new();
+        let ch: Channel<u8> = Channel::new("c");
+        let rx = ch.clone();
+        sim.spawn("receiver", move |ctx| {
+            let out = rx.recv_deadline(ctx, SimTime::from_secs(5));
+            assert_eq!(out, RecvOutcome::TimedOut);
+            assert_eq!(ctx.now(), SimTime::from_secs(5));
+        });
+        // Keep the channel referenced so it stays open.
+        let _keep = ch.clone();
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_deadline_delivers_early_message() {
+        let mut sim = Sim::new();
+        let ch: Channel<u8> = Channel::new("c");
+        let tx = ch.clone();
+        sim.spawn("sender", move |ctx| {
+            ctx.hold(SimTime::from_secs(2));
+            tx.send(ctx, 9);
+        });
+        let rx = ch.clone();
+        sim.spawn("receiver", move |ctx| {
+            let out = rx.recv_deadline(ctx, SimTime::from_secs(5));
+            assert_eq!(out, RecvOutcome::Msg(9));
+            assert_eq!(ctx.now(), SimTime::from_secs(2));
+            // The expired timeout action for the satisfied wait must not
+            // wake or disturb this process later on.
+            ctx.hold(SimTime::from_secs(10));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_deadline_sees_close() {
+        let mut sim = Sim::new();
+        let ch: Channel<u8> = Channel::new("c");
+        let cl = ch.clone();
+        sim.spawn("closer", move |ctx| {
+            ctx.hold(SimTime::from_secs(1));
+            cl.close(ctx);
+        });
+        let rx = ch.clone();
+        sim.spawn("receiver", move |ctx| {
+            let out = rx.recv_deadline(ctx, SimTime::from_secs(5));
+            assert_eq!(out, RecvOutcome::Closed);
+            assert_eq!(ctx.now(), SimTime::from_secs(1));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_deadline_retry_then_blocking_recv() {
+        // A receiver that times out, retries with a later deadline, and
+        // finally gets the message — the pattern the job master uses.
+        let mut sim = Sim::new();
+        let ch: Channel<u8> = Channel::new("c");
+        let tx = ch.clone();
+        sim.spawn("sender", move |ctx| {
+            ctx.hold(SimTime::from_secs(7));
+            tx.send(ctx, 3);
+        });
+        let rx = ch.clone();
+        sim.spawn("receiver", move |ctx| {
+            assert_eq!(rx.recv_deadline(ctx, SimTime::from_secs(2)), RecvOutcome::TimedOut);
+            assert_eq!(rx.recv_deadline(ctx, SimTime::from_secs(4)), RecvOutcome::TimedOut);
+            assert_eq!(rx.recv_deadline(ctx, SimTime::from_secs(9)), RecvOutcome::Msg(3));
+            assert_eq!(ctx.now(), SimTime::from_secs(7));
         });
         sim.run().unwrap();
     }

@@ -46,7 +46,7 @@ mod kernel;
 mod resource;
 mod time;
 
-pub use channel::Channel;
+pub use channel::{Channel, RecvOutcome};
 pub use engine::{ProcHandle, Sim, SimCtx, SimError, SimReport};
 pub use kernel::TraceEvent;
 pub use resource::Resource;

@@ -1,0 +1,112 @@
+//! Hermetic shim of `rayon`.
+//!
+//! The workspace uses rayon only to parallelize *host-side* reference
+//! kernels; correctness does not depend on actual parallelism, so the
+//! shim maps every `par_*` entry point onto the equivalent sequential
+//! iterator. This keeps the simulator deterministic and dependency-free.
+
+pub mod prelude {
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for `rayon::slice::ParallelSliceMut` plus the
+    /// `par_iter_mut` entry point on slices.
+    pub trait ParallelSliceMut<T> {
+        fn as_mut_slice_for_par(&mut self) -> &mut [T];
+
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.as_mut_slice_for_par().iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.as_mut_slice_for_par().chunks_mut(chunk_size)
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn as_mut_slice_for_par(&mut self) -> &mut [T] {
+            self
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for Vec<T> {
+        fn as_mut_slice_for_par(&mut self) -> &mut [T] {
+            self.as_mut_slice()
+        }
+    }
+
+    /// Sequential stand-in for `rayon::slice::ParallelSlice`.
+    pub trait ParallelSlice<T> {
+        fn as_slice_for_par(&self) -> &[T];
+
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.as_slice_for_par().iter()
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.as_slice_for_par().chunks(chunk_size)
+        }
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn as_slice_for_par(&self) -> &[T] {
+            self
+        }
+    }
+
+    impl<T> ParallelSlice<T> for Vec<T> {
+        fn as_slice_for_par(&self) -> &[T] {
+            self.as_slice()
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_mut_behaves_like_iter_mut() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x *= 2);
+        assert_eq!(v, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice() {
+        let mut v = vec![0u32; 7];
+        for (i, chunk) in v.par_chunks_mut(3).enumerate() {
+            for x in chunk {
+                *x = i as u32;
+            }
+        }
+        assert_eq!(v, vec![0, 0, 0, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn into_par_iter_sums() {
+        let s: u64 = (0u64..10).into_par_iter().sum();
+        assert_eq!(s, 45);
+    }
+}

@@ -1,0 +1,228 @@
+//! Hermetic `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! in-tree serde shim. Implemented by scanning the raw token stream (no
+//! syn/quote available offline).
+//!
+//! Coverage, keyed to what this workspace derives:
+//! - named-field structs → field-wise `Value::Object` impl
+//! - tuple structs → `Value::Array` impl
+//! - unit structs and enums → `Value::String(format!("{:?}", self))`
+//!   fallback (every derived type here also derives `Debug`)
+//! - `Deserialize` → no-op (nothing in the workspace deserializes into
+//!   typed structs; JSON reads go through `serde_json::Value`)
+//!
+//! Generic types are not supported; none of the workspace's derived types
+//! are generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match parsed {
+        Some(Parsed::NamedStruct { name, fields }) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.insert({f:?}.to_string(), serde::Serialize::to_json(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> serde::Value {{\n\
+                         let mut map = ::std::collections::BTreeMap::new();\n\
+                         {inserts}\
+                         serde::Value::Object(map)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Some(Parsed::TupleStruct { name, arity }) => {
+            let items: Vec<String> = (0..arity)
+                .map(|i| format!("serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            // A 1-tuple newtype serializes as its inner value (serde's
+            // newtype-struct behaviour); wider tuples as arrays.
+            let body = if arity == 1 {
+                items.into_iter().next().unwrap()
+            } else {
+                format!("serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Some(Parsed::DebugFallback { name }) => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_json(&self) -> serde::Value {{\n\
+                     serde::Value::String(format!(\"{{:?}}\", self))\n\
+                 }}\n\
+             }}"
+        ),
+        None => String::new(),
+    };
+    code.parse().expect("serde_derive shim produced invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Parsed {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    DebugFallback { name: String },
+}
+
+fn parse_input(input: TokenStream) -> Option<Parsed> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (#[...]) and visibility.
+    loop {
+        match tokens.get(i)? {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i)? {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return None,
+    };
+    i += 1;
+    let name = match tokens.get(i)? {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return None,
+    };
+    i += 1;
+
+    // Generic parameters are unsupported → no impl (caller gets a clear
+    // "trait not implemented" error at the use site).
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return None;
+        }
+    }
+
+    if kind == "enum" {
+        return Some(Parsed::DebugFallback { name });
+    }
+    if kind != "struct" {
+        return None;
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Some(Parsed::NamedStruct {
+                fields: named_fields(g.stream()),
+                name,
+            })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Some(Parsed::TupleStruct {
+                arity: tuple_arity(g.stream()),
+                name,
+            })
+        }
+        // Unit struct (`struct Foo;`).
+        _ => Some(Parsed::DebugFallback { name }),
+    }
+}
+
+/// Extracts field names from the token stream inside a brace-delimited
+/// struct body: skip attributes and visibility, take the ident before
+/// `:`, then skip the type up to the next top-level `,`.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        // Skip visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect ':', then skip the type until a top-level ','. Angle
+        // brackets are tracked so `Option<Vec<T>>` doesn't split early;
+        // `->` inside fn-pointer types cannot appear at depth 0 followed
+        // by ',' so plain char counting suffices for this workspace.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts fields in a tuple-struct body (top-level commas + 1, ignoring a
+/// trailing comma).
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut arity = 1;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    arity += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}

@@ -183,6 +183,7 @@ fn hetero_weighted_partitioning_wins() {
         ],
         network: netsim::NetworkParams::infiniband_qdr(),
         overheads: Default::default(),
+        faults: Default::default(),
     };
     let mk = || synthetic(2_000_000, 500.0, DataResidency::Resident);
     let equal = run_iterative(

@@ -4,7 +4,9 @@
 //! internally consistent.
 
 use prs_bench::SyntheticApp;
-use prs_core::{run_iterative, run_job, ClusterSpec, DeviceClass, JobConfig, Key, SpmdApp};
+use prs_core::{
+    run_iterative, run_job, ClusterSpec, DeviceClass, FaultPlan, JobConfig, Key, SpmdApp,
+};
 use proptest::prelude::*;
 use roofline::model::DataResidency;
 use roofline::schedule::Workload;
@@ -75,8 +77,71 @@ fn arb_config() -> impl Strategy<Value = JobConfig> {
     })
 }
 
+/// Arbitrary (bounded) failure scenarios over a `nodes`-rank cluster:
+/// GPU crashes, device slowdown windows, control-plane stalls, and
+/// network jitter. CPU daemons never die in the model, so every plan
+/// leaves at least one CPU daemon alive on every node.
+fn arb_fault_plan(nodes: usize) -> impl Strategy<Value = FaultPlan> {
+    (
+        proptest::collection::vec((0..nodes, 0.0..2.0f64), 0..3),
+        proptest::collection::vec((0..nodes, 0.0..0.5f64, 0.01..1.0f64, 1.0..4.0f64), 0..3),
+        proptest::collection::vec((0..nodes, 0.0..0.01f64, 0.001..0.05f64, 0.0..0.03f64), 0..2),
+        proptest::collection::vec((0..nodes, 0.0..0.5f64, 0.001..0.5f64, 0.0..0.002f64), 0..3),
+    )
+        .prop_map(|(crashes, slowdowns, stalls, jitters)| {
+            let mut plan = FaultPlan::seeded(7);
+            for (node, at) in crashes {
+                plan = plan.crash_gpu(node, 0, at);
+            }
+            for (node, from, len, factor) in slowdowns {
+                plan = plan.slow_cpu(node, from, from + len, factor);
+            }
+            for (node, from, len, delay) in stalls {
+                plan = plan.stall_node(node, from, from + len, delay);
+            }
+            for (node, from, len, extra) in jitters {
+                plan = plan.jitter_link(Some(node), None, from, from + len, extra);
+            }
+            plan
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The resilience contract: any fault plan that leaves the CPU
+    /// daemons alive yields `Ok` with outputs key-for-key equal to the
+    /// fault-free run — faults may cost time, never answers.
+    #[test]
+    fn any_fault_plan_preserves_outputs(
+        n in 1usize..3000,
+        k in 1u64..24,
+        nodes in 1usize..4,
+        ai in 0.5..1000.0f64,
+        timeout in prop_oneof![Just(None), (0.01..0.5f64).prop_map(Some)],
+        plan_seed in arb_fault_plan(3),
+    ) {
+        // Clamp plan node references to the drawn cluster size.
+        let mut plan = plan_seed;
+        for c in &mut plan.gpu_crashes { c.node %= nodes; }
+        for s in &mut plan.cpu_slowdowns { s.node %= nodes; }
+        for s in &mut plan.node_stalls { s.node %= nodes; }
+        for f in &mut plan.link_faults {
+            f.src = f.src.map(|s| s % nodes);
+        }
+        let mut config = JobConfig::static_analytic();
+        if let Some(t) = timeout {
+            config = config.with_partition_timeout(t, 1);
+        }
+        let app = || Arc::new(HistApp { n, k, residency: DataResidency::Staged, ai });
+        let clean = run_job(&ClusterSpec::delta(nodes), app(), config).unwrap();
+        let spec = ClusterSpec::delta(nodes).with_faults(plan);
+        let faulty = run_job(&spec, app(), config).unwrap();
+        prop_assert_eq!(&faulty.outputs, &clean.outputs);
+        prop_assert_eq!(&faulty.outputs, &serial_histogram(n, k));
+        prop_assert!(faulty.metrics.total_seconds.is_finite());
+        prop_assert!(faulty.metrics.total_seconds + 1e-9 >= clean.metrics.total_seconds - 1e-9);
+    }
 
     #[test]
     fn any_config_produces_the_serial_histogram(

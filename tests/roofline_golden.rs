@@ -1,0 +1,308 @@
+//! Golden unit tests for the paper's analytic core: Equations (1)–(11)
+//! pinned against hand-computed values at the paper's own hardware
+//! points (Delta's X5660+C2070 node, BigRed2's K20 node — Tables 2/4)
+//! and workload points (GEMV, C-means, GMM — Table 5).
+//!
+//! Every expected literal below is derived by hand in the comment next
+//! to it, so a regression in any equation's implementation fails against
+//! arithmetic done outside the code under test.
+
+use roofline::granularity::{
+    min_block_size, overlap_percentage, stream_decision, ConstantIntensity, GemmIntensity,
+    IntensityCurve,
+};
+use roofline::intensity::{cmeans, figure4_spectrum, gemv, gmm};
+use roofline::model::{series_bandwidth, DataResidency, Roofline};
+use roofline::profiles::DeviceProfile;
+use roofline::schedule::{
+    device_time, makespan, partition_across_nodes, split, split_as_printed, split_multi_gpu,
+    split_with_network, Regime, Workload,
+};
+
+fn assert_close(got: f64, want: f64, tol: f64, what: &str) {
+    assert!(
+        (got - want).abs() <= tol,
+        "{what}: got {got}, want {want} ± {tol}"
+    );
+}
+
+/// Effective staged bandwidth: `1/B = 1/B_dram + 1/B_pcie` (the series
+/// path behind Equation (7)).
+///
+/// Delta: 32 · 0.92 / (32 + 0.92) = 29.44/32.92 = 0.8942892 GB/s.
+#[test]
+fn series_bandwidth_delta_staged_path() {
+    assert_close(
+        series_bandwidth(32e9, 0.92e9),
+        0.8942892e9,
+        1e3,
+        "Delta DRAM+PCI-E series bandwidth",
+    );
+    // BigRed2: 52 · 0.92 / 52.92 = 47.84/52.92 = 0.9040060 GB/s.
+    assert_close(
+        series_bandwidth(52e9, 0.92e9),
+        0.9040060e9,
+        1e3,
+        "BigRed2 DRAM+PCI-E series bandwidth",
+    );
+}
+
+/// Equations (4)/(5): attainable flops `min(A·B, P)` and the ridge point
+/// `P/B`, on the Delta CPU roofline (Equation (6)).
+#[test]
+fn eq4_5_6_delta_cpu_roofline() {
+    let cpu = DeviceProfile::delta_node().cpu_roofline();
+    // Ridge: 130/32 = 4.0625 flops/byte, exactly.
+    assert_eq!(cpu.ridge_point(), 4.0625);
+    // Below the ridge, bandwidth-bound: F(2) = 2 · 32e9 = 64e9.
+    assert_eq!(cpu.attainable_flops(2.0), 64e9);
+    // At and above the ridge, peak-bound: F = Pc = 130e9.
+    assert_eq!(cpu.attainable_flops(4.0625), 130e9);
+    assert_eq!(cpu.attainable_flops(1000.0), 130e9);
+    // time_for_flops: 1e12 flops at AI=2 run at 64 Gflop/s → 15.625 s.
+    assert_eq!(cpu.time_for_flops(1e12, 2.0), 15.625);
+}
+
+/// Equation (7): the GPU roofline's bandwidth term switches with data
+/// residency, moving the ridge point by over two orders of magnitude.
+#[test]
+fn eq7_delta_gpu_ridge_by_residency() {
+    let d = DeviceProfile::delta_node();
+    // Resident: 1030/144 = 7.1527778 flops/byte.
+    assert_close(
+        d.gpu_ridge(DataResidency::Resident),
+        7.1527778,
+        1e-6,
+        "Delta resident ridge",
+    );
+    // Staged: 1030/0.8942892 = 1151.753 flops/byte.
+    assert_close(
+        d.gpu_ridge(DataResidency::Staged),
+        1151.753,
+        0.01,
+        "Delta staged ridge",
+    );
+    // BigRed2 K20: resident 3520/208 = 16.923077; staged 3520/0.9040060
+    // = 3893.78.
+    let b = DeviceProfile::bigred2_node();
+    assert_close(
+        b.gpu_ridge(DataResidency::Resident),
+        16.923077,
+        1e-5,
+        "BigRed2 resident ridge",
+    );
+    assert_close(b.gpu_ridge(DataResidency::Staged), 3893.78, 0.5, "BigRed2 staged ridge");
+}
+
+/// Equations (2)/(3): device time is `bytes · AI / F`.
+#[test]
+fn eq2_3_device_time() {
+    // 1 GB at AI=2 on a 64 Gflop/s device: 2e9/64e9 = 0.03125 s.
+    assert_eq!(device_time(1e9, 2.0, 64e9), 0.03125);
+    // 1 GB at AI=500 at C2070 peak: 500e9/1030e9 = 0.4854369 s.
+    assert_close(device_time(1e9, 500.0, 1030e9), 0.4854369, 1e-6, "Eq 2/3");
+}
+
+/// Equation (1): the node makespan is the max of the two device times,
+/// and Equation (8)'s `p` balances them.
+#[test]
+fn eq1_makespan_and_eq8_balance() {
+    let d = DeviceProfile::delta_node();
+    let w = Workload::uniform(2.0, DataResidency::Staged);
+
+    // Naive p = 0.5 on 1 GB of GEMV: the GPU side dominates.
+    //   T_c = 0.5e9·2/64e9            = 0.015625 s
+    //   T_g = 0.5e9·2/(2·0.8942892e9) = 0.5591034 s
+    assert_close(makespan(&d, &w, 1e9, 0.5), 0.5591034, 1e-4, "Eq 1 at p=0.5");
+
+    // At the analytic split both devices finish together:
+    //   p* = 32/(32 + 0.8942892) = 0.9728126
+    //   T  = 0.9728126·2e9/64e9  = 0.0304004 s
+    let p = split(&d, &w).cpu_fraction;
+    assert_close(p, 0.9728126, 5e-4, "Eq 8 GEMV split");
+    assert_close(makespan(&d, &w, 1e9, p), 0.0304004, 1e-4, "Eq 1 at p*");
+    // p* is the minimizer: nudging either way can only slow the node.
+    assert!(makespan(&d, &w, 1e9, p) <= makespan(&d, &w, 1e9, p - 0.05));
+    assert!(makespan(&d, &w, 1e9, p) <= makespan(&d, &w, 1e9, p + 0.02));
+}
+
+/// Equation (8) at the paper's Table 5 points, each regime hand-checked.
+#[test]
+fn eq8_table5_golden_splits() {
+    let d = DeviceProfile::delta_node();
+
+    // GEMV (A=2, staged): both bandwidth-bound.
+    //   p = 32 / (32 + 0.8942892) = 0.9728126   (paper: 97.3 %)
+    let s = split(&d, &Workload::uniform(gemv().ai, DataResidency::Staged));
+    assert_eq!(s.regime, Regime::BothBandwidthBound);
+    assert_close(s.cpu_fraction, 0.9728126, 5e-4, "GEMV split");
+    assert_eq!(s.cpu_flops, 64e9);
+
+    // C-means (A=5M=500, resident): both peak-bound.
+    //   p = 130/(130+1030) = 0.1120690          (paper: 11.2 %)
+    let s = split(&d, &Workload::uniform(cmeans(100).ai, DataResidency::Resident));
+    assert_eq!(s.regime, Regime::BothPeakBound);
+    assert_close(s.cpu_fraction, 0.1120690, 1e-6, "C-means split");
+
+    // GMM (A=11MD=6600, resident) lands at the same peak-bound ratio.
+    let s = split(&d, &Workload::uniform(gmm(10, 60).ai, DataResidency::Resident));
+    assert_close(s.cpu_fraction, 0.1120690, 1e-6, "GMM split");
+
+    // Mixed regime (A=5, staged): CPU is past its ridge (4.0625), the
+    // staged GPU is far below its own (1151.8).
+    //   r_c = 130/5 = 26 GB/s, r_g = 0.8942892 GB/s
+    //   p = 26/26.8942892 = 0.966748
+    let s = split(&d, &Workload::uniform(5.0, DataResidency::Staged));
+    assert_eq!(s.regime, Regime::CpuPeakGpuBandwidth);
+    assert_close(s.cpu_fraction, 0.966748, 5e-4, "mixed-regime split");
+    assert_eq!(s.cpu_flops, 130e9);
+    assert_close(s.gpu_flops, 4.4714459e9, 1e4, "mixed-regime gpu flops");
+
+    // BigRed2 sanity at both ends:
+    //   GEMV staged:  p = 52/(52+0.9040060)   = 0.9829123
+    //   high-AI res.: p = 333/(333+3520)      = 0.0864261
+    let b = DeviceProfile::bigred2_node();
+    let s = split(&b, &Workload::uniform(2.0, DataResidency::Staged));
+    assert_close(s.cpu_fraction, 0.9829123, 5e-4, "BigRed2 GEMV split");
+    let s = split(&b, &Workload::uniform(500.0, DataResidency::Resident));
+    assert_close(s.cpu_fraction, 0.0864261, 1e-6, "BigRed2 high-AI split");
+}
+
+/// Equation (8) generalized to both C2070s in a Delta node: the GPU byte
+/// rates add, so `p = Pc/(Pc + 2·Pg) = 130/2190 = 0.0593607`.
+#[test]
+fn eq8_multi_gpu_split() {
+    let d = DeviceProfile::delta_node();
+    let s = split_multi_gpu(&d, &Workload::uniform(500.0, DataResidency::Resident), 2);
+    assert_close(s.cpu_fraction, 0.0593607, 1e-6, "two-GPU split");
+    assert_eq!(s.gpu_flops, 2.0 * 1030e9);
+}
+
+/// The typo audit: Equation (8) *as printed* (multiplying by the inverse
+/// bandwidth sum instead of dividing) gives p ≈ 1 for GEMV — dimensional
+/// nonsense that contradicts the paper's own Table 5 — while the
+/// corrected form reproduces the published 97.3 %.
+#[test]
+fn eq8_printed_form_fails_table5_where_corrected_form_matches() {
+    let d = DeviceProfile::delta_node();
+    let w = Workload::uniform(2.0, DataResidency::Staged);
+    let printed = split_as_printed(&d, &w);
+    let corrected = split(&d, &w).cpu_fraction;
+    // A_g·(1/B_pcie + 1/B_dram) ≈ 2.24e-9 dwarfed by A_c·B_dram = 64e9.
+    assert!(printed > 0.9999, "printed form collapses to 1: {printed}");
+    assert!((printed - 0.973).abs() > 0.02, "printed form misses Table 5");
+    assert_close(corrected, 0.973, 0.005, "corrected form hits Table 5");
+    // Regime 3 is printed consistently: both forms agree there.
+    let hi = Workload::uniform(500.0, DataResidency::Resident);
+    assert_close(
+        split_as_printed(&d, &hi),
+        split(&d, &hi).cpu_fraction,
+        1e-12,
+        "regime-3 agreement",
+    );
+}
+
+/// Equation (9): overlap percentage on Delta.
+///   per-byte T_xfer = 1/32e9 + 1/0.92e9 = 1.1182065 ns
+///   GEMV  (A=2):    T_comp = 2/1030e9    = 0.0019417 ns → op = 0.998267
+///   GMM (A=6600):   T_comp = 6600/1030e9 = 6.4077670 ns → op = 0.148579
+#[test]
+fn eq9_overlap_percentage_golden() {
+    let d = DeviceProfile::delta_node();
+    assert_close(overlap_percentage(&d, 1e8, 2.0), 0.998267, 1e-4, "GEMV op");
+    assert_close(overlap_percentage(&d, 1e8, 6600.0), 0.148579, 1e-4, "GMM op");
+    // Eq (9) cancels the block size for constant-intensity apps.
+    assert_close(
+        overlap_percentage(&d, 1e5, 2.0),
+        overlap_percentage(&d, 1e10, 2.0),
+        1e-12,
+        "Bs cancels",
+    );
+}
+
+/// Equation (10): the BLAS3 intensity curve `A(Bs) = sqrt(Bs/12)/6` and
+/// its closed-form inverse.
+#[test]
+fn eq10_gemm_intensity_curve() {
+    // n = 60 tiles: 12·60² = 43200 bytes → A = 60/6 = 10.
+    assert_close(GemmIntensity.ai(43_200.0), 10.0, 1e-9, "Eq 10 forward");
+    assert_close(GemmIntensity::bytes_for_ai(10.0), 43_200.0, 1e-6, "Eq 10 inverse");
+}
+
+/// Equation (11): minimal block size reaching the resident GPU ridge.
+///   Delta:   MinBs = 12·(6·1030/144)²  = 12·42.916667² = 22102.08 B
+///   BigRed2: MinBs = 12·(6·3520/208)²  = 12·101.53846² = 123720.7 B
+#[test]
+fn eq11_min_block_size_golden() {
+    let d = DeviceProfile::delta_node();
+    let got = min_block_size(&d, &GemmIntensity, 1e15).expect("BLAS3 reaches the ridge");
+    assert_close(got, 22_102.08, 0.5, "Delta MinBs");
+    let b = DeviceProfile::bigred2_node();
+    let got = min_block_size(&b, &GemmIntensity, 1e15).expect("BLAS3 reaches the ridge");
+    assert_close(got, 123_720.7, 5.0, "BigRed2 MinBs");
+    // GEMV's constant A=2 sits below the 7.15 ridge: no block size helps.
+    assert!(min_block_size(&d, &ConstantIntensity(2.0), 1e15).is_none());
+}
+
+/// §III.B.3b stream conditions compose Equations (9) and (11): a big
+/// BLAS3 block overlaps *and* saturates; GEMV never qualifies.
+#[test]
+fn stream_conditions_golden() {
+    let d = DeviceProfile::delta_node();
+    let big = GemmIntensity::bytes_for_ai(20.0); // past the 7.15 ridge
+    assert!(stream_decision(&d, &GemmIntensity, big, 0.1).use_streams);
+    let s = stream_decision(&d, &ConstantIntensity(2.0), 1e9, 0.1);
+    assert!(!s.use_streams && s.min_block_bytes.is_none());
+}
+
+/// §V(a) extension: folding a network term into Equation (8).
+#[test]
+fn eq8_with_network_golden() {
+    let d = DeviceProfile::delta_node();
+    // High-AI resident work stays peak-bound on both devices, so the
+    // split is exactly the no-network 130/1160 — network-invariant.
+    let s = split_with_network(&d, &Workload::uniform(500.0, DataResidency::Resident), 5e9);
+    assert_close(s.cpu_fraction, 0.1120690, 1e-6, "network-invariant split");
+    // GEMV over a 5 GB/s network:
+    //   r_c = series(32, 5)        = 160/37    = 4.3243243 GB/s
+    //   r_g = series(0.8942892, 5) = 0.7586064 GB/s
+    //   p   = 4.3243243/5.0829307  = 0.8507117
+    let s = split_with_network(&d, &Workload::uniform(2.0, DataResidency::Staged), 5e9);
+    assert_close(s.cpu_fraction, 0.8507117, 1e-3, "GEMV split over network");
+}
+
+/// §V(c) extension: heterogeneous nodes get byte shares proportional to
+/// their aggregate rates. Delta vs BigRed2 at A=500 resident:
+///   r_delta = (130+1030)/500 = 2.320 GB/s → 1000·2.32/10.026  = 231.4
+///   r_br2   = (333+3520)/500 = 7.706 GB/s → 1000·7.706/10.026 = 768.6
+/// Floors give 231+768; the 1-byte remainder goes to the faster node.
+#[test]
+fn hetero_partition_golden() {
+    let shares = partition_across_nodes(
+        &[DeviceProfile::delta_node(), DeviceProfile::bigred2_node()],
+        &Workload::uniform(500.0, DataResidency::Resident),
+        1000,
+    );
+    assert_eq!(shares, vec![231, 769]);
+    assert_eq!(shares.iter().sum::<u64>(), 1000);
+}
+
+/// Figure 4 / Table 5 intensity catalogue anchors.
+#[test]
+fn intensity_catalogue_golden() {
+    assert_eq!(gemv().ai, 2.0);
+    assert_eq!(cmeans(100).ai, 500.0);
+    assert_eq!(gmm(10, 60).ai, 6600.0);
+    let s = figure4_spectrum();
+    assert!(s.windows(2).all(|w| w[0].ai <= w[1].ai));
+}
+
+/// The model type itself: `min(A·B, P)` with an exact crossover.
+#[test]
+fn roofline_model_exact_crossover() {
+    let r = Roofline::new(100e9, 10e9);
+    assert_eq!(r.ridge_point(), 10.0);
+    assert_eq!(r.attainable_flops(10.0), 100e9);
+    assert!(r.is_bandwidth_bound(9.999));
+    assert!(!r.is_bandwidth_bound(10.0));
+}
