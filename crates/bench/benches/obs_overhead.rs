@@ -1,0 +1,99 @@
+//! Observability overhead bench: the cost of recording every event,
+//! metric, and audit record on a real two-node run, versus the same run
+//! with the sinks disabled (a branch per call site, nothing more).
+//!
+//! Two numbers matter and both are emitted to
+//! `target/experiments/BENCH_obs.json`:
+//!
+//! - *wall-clock overhead* — how much slower the host-side simulation
+//!   gets when every sink records (allocation + one mutex per emit);
+//! - *virtual-time overhead* — must be exactly zero: recording never
+//!   calls `ctx.hold`, so `total_seconds` is bit-identical.
+
+use criterion::{criterion_group, Criterion};
+use prs_bench::{write_json, SyntheticApp};
+use prs_core::{run_iterative, run_iterative_observed, ClusterSpec, JobConfig, Obs};
+use roofline::model::DataResidency;
+use roofline::schedule::Workload;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn app() -> Arc<SyntheticApp> {
+    Arc::new(SyntheticApp {
+        n: 200_000,
+        item_bytes: 64,
+        workload: Workload::uniform(200.0, DataResidency::Staged),
+        keys: 16,
+        value_bytes: 16,
+    })
+}
+
+fn config() -> JobConfig {
+    JobConfig::static_analytic().with_iterations(3)
+}
+
+fn bench_obs(c: &mut Criterion) {
+    let spec = ClusterSpec::delta(2);
+    let mut g = c.benchmark_group("obs/two_node_3_iter");
+    g.sample_size(10);
+    g.bench_function("disabled", |b| {
+        b.iter(|| black_box(run_iterative(&spec, app(), config()).unwrap()));
+    });
+    g.bench_function("recording", |b| {
+        b.iter(|| {
+            black_box(
+                run_iterative_observed(&spec, app(), config(), Obs::recording()).unwrap(),
+            )
+        });
+    });
+    g.finish();
+}
+
+/// Mean wall-clock seconds of `f` over `n` timed runs (after one warmup).
+fn mean_secs<R>(n: u32, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..n {
+        black_box(f());
+    }
+    start.elapsed().as_secs_f64() / f64::from(n)
+}
+
+fn emit_json() {
+    let spec = ClusterSpec::delta(2);
+    let runs = 10;
+    let disabled = mean_secs(runs, || run_iterative(&spec, app(), config()).unwrap());
+    let obs = Obs::recording();
+    let recording = mean_secs(runs, || {
+        run_iterative_observed(&spec, app(), config(), obs.clone()).unwrap()
+    });
+
+    // The zero-virtual-overhead invariant, re-checked at bench scale.
+    let bare = run_iterative(&spec, app(), config()).unwrap();
+    let seen = run_iterative_observed(&spec, app(), config(), Obs::recording()).unwrap();
+    let virtual_identical =
+        bare.metrics.total_seconds.to_bits() == seen.metrics.total_seconds.to_bits();
+    assert!(virtual_identical, "recording must not advance virtual time");
+
+    let overhead = if disabled > 0.0 { recording / disabled - 1.0 } else { 0.0 };
+    write_json(
+        "BENCH_obs",
+        &serde_json::json!({
+            "bench": "obs_overhead",
+            "scenario": "delta(2), 3 iterations, 200k items, all sinks recording",
+            "timed_runs": runs,
+            "disabled_wall_secs": disabled,
+            "recording_wall_secs": recording,
+            "wall_overhead_fraction": overhead,
+            "virtual_time_bit_identical": virtual_identical,
+        }),
+    );
+}
+
+criterion_group!(benches, bench_obs);
+
+fn main() {
+    benches();
+    emit_json();
+}

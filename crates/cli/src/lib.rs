@@ -80,6 +80,9 @@ pub struct RunOptions {
     pub timeline: bool,
     /// Write a Chrome-tracing JSON file of the execution to this path.
     pub trace_out: Option<String>,
+    /// Write the full observability bundle (events.jsonl, metrics.prom,
+    /// decisions.jsonl, trace.json) into this directory.
+    pub obs_out: Option<String>,
     /// Emit machine-readable JSON instead of prose.
     pub json: bool,
 }
@@ -97,6 +100,7 @@ impl Default for RunOptions {
             seed: 42,
             timeline: false,
             trace_out: None,
+            obs_out: None,
             json: false,
         }
     }
@@ -189,7 +193,7 @@ pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
     let (kv, flags) = parse_kv(args)?;
     let known = [
         "app", "nodes", "profile", "mode", "iterations", "points", "dims", "clusters", "seed",
-        "gpus", "streams", "blocks-per-core", "trace",
+        "gpus", "streams", "blocks-per-core", "trace", "obs",
     ];
     for k in kv.keys() {
         if !known.contains(&k.as_str()) {
@@ -227,7 +231,8 @@ pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
     opts.timeline = flags.iter().any(|f| f == "timeline");
     opts.json = flags.iter().any(|f| f == "json");
     opts.trace_out = kv.get("trace").cloned();
-    if opts.timeline || opts.trace_out.is_some() {
+    opts.obs_out = kv.get("obs").cloned();
+    if opts.timeline || opts.trace_out.is_some() || opts.obs_out.is_some() {
         opts.config.record_timeline = true;
     }
     Ok(opts)
@@ -294,6 +299,16 @@ mod tests {
         // Untouched defaults survive.
         assert_eq!(opts.dims, 32);
         assert_eq!(opts.config.gpus_per_node, 1);
+    }
+
+    #[test]
+    fn obs_option_enables_timeline_recording() {
+        let opts = parse_run(&argv("--app cmeans --obs /tmp/obs-out")).unwrap();
+        assert_eq!(opts.obs_out.as_deref(), Some("/tmp/obs-out"));
+        assert!(opts.config.record_timeline, "--obs implies timeline capture");
+        let plain = parse_run(&argv("--app cmeans")).unwrap();
+        assert_eq!(plain.obs_out, None);
+        assert!(!plain.config.record_timeline);
     }
 
     #[test]

@@ -10,9 +10,10 @@
 //! ```
 
 use device::{render_ascii, to_chrome_trace};
+use obs::{AuditLog, MetricsRegistry, Obs};
 use prs_apps::{BatchFft, CMeans, CsrMatrix, DaKmeans, Dgemm, Gemv, Gmm, KMeans, Spmv, WordCount};
 use prs_cli::{parse_kv, parse_profile, parse_residency, parse_run, AppKind, RunOptions};
-use prs_core::{run_iterative, run_job, ClusterSpec, JobResult};
+use prs_core::{run_iterative_observed, run_job_observed, ClusterSpec, JobResult};
 use prs_data::gaussian::clustering_workload;
 use prs_data::matrix::MatrixF32;
 use prs_data::rng::SplitMix64;
@@ -37,6 +38,8 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("advise") => cmd_advise(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("profiles") => cmd_profiles(),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_help();
@@ -59,6 +62,8 @@ USAGE:
   prs run [options]       run an application end to end
   prs sweep [options]     sweep static CPU fractions and compare with Eq (8)
   prs advise [options]    print the analytic scheduling decision (Eq 8-11)
+  prs trace --dir <d>     summarize events.jsonl + decisions.jsonl from --obs
+  prs metrics --dir <d>   summarize metrics.prom from --obs
   prs profiles            list the built-in fat-node hardware profiles
   prs help                this text
 
@@ -74,13 +79,19 @@ RUN OPTIONS (defaults in parentheses):
   --blocks-per-core <n>       CPU blocks per core (4)
   --seed <n>                  RNG seed (42)
   --timeline                  print the execution Gantt chart
+  --trace <file>              write a Chrome-tracing JSON file
+  --obs <dir>                 write events.jsonl, metrics.prom,
+                              decisions.jsonl and trace.json into <dir>
   --json                      machine-readable output
 
 ADVISE OPTIONS:
   --ai <flops/byte>           arithmetic intensity (12.5)
   --residency <staged|resident>   GPU data residency (staged)
   --profile <delta|bigred2>   (delta)
-  --gpus <n>                  (1)",
+  --gpus <n>                  (1)
+  --from-trace <path>         instead of a hypothetical: report the
+                              analytic model's predicted-vs-observed
+                              error from a decisions.jsonl (or --obs dir)",
         apps = AppKind::names().join("|")
     );
 }
@@ -136,7 +147,7 @@ fn cmd_sweep(args: &[String]) -> i32 {
     for i in 0..=10 {
         let p = i as f64 / 10.0;
         opts.config.scheduling = prs_core::SchedulingMode::Static { p_override: Some(p) };
-        match dispatch(&opts, &spec) {
+        match dispatch(&opts, &spec, Obs::disabled()) {
             Ok((m, _, _)) => {
                 let t = m.compute_seconds;
                 say!("  p = {:>3.0}%  ->  {:10.3} ms", p * 100.0, t * 1e3);
@@ -152,7 +163,7 @@ fn cmd_sweep(args: &[String]) -> i32 {
     }
     // Analytic prediction for the same app: rebuild once in static mode.
     opts.config.scheduling = prs_core::SchedulingMode::Static { p_override: None };
-    match dispatch(&opts, &spec) {
+    match dispatch(&opts, &spec, Obs::disabled()) {
         Ok((m, label, _)) => {
             let p_eq8 = m.cpu_fraction.unwrap_or(f64::NAN);
             say!(
@@ -176,6 +187,13 @@ fn cmd_sweep(args: &[String]) -> i32 {
 }
 
 fn cmd_advise(args: &[String]) -> i32 {
+    // `--from-trace` switches advise from the hypothetical (given AI,
+    // what split?) to the retrospective (how well did the model do?).
+    if let Ok((kv, _)) = parse_kv(args) {
+        if let Some(path) = kv.get("from-trace") {
+            return advise_from_trace(path);
+        }
+    }
     let parsed = parse_kv(args).and_then(|(kv, flags)| {
         if !flags.is_empty() {
             return Err(format!("unknown flag --{}", flags[0]));
@@ -242,6 +260,247 @@ fn cmd_advise(args: &[String]) -> i32 {
     0
 }
 
+/// Accepts either a `decisions.jsonl` file or an `--obs` output
+/// directory containing one.
+fn resolve_decisions_path(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_dir() {
+        p.join("decisions.jsonl")
+    } else {
+        p.to_path_buf()
+    }
+}
+
+/// `prs advise --from-trace`: replay an audit log and report the
+/// roofline model's predicted-vs-observed error per decision.
+fn advise_from_trace(path: &str) -> i32 {
+    let file = resolve_decisions_path(path);
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", file.display());
+            return 1;
+        }
+    };
+    let recs = AuditLog::parse_jsonl(&text);
+    if recs.is_empty() {
+        eprintln!("no decisions found in {}", file.display());
+        return 1;
+    }
+    say!(
+        "{} audited decision(s) from {}",
+        recs.len(),
+        file.display()
+    );
+    say!("  iter node mode     trigger             p      pred_map_s   obs_map_s    err");
+    let mut errs: Vec<f64> = Vec::new();
+    for r in &recs {
+        let (obs_s, err_s) = match (r.observed_map_secs, r.map_error()) {
+            (Some(o), Some(e)) => {
+                errs.push(e);
+                (format!("{o:<12.6}"), format!("{:.1}%", e * 100.0))
+            }
+            _ => ("-".into(), "-".into()),
+        };
+        say!(
+            "  {:>4} {:>4} {:<8} {:<18} {:>6.3} {:<12.6} {:<12} {}",
+            r.iteration,
+            r.node,
+            r.mode,
+            r.trigger,
+            r.cpu_fraction,
+            r.predicted_map_secs,
+            obs_s,
+            err_s
+        );
+    }
+    if !errs.is_empty() {
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        let worst = errs.iter().cloned().fold(0.0, f64::max);
+        say!(
+            "\nanalytic-model map-time error: mean {:.1}%, worst {:.1}% over {} completed decision(s)",
+            mean * 100.0,
+            worst * 100.0,
+            errs.len()
+        );
+    }
+    0
+}
+
+/// Reads the `--dir <d>` option the artifact commands share.
+fn artifact_dir(args: &[String]) -> Result<String, String> {
+    let (kv, flags) = parse_kv(args)?;
+    if let Some(f) = flags.first() {
+        return Err(format!("unknown flag --{f}"));
+    }
+    for k in kv.keys() {
+        if k != "dir" {
+            return Err(format!("unknown option --{k}"));
+        }
+    }
+    kv.get("dir")
+        .cloned()
+        .ok_or_else(|| "missing --dir <obs output directory>".to_string())
+}
+
+/// `prs trace`: summarize `events.jsonl` and `decisions.jsonl`.
+fn cmd_trace(args: &[String]) -> i32 {
+    let dir = match artifact_dir(args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let events_path = std::path::Path::new(&dir).join("events.jsonl");
+    let text = match std::fs::read_to_string(&events_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", events_path.display());
+            return 1;
+        }
+    };
+    let mut by_kind: std::collections::BTreeMap<String, (u64, f64)> =
+        std::collections::BTreeMap::new();
+    let mut t_max = 0.0f64;
+    let mut total = 0u64;
+    let mut recovery: Vec<(f64, String, String)> = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(v) = serde_json::from_str(line) else {
+            continue;
+        };
+        let kind = v["kind"].as_str().unwrap_or("?").to_string();
+        let lane = v["lane"].as_str().unwrap_or("?").to_string();
+        let t = v["t"].as_f64().unwrap_or(0.0);
+        let dur = v["dur"].as_f64().unwrap_or(0.0);
+        total += 1;
+        t_max = t_max.max(t + dur);
+        let e = by_kind.entry(kind.clone()).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += dur;
+        if matches!(
+            kind.as_str(),
+            "retry" | "reassign" | "gpu-crash" | "gpu-daemon-down" | "block-requeued"
+        ) {
+            recovery.push((t, kind, lane));
+        }
+    }
+    say!("{total} event(s) over {t_max:.6} virtual seconds ({})", events_path.display());
+    say!("  kind                 count   busy_s");
+    for (kind, (count, busy)) in &by_kind {
+        say!("  {kind:<20} {count:>5}   {busy:.6}");
+    }
+    if recovery.is_empty() {
+        say!("\nno recovery events: fault-free run");
+    } else {
+        say!("\n{} recovery event(s):", recovery.len());
+        for (t, kind, lane) in &recovery {
+            say!("  t={t:<12.6} {kind:<16} on {lane}");
+        }
+    }
+    // Decision summary: the iterations where the model was most wrong.
+    let decisions = std::path::Path::new(&dir).join("decisions.jsonl");
+    if let Ok(text) = std::fs::read_to_string(&decisions) {
+        let mut recs = AuditLog::parse_jsonl(&text);
+        recs.retain(|r| r.map_error().is_some());
+        if !recs.is_empty() {
+            recs.sort_by(|a, b| {
+                b.map_error()
+                    .unwrap_or(0.0)
+                    .total_cmp(&a.map_error().unwrap_or(0.0))
+            });
+            say!("\nmost divergent scheduling decisions (predicted vs observed map time):");
+            for r in recs.iter().take(5) {
+                say!(
+                    "  iter {:>3} node {:>2} [{}]: p = {:.3}, predicted {:.6}s, observed {:.6}s ({:+.1}%)",
+                    r.iteration,
+                    r.node,
+                    r.regime,
+                    r.cpu_fraction,
+                    r.predicted_map_secs,
+                    r.observed_map_secs.unwrap_or(0.0),
+                    r.map_error().unwrap_or(0.0) * 100.0
+                );
+            }
+        }
+    }
+    0
+}
+
+/// `prs metrics`: summarize `metrics.prom`.
+fn cmd_metrics(args: &[String]) -> i32 {
+    let dir = match artifact_dir(args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let path = std::path::Path::new(&dir).join("metrics.prom");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", path.display());
+            return 1;
+        }
+    };
+    let samples = MetricsRegistry::parse_samples(&text);
+    if samples.is_empty() {
+        eprintln!("no samples found in {}", path.display());
+        return 1;
+    }
+    let pick = |prefix: &str| -> Vec<(String, f64)> {
+        samples
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    };
+    let job: Vec<(&str, &str)> = vec![
+        ("prs_total_seconds", "total virtual seconds"),
+        ("prs_setup_seconds", "setup seconds"),
+        ("prs_compute_seconds", "compute seconds"),
+        ("prs_iterations", "iterations"),
+        ("prs_seconds_lost_to_faults", "seconds lost to faults"),
+    ];
+    say!("job ({}):", path.display());
+    for (key, label) in job {
+        if let Some((_, v)) = samples.iter().find(|(k, _)| k == key) {
+            say!("  {label:<24} {v}");
+        }
+    }
+    let util = pick("prs_device_utilization");
+    if !util.is_empty() {
+        say!("\ndevice utilization:");
+        for (k, v) in &util {
+            let dev = k
+                .split("device=\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .unwrap_or(k);
+            say!("  {dev:<16} {:>6.1}%", v * 100.0);
+        }
+    }
+    for (prefix, title) in [
+        ("prs_bytes_moved_total", "bytes moved (PCI-E)"),
+        ("prs_net_bytes_total", "bytes sent (network)"),
+        ("prs_map_tasks_total", "map tasks"),
+        ("prs_recovery_total", "recovery actions"),
+        ("prs_queue_depth_peak", "peak queue depth"),
+    ] {
+        let rows = pick(prefix);
+        if rows.is_empty() {
+            continue;
+        }
+        say!("\n{title}:");
+        for (k, v) in &rows {
+            let label = k.strip_prefix(prefix).unwrap_or(k);
+            say!("  {label:<40} {v}");
+        }
+    }
+    0
+}
+
 fn cmd_run(args: &[String]) -> i32 {
     let opts = match parse_run(args) {
         Ok(o) => o,
@@ -258,7 +517,12 @@ fn cmd_run(args: &[String]) -> i32 {
         netsim::NetworkParams::infiniband_qdr(),
     );
 
-    let outcome = dispatch(&opts, &spec);
+    let obs = if opts.obs_out.is_some() {
+        Obs::recording()
+    } else {
+        Obs::disabled()
+    };
+    let outcome = dispatch(&opts, &spec, obs.clone());
     let (result, label, extra) = match outcome {
         Ok(v) => v,
         Err(e) => {
@@ -316,13 +580,41 @@ fn cmd_run(args: &[String]) -> i32 {
             }
         }
     }
+    if let Some(dir) = &opts.obs_out {
+        match write_obs_bundle(dir, &obs, &result.timeline) {
+            Ok(()) => eprintln!(
+                "observability bundle written to {dir}/ (events.jsonl, metrics.prom, \
+                 decisions.jsonl, trace.json)"
+            ),
+            Err(e) => {
+                eprintln!("error writing observability bundle: {e}");
+                return 1;
+            }
+        }
+    }
     0
+}
+
+/// Writes the four deterministic export artifacts of an observed run.
+fn write_obs_bundle(dir: &str, obs: &Obs, timeline: &[device::Interval]) -> Result<(), String> {
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let write = |name: &str, content: String| -> Result<(), String> {
+        let path = dir.join(name);
+        std::fs::write(&path, content).map_err(|e| format!("writing {}: {e}", path.display()))
+    };
+    write("events.jsonl", obs.bus.to_jsonl())?;
+    write("metrics.prom", obs.metrics.to_prometheus())?;
+    write("decisions.jsonl", obs.audit.to_jsonl())?;
+    write("trace.json", to_chrome_trace(timeline))?;
+    Ok(())
 }
 
 type RunOutcome = Result<(prs_core::JobMetrics, String, String), String>;
 
-/// Builds the requested app, runs it, and summarizes app-specific results.
-fn dispatch(opts: &RunOptions, spec: &ClusterSpec) -> RunOutcome {
+/// Builds the requested app, runs it (with the given observability
+/// bundle attached), and summarizes app-specific results.
+fn dispatch(opts: &RunOptions, spec: &ClusterSpec, obs: Obs) -> RunOutcome {
     let seed = opts.seed;
     let n = opts.points;
     let d = opts.dims;
@@ -337,28 +629,28 @@ fn dispatch(opts: &RunOptions, spec: &ClusterSpec) -> RunOutcome {
         AppKind::Cmeans => {
             let pts = Arc::new(clustering_workload(n, d, k, seed).points);
             let app = Arc::new(CMeans::new(pts, k, 2.0, 1e-3, seed));
-            let r = run_iterative(spec, app.clone(), opts.config).map_err(err)?;
+            let r = run_iterative_observed(spec, app.clone(), opts.config, obs.clone()).map_err(err)?;
             let obj = app.objective_history().last().copied().unwrap_or(0.0);
             Ok((metrics(r), "C-means".into(), format!("final J_m = {obj:.4e}")))
         }
         AppKind::Kmeans => {
             let pts = Arc::new(clustering_workload(n, d, k, seed).points);
             let app = Arc::new(KMeans::new(pts, k, 1e-3, seed));
-            let r = run_iterative(spec, app.clone(), opts.config).map_err(err)?;
+            let r = run_iterative_observed(spec, app.clone(), opts.config, obs.clone()).map_err(err)?;
             let sse = app.sse_history().last().copied().unwrap_or(0.0);
             Ok((metrics(r), "K-means".into(), format!("final SSE = {sse:.4e}")))
         }
         AppKind::Gmm => {
             let pts = Arc::new(clustering_workload(n, d, k, seed).points);
             let app = Arc::new(Gmm::new(pts, k, 1e-6, seed));
-            let r = run_iterative(spec, app.clone(), opts.config).map_err(err)?;
+            let r = run_iterative_observed(spec, app.clone(), opts.config, obs.clone()).map_err(err)?;
             let ll = app.log_likelihood_history().last().copied().unwrap_or(0.0);
             Ok((metrics(r), "GMM".into(), format!("final logL = {ll:.4e}")))
         }
         AppKind::Da => {
             let pts = Arc::new(clustering_workload(n, d, k, seed).points);
             let app = Arc::new(DaKmeans::new(pts, k, 0.85, 1e-3));
-            let r = run_iterative(spec, app.clone(), opts.config).map_err(err)?;
+            let r = run_iterative_observed(spec, app.clone(), opts.config, obs.clone()).map_err(err)?;
             Ok((
                 metrics(r),
                 "DA clustering".into(),
@@ -370,7 +662,7 @@ fn dispatch(opts: &RunOptions, spec: &ClusterSpec) -> RunOutcome {
             let a = Arc::new(MatrixF32::from_fn(n, d, |_, _| rng.next_f32() - 0.5));
             let x: Arc<Vec<f32>> = Arc::new((0..d).map(|_| rng.next_f32()).collect());
             let app = Arc::new(Gemv::new(a, x));
-            let r = run_job(spec, app.clone(), opts.config).map_err(err)?;
+            let r = run_job_observed(spec, app.clone(), opts.config, obs.clone()).map_err(err)?;
             let y = app.assemble(&r.outputs);
             Ok((
                 metrics(r),
@@ -384,7 +676,7 @@ fn dispatch(opts: &RunOptions, spec: &ClusterSpec) -> RunOutcome {
             let x: Arc<Vec<f32>> = Arc::new((0..d.max(1)).map(|_| rng.next_f32()).collect());
             let expect = m.spmv_ref(&x);
             let app = Arc::new(Spmv::new(m, x));
-            let r = run_job(spec, app.clone(), opts.config).map_err(err)?;
+            let r = run_job_observed(spec, app.clone(), opts.config, obs.clone()).map_err(err)?;
             let y = app.assemble(&r.outputs);
             let ok = y
                 .iter()
@@ -401,7 +693,7 @@ fn dispatch(opts: &RunOptions, spec: &ClusterSpec) -> RunOutcome {
             let a = Arc::new(MatrixF32::from_fn(n, d, |_, _| rng.next_f32() - 0.5));
             let b = Arc::new(MatrixF32::from_fn(d, d, |_, _| rng.next_f32() - 0.5));
             let app = Arc::new(Dgemm::new(a, b));
-            let r = run_job(spec, app.clone(), opts.config).map_err(err)?;
+            let r = run_job_observed(spec, app.clone(), opts.config, obs.clone()).map_err(err)?;
             Ok((
                 metrics(r),
                 "DGEMM".into(),
@@ -410,7 +702,7 @@ fn dispatch(opts: &RunOptions, spec: &ClusterSpec) -> RunOutcome {
         }
         AppKind::Wordcount => {
             let app = Arc::new(WordCount::synthetic(n, k as u32 * 100, seed));
-            let r = run_job(spec, app.clone(), opts.config).map_err(err)?;
+            let r = run_job_observed(spec, app.clone(), opts.config, obs.clone()).map_err(err)?;
             Ok((
                 metrics(r),
                 "WordCount".into(),
@@ -421,7 +713,7 @@ fn dispatch(opts: &RunOptions, spec: &ClusterSpec) -> RunOutcome {
             let len = d.next_power_of_two().max(64);
             let app = Arc::new(BatchFft::synthetic(n.max(1), len, seed));
             let expected = len as f64 * app.total_time_energy();
-            let r = run_job(spec, app.clone(), opts.config).map_err(err)?;
+            let r = run_job_observed(spec, app.clone(), opts.config, obs.clone()).map_err(err)?;
             let spectral: f64 = r.outputs.iter().map(|(_, e)| e).sum();
             let ok = (spectral - expected).abs() < 1e-6 * expected.abs().max(1.0);
             Ok((

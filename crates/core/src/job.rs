@@ -10,9 +10,10 @@ use crate::metrics::{JobMetrics, RecoveryCounters, StageTimes};
 use crate::task::{split_fixed, split_range, Task, TaskResult};
 use device::FatNode;
 use netsim::{shuffle, CollectiveSeq, Network, ShuffleItem};
+use obs::{DecisionId, DecisionRecord, Obs};
 use parking_lot::Mutex;
 use roofline::model::DataResidency;
-use roofline::schedule::{partition_across_nodes, split_multi_gpu};
+use roofline::schedule::{device_time, partition_across_nodes, split_multi_gpu, Workload};
 use simtime::{Channel, RecvOutcome, Sim, SimCtx, SimError, SimTime};
 use std::collections::BTreeMap;
 use std::ops::Range;
@@ -54,7 +55,21 @@ pub fn run_job<A: SpmdApp>(
     app: Arc<A>,
     config: JobConfig,
 ) -> Result<JobResult<A::Output>, JobError> {
-    run_with_update(spec, app, config, Arc::new(|_| true))
+    run_with_update(spec, app, config, Arc::new(|_| true), Obs::disabled())
+}
+
+/// Like [`run_job`], with a live [`Obs`] bundle attached to every layer:
+/// device daemons, comm fabric, the master scheduler, and the per-node
+/// sub-task schedulers (including the decision audit log). Recording
+/// never advances virtual time, so the metrics are bit-identical to an
+/// unobserved run.
+pub fn run_job_observed<A: SpmdApp>(
+    spec: &ClusterSpec,
+    app: Arc<A>,
+    config: JobConfig,
+    obs: Obs,
+) -> Result<JobResult<A::Output>, JobError> {
+    run_with_update(spec, app, config, Arc::new(|_| true), obs)
 }
 
 /// Runs an iterative job: map/shuffle/reduce, then [`IterativeApp::update`]
@@ -65,12 +80,24 @@ pub fn run_iterative<A: IterativeApp>(
     app: Arc<A>,
     config: JobConfig,
 ) -> Result<JobResult<A::Output>, JobError> {
+    run_iterative_observed(spec, app, config, Obs::disabled())
+}
+
+/// Like [`run_iterative`], with a live [`Obs`] bundle (see
+/// [`run_job_observed`]).
+pub fn run_iterative_observed<A: IterativeApp>(
+    spec: &ClusterSpec,
+    app: Arc<A>,
+    config: JobConfig,
+    obs: Obs,
+) -> Result<JobResult<A::Output>, JobError> {
     let hook = app.clone();
     run_with_update(
         spec,
         app,
         config,
         Arc::new(move |outputs| hook.update(outputs)),
+        obs,
     )
 }
 
@@ -183,6 +210,7 @@ fn run_with_update<A: SpmdApp>(
     app: Arc<A>,
     config: JobConfig,
     update: UpdateFn<A>,
+    obs: Obs,
 ) -> Result<JobResult<A::Output>, JobError> {
     validate(spec, app.as_ref(), &config)?;
     let n = spec.len();
@@ -200,6 +228,11 @@ fn run_with_update<A: SpmdApp>(
             node.attach_timeline(t);
         }
     }
+    if obs.is_enabled() {
+        for node in &nodes {
+            node.attach_obs(&obs);
+        }
+    }
 
     // Arm the failure scenario on every layer before the clock starts:
     // device slowdown/crash state, then fabric disruption windows.
@@ -213,6 +246,9 @@ fn run_with_update<A: SpmdApp>(
     }
     let network = Network::new("data", n, spec.network);
     network.set_disruptions(faults.link_disruptions());
+    if obs.is_enabled() {
+        network.attach_obs(obs.clone());
+    }
 
     let ctrl: Vec<Channel<CtrlMsg>> = (0..n)
         .map(|r| Channel::new(&format!("ctrl{r}")))
@@ -244,6 +280,7 @@ fn run_with_update<A: SpmdApp>(
         let latency = spec.network.latency;
         let dispatch = spec.overheads.task_dispatch;
         let recovery = recovery.clone();
+        let obs = obs.clone();
         sim.spawn("master", move |ctx| {
             let total_items = app.num_items();
             let weights = if config.hetero_aware_partitioning {
@@ -283,6 +320,12 @@ fn run_with_update<A: SpmdApp>(
                         },
                         latency,
                     );
+                    if let Some(d) = obs.bus.event("master", "assign", ctx.now()) {
+                        d.partition(id as usize)
+                            .attr("target", target as f64)
+                            .attr("items", part.len() as f64)
+                            .commit();
+                    }
                     // After two full passes over the cluster every node has
                     // had its retry budget twice; at that point the master
                     // waits unconditionally — termination beats detection.
@@ -317,11 +360,26 @@ fn run_with_update<A: SpmdApp>(
                     if attempts < config.max_partition_retries {
                         attempts += 1;
                         r.retries += 1;
+                        drop(r);
+                        if let Some(d) = obs.bus.event("master", "retry", ctx.now()) {
+                            d.partition(id as usize)
+                                .attr("target", target as f64)
+                                .attr("attempt", f64::from(attempts))
+                                .commit();
+                        }
                     } else {
                         attempts = 0;
                         hops += 1;
                         r.reassignments += 1;
+                        drop(r);
+                        let from = target;
                         target = (target + 1) % n;
+                        if let Some(d) = obs.bus.event("master", "reassign", ctx.now()) {
+                            d.partition(id as usize)
+                                .attr("from", from as f64)
+                                .attr("to", target as f64)
+                                .commit();
+                        }
                     }
                 }
             }
@@ -400,10 +458,11 @@ fn run_with_update<A: SpmdApp>(
         let update = update.clone();
         let collect = collect.clone();
         let recovery = recovery.clone();
+        let obs = obs.clone();
         sim.spawn(&format!("n{rank}-worker"), move |ctx| {
             worker_body(
                 ctx, rank, &node, comm, ctrl_ch, acks_ch, stalls, cpu_q, gpu_q, results, ready,
-                app, config, update, collect, recovery,
+                app, config, update, collect, recovery, obs,
             );
         });
     }
@@ -450,11 +509,74 @@ fn run_with_update<A: SpmdApp>(
         timeline: timeline.map(|t| t.intervals()).unwrap_or_default(),
         recovery: *recovery.lock(),
     };
+    if obs.metrics.is_enabled() {
+        fill_registry(&obs, &nodes, &metrics);
+    }
 
     Ok(JobResult {
         outputs: collected.outputs,
         metrics,
     })
+}
+
+/// Populates the end-of-run summary series in the metrics registry from
+/// the finished [`JobMetrics`]: per-device utilization, task and flop
+/// totals, recovery counters, and job-level timing gauges. Kept out of
+/// the simulation so it costs nothing while the virtual clock runs.
+fn fill_registry(obs: &Obs, nodes: &[Arc<FatNode>], metrics: &JobMetrics) {
+    let m = &obs.metrics;
+    let total = metrics.total_seconds;
+    for (r, node) in nodes.iter().enumerate() {
+        let cpu = node.cpu.stats();
+        let name = format!("node{r}-cpu");
+        m.counter_add("prs_tasks_total", &[("device", &name)], cpu.tasks as f64);
+        m.counter_add("prs_flops_total", &[("device", &name)], cpu.flops);
+        let cores = node.cpu.spec.cores as f64;
+        if total > 0.0 && cores > 0.0 {
+            m.gauge_set(
+                "prs_device_utilization",
+                &[("device", &name)],
+                cpu.core_busy / (cores * total),
+            );
+        }
+        for (g, gpu) in node.gpus.iter().enumerate() {
+            let gs = gpu.stats();
+            let gname = format!("node{r}-gpu{g}");
+            m.counter_add("prs_tasks_total", &[("device", &gname)], gs.kernels as f64);
+            m.counter_add("prs_flops_total", &[("device", &gname)], gs.flops);
+            if total > 0.0 {
+                m.gauge_set(
+                    "prs_device_utilization",
+                    &[("device", &gname)],
+                    gs.compute_busy / total,
+                );
+            }
+        }
+    }
+    let rec = &metrics.recovery;
+    m.counter_add("prs_recovery_total", &[("action", "retry")], rec.retries as f64);
+    m.counter_add(
+        "prs_recovery_total",
+        &[("action", "reassignment")],
+        rec.reassignments as f64,
+    );
+    m.counter_add(
+        "prs_recovery_total",
+        &[("action", "gpu_daemon_crash")],
+        rec.gpu_daemon_crashes as f64,
+    );
+    m.counter_add(
+        "prs_recovery_total",
+        &[("action", "block_requeued")],
+        rec.blocks_requeued as f64,
+    );
+    m.gauge_set("prs_seconds_lost_to_faults", &[], rec.seconds_lost_to_faults);
+    m.gauge_set("prs_total_seconds", &[], metrics.total_seconds);
+    m.gauge_set("prs_setup_seconds", &[], metrics.setup_seconds);
+    m.gauge_set("prs_compute_seconds", &[], metrics.compute_seconds);
+    m.gauge_set("prs_iterations", &[], metrics.iterations.len() as f64);
+    m.counter_add("prs_map_tasks_total", &[("device", "cpu")], metrics.cpu_map_tasks as f64);
+    m.counter_add("prs_map_tasks_total", &[("device", "gpu")], metrics.gpu_map_tasks as f64);
 }
 
 fn cpu_poller<A: SpmdApp>(
@@ -602,18 +724,33 @@ fn gpu_down<A: SpmdApp>(
     cpu_q: &Channel<Task<A::Inter>>,
     gpu_q: &Channel<Task<A::Inter>>,
     recovery: &Arc<Mutex<RecoveryCounters>>,
+    obs: &Obs,
+    sched_lane: &str,
 ) {
+    // First report from this GPU's daemons: the card itself died.
+    let first_down = alive[gpu] == config.gpu_streams;
     {
         let mut r = recovery.lock();
-        if alive[gpu] == config.gpu_streams {
+        if first_down {
             r.gpu_daemon_crashes += 1;
         }
         r.seconds_lost_to_faults += lost;
+    }
+    if let Some(d) = obs.bus.event(sched_lane, "gpu-daemon-down", ctx.now()) {
+        d.attr("gpu", gpu as f64).attr("lost_s", lost).commit();
+    }
+    if first_down {
+        if let Some(d) = obs.bus.event(sched_lane, "gpu-crash", ctx.now()) {
+            d.attr("gpu", gpu as f64).commit();
+        }
     }
     alive[gpu] = alive[gpu].saturating_sub(1);
     let gpu_only = matches!(config.scheduling, SchedulingMode::GpuOnly);
     if let Some(t) = task {
         recovery.lock().blocks_requeued += 1;
+        if let Some(d) = obs.bus.event(sched_lane, "block-requeued", ctx.now()) {
+            d.attr("gpu", gpu as f64).commit();
+        }
         if gpu_only {
             gpu_q.send(ctx, t);
         } else {
@@ -625,9 +762,122 @@ fn gpu_down<A: SpmdApp>(
         // recv_deadline at `now` is a non-blocking drain of the backlog.
         while let RecvOutcome::Msg(t) = gpu_q.recv_deadline(ctx, ctx.now()) {
             recovery.lock().blocks_requeued += 1;
+            if let Some(d) = obs.bus.event(sched_lane, "block-requeued", ctx.now()) {
+                d.attr("gpu", gpu as f64).commit();
+            }
             cpu_q.send(ctx, t);
         }
     }
+}
+
+/// Records one scheduling decision — its inputs (arithmetic
+/// intensities, ridge points, surviving-device census), the Equation
+/// (1)–(11) regime that fired, the chosen split, and the
+/// roofline-predicted per-device map time — in the audit log. Returns a
+/// handle the worker completes with observed times after the map stage.
+///
+/// Degenerate device populations get pseudo-regimes: `CpuOnly` when no
+/// GPU side exists (CPU-only mode, a GPU-less profile, or every GPU
+/// dead) and `GpuOnly` when the CPU side is pinned off. Dynamic mode
+/// has no a-priori `p` (it emerges from polling), so the analytic
+/// Equation (8) fraction is recorded as the reference point instead.
+#[allow(clippy::too_many_arguments)]
+fn audit_decision(
+    obs: &Obs,
+    node: &FatNode,
+    workload: &Workload,
+    config: &JobConfig,
+    rank: usize,
+    iter: usize,
+    gpus_usable: usize,
+    p_eff: f64,
+    items: usize,
+    bytes: u64,
+) -> Option<DecisionId> {
+    if !obs.audit.is_enabled() {
+        return None;
+    }
+    let profile = &node.profile;
+    let uses_gpu = !matches!(config.scheduling, SchedulingMode::CpuOnly);
+    let has_gpu_hw = !profile.gpus.is_empty();
+    let gpu_side = uses_gpu && has_gpu_hw && gpus_usable > 0;
+    let bytes_f = bytes as f64;
+    let mode = match config.scheduling {
+        SchedulingMode::Static { .. } => "static",
+        SchedulingMode::Dynamic { .. } => "dynamic",
+        SchedulingMode::CpuOnly => "cpu-only",
+        SchedulingMode::GpuOnly => "gpu-only",
+    };
+    let trigger = match config.scheduling {
+        SchedulingMode::Static {
+            p_override: Some(_),
+        } => "override",
+        _ if uses_gpu && gpus_usable < config.gpus_per_node => "survivor-recompute",
+        _ => "initial",
+    };
+    let (p, regime, pred_cpu, pred_gpu) = if workload.ai_cpu <= 0.0 || workload.ai_gpu <= 0.0 {
+        // The roofline model needs positive arithmetic intensity; record
+        // the decision without predictions rather than asserting.
+        let p = if p_eff.is_finite() { p_eff } else { 0.5 };
+        (p, "Unmodeled".to_string(), 0.0, 0.0)
+    } else if !gpu_side {
+        let flops = profile.cpu_roofline().attainable_flops(workload.ai_cpu);
+        (
+            1.0,
+            "CpuOnly".to_string(),
+            device_time(bytes_f, workload.ai_cpu, flops),
+            0.0,
+        )
+    } else if matches!(config.scheduling, SchedulingMode::GpuOnly) {
+        let d = split_multi_gpu(profile, workload, gpus_usable);
+        (
+            0.0,
+            "GpuOnly".to_string(),
+            0.0,
+            device_time(bytes_f, workload.ai_gpu, d.gpu_flops),
+        )
+    } else {
+        let d = split_multi_gpu(profile, workload, gpus_usable);
+        // Dynamic mode's `p_eff` is NaN (the split emerges from polling);
+        // audit the analytic fraction as the model's reference point.
+        let p = if p_eff.is_finite() { p_eff } else { d.cpu_fraction };
+        (
+            p,
+            format!("{:?}", d.regime),
+            device_time(p * bytes_f, workload.ai_cpu, d.cpu_flops),
+            device_time((1.0 - p) * bytes_f, workload.ai_gpu, d.gpu_flops),
+        )
+    };
+    obs.audit.begin(DecisionRecord {
+        node: rank,
+        iteration: iter,
+        mode: mode.to_string(),
+        trigger: trigger.to_string(),
+        ai_cpu: workload.ai_cpu,
+        ai_gpu: workload.ai_gpu,
+        cpu_ridge: profile.cpu_ridge(),
+        gpu_ridge: if has_gpu_hw {
+            profile.gpu_ridge(workload.residency)
+        } else {
+            0.0
+        },
+        regime,
+        gpus_total: if uses_gpu { config.gpus_per_node } else { 0 },
+        gpus_usable,
+        cpu_fraction: p,
+        block_items: match config.scheduling {
+            SchedulingMode::Dynamic { block_items } => block_items,
+            _ => 0,
+        },
+        items,
+        bytes,
+        predicted_cpu_secs: pred_cpu,
+        predicted_gpu_secs: pred_gpu,
+        predicted_map_secs: pred_cpu.max(pred_gpu),
+        observed_cpu_secs: None,
+        observed_gpu_secs: None,
+        observed_map_secs: None,
+    })
 }
 
 /// Groups pairs by key (deterministic order) and applies the combiner.
@@ -663,11 +913,15 @@ fn worker_body<A: SpmdApp>(
     update: UpdateFn<A>,
     collect: Arc<Mutex<Collected<A::Output>>>,
     recovery: Arc<Mutex<RecoveryCounters>>,
+    obs: Obs,
 ) {
     let seq = CollectiveSeq::new();
     let coll = comm.collectives(&seq);
     let dispatch = node.overheads.task_dispatch;
     let latency = comm.params().latency;
+    // The sub-task scheduler's own event lane and metric label.
+    let sched_lane = format!("node{rank}-sched");
+    let rank_label = rank.to_string();
 
     // ---- Setup: receive partition assignments from the master,
     // acknowledge each one (an active stall window delays the ack — how a
@@ -792,7 +1046,23 @@ fn worker_body<A: SpmdApp>(
             _ => p,
         };
 
+        // Audit the split decision before dispatch; completed with
+        // observed per-device times once the map stage drains.
+        let decision = audit_decision(
+            &obs, node, &workload, &config, rank, iter, gpu_usable, p_eff, my_items, my_bytes,
+        );
+
         // MAP: second-level scheduling of blocks onto device daemons.
+        // `sample_queues` keeps a high-water mark of the second-level
+        // queue backlog as blocks are dispatched.
+        let metrics_on = obs.metrics.is_enabled();
+        let sample_queues = |queue: &str, depth: usize| {
+            obs.metrics.gauge_max(
+                "prs_queue_depth_peak",
+                &[("node", &rank_label), ("queue", queue)],
+                depth as f64,
+            );
+        };
         let mut n_tasks = 0u64;
         match config.scheduling {
             SchedulingMode::Dynamic { block_items } => {
@@ -800,6 +1070,9 @@ fn worker_body<A: SpmdApp>(
                     for block in split_fixed(part.clone(), block_items) {
                         ctx.hold(dispatch);
                         cpu_q.send(ctx, Task::Map { range: block });
+                        if metrics_on {
+                            sample_queues("shared", cpu_q.len());
+                        }
                         n_tasks += 1;
                     }
                 }
@@ -815,6 +1088,9 @@ fn worker_body<A: SpmdApp>(
                         for block in split_range(cpu_range, cpu_blocks) {
                             ctx.hold(dispatch);
                             cpu_q.send(ctx, Task::Map { range: block });
+                            if metrics_on {
+                                sample_queues("cpu", cpu_q.len());
+                            }
                             n_tasks += 1;
                         }
                     }
@@ -822,6 +1098,9 @@ fn worker_body<A: SpmdApp>(
                         for block in split_range(gpu_range, config.gpu_blocks_per_partition) {
                             ctx.hold(dispatch);
                             gpu_q.send(ctx, Task::Map { range: block });
+                            if metrics_on {
+                                sample_queues("gpu", gpu_q.len());
+                            }
                             n_tasks += 1;
                         }
                     }
@@ -831,6 +1110,10 @@ fn worker_body<A: SpmdApp>(
 
         let mut cpu_pairs: Vec<(Key, A::Inter)> = Vec::new();
         let mut gpu_pairs: Vec<(Key, A::Inter)> = Vec::new();
+        // Last map result per device class: the observed per-device map
+        // completion times for the decision audit.
+        let mut last_cpu_end: Option<SimTime> = None;
+        let mut last_gpu_end: Option<SimTime> = None;
         let mut done = 0u64;
         while done < n_tasks {
             match results.recv(ctx).expect("results channel open") {
@@ -842,17 +1125,20 @@ fn worker_body<A: SpmdApp>(
                             c.cpu_map_tasks += 1;
                             drop(c);
                             cpu_pairs.extend(pairs);
+                            last_cpu_end = Some(ctx.now());
                         }
                         DeviceClass::Gpu => {
                             c.gpu_map_tasks += 1;
                             drop(c);
                             gpu_pairs.extend(pairs);
+                            last_gpu_end = Some(ctx.now());
                         }
                     }
                 }
                 TaskResult::GpuDown { gpu, task, lost } => {
                     gpu_down::<A>(
                         ctx, gpu, task, lost, &mut alive, &config, &cpu_q, &gpu_q, &recovery,
+                        &obs, &sched_lane,
                     );
                 }
                 TaskResult::Reduce { .. } => unreachable!("no reduce tasks dispatched yet"),
@@ -883,6 +1169,14 @@ fn worker_body<A: SpmdApp>(
             ctx.join_all(&handles);
         }
         let t_map = ctx.now();
+        if let Some(id) = decision {
+            obs.audit.complete(
+                id,
+                last_cpu_end.map_or(0.0, |t| (t - t0).as_secs_f64()),
+                last_gpu_end.map_or(0.0, |t| (t - t0).as_secs_f64()),
+                (t_map - t0).as_secs_f64(),
+            );
+        }
 
         // SHUFFLE.
         let items: Vec<ShuffleItem<(Key, A::Inter)>> = cpu_pairs
@@ -934,6 +1228,7 @@ fn worker_body<A: SpmdApp>(
                 TaskResult::GpuDown { gpu, task, lost } => {
                     gpu_down::<A>(
                         ctx, gpu, task, lost, &mut alive, &config, &cpu_q, &gpu_q, &recovery,
+                        &obs, &sched_lane,
                     );
                 }
                 TaskResult::Map { .. } => unreachable!("map stage already drained"),
@@ -964,6 +1259,19 @@ fn worker_body<A: SpmdApp>(
             });
             if !matches!(config.scheduling, SchedulingMode::Dynamic { .. }) {
                 c.p_used[rank] = Some(p_eff);
+            }
+        }
+        if obs.bus.is_enabled() {
+            let stages = [
+                ("map", t0, t_map),
+                ("shuffle", t_map, t_shuffle),
+                ("reduce", t_shuffle, t_reduce),
+                ("update", t_reduce, t_update),
+            ];
+            for (kind, start, end) in stages {
+                if let Some(d) = obs.bus.span(&sched_lane, kind, start, end) {
+                    d.iteration(iter).commit();
+                }
             }
         }
 

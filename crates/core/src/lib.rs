@@ -65,8 +65,12 @@ pub use api::{DeviceClass, IterativeApp, Key, SpmdApp};
 pub use cluster::ClusterSpec;
 pub use config::{JobConfig, SchedulingMode};
 pub use faults::{CpuSlowdown, FaultPlan, GpuCrash, GpuSlowdown, LinkFault, NodeStall};
-pub use job::{run_iterative, run_job, JobError, JobResult};
+pub use job::{
+    run_iterative, run_iterative_observed, run_job, run_job_observed, JobError, JobResult,
+};
 pub use metrics::{JobMetrics, RecoveryCounters, StageTimes};
+pub use obs::Obs;
+pub use obs;
 
 #[cfg(test)]
 mod tests {
@@ -678,6 +682,82 @@ mod tests {
         assert!(many.cpu_map_tasks + many.gpu_map_tasks
             > few.cpu_map_tasks + few.gpu_map_tasks);
         // Outputs identical regardless.
+    }
+
+    #[test]
+    fn observed_run_populates_all_three_sinks() {
+        let obs = Obs::recording();
+        let result = run_job_observed(
+            &ClusterSpec::delta(2),
+            ModCount::new(1000, 7),
+            JobConfig::static_analytic(),
+            obs.clone(),
+        )
+        .unwrap();
+        assert_eq!(result.outputs, expected_counts(1000, 7));
+        // Event bus saw the master, the sub-task schedulers, and devices.
+        let jsonl = obs.bus.to_jsonl();
+        assert!(jsonl.contains("\"kind\":\"assign\""), "master assigns");
+        assert!(jsonl.contains("\"kind\":\"map\""), "worker stage spans");
+        assert!(jsonl.contains("\"kind\":\"cpu-task\""), "CPU daemon spans");
+        assert!(jsonl.contains("\"kind\":\"net-send\""), "comm layer spans");
+        // Audit: one completed decision per node per iteration.
+        let recs = obs.audit.records();
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().all(|r| r.observed_map_secs.is_some()));
+        assert!(recs.iter().all(|r| r.map_error().is_some()));
+        // Registry summaries match the returned metrics.
+        assert_eq!(
+            obs.metrics.gauge("prs_total_seconds", &[]),
+            Some(result.metrics.total_seconds)
+        );
+        assert_eq!(
+            obs.metrics.counter("prs_map_tasks_total", &[("device", "cpu")]),
+            Some(result.metrics.cpu_map_tasks as f64)
+        );
+        assert!(obs
+            .metrics
+            .gauge("prs_queue_depth_peak", &[("node", "0"), ("queue", "cpu")])
+            .is_some());
+    }
+
+    #[test]
+    fn observation_leaves_virtual_time_bit_identical() {
+        let mk = || ModCount::new(2000, 4);
+        let base = run_job(&ClusterSpec::delta(2), mk(), JobConfig::static_analytic()).unwrap();
+        let seen = run_job_observed(
+            &ClusterSpec::delta(2),
+            mk(),
+            JobConfig::static_analytic(),
+            Obs::recording(),
+        )
+        .unwrap();
+        assert_eq!(
+            base.metrics.total_seconds.to_bits(),
+            seen.metrics.total_seconds.to_bits()
+        );
+        assert_eq!(base.outputs, seen.outputs);
+    }
+
+    #[test]
+    fn dynamic_mode_audits_the_analytic_reference_fraction() {
+        let obs = Obs::recording();
+        run_job_observed(
+            &ClusterSpec::delta(1),
+            ModCount::new(1000, 4),
+            JobConfig::dynamic(64),
+            obs.clone(),
+        )
+        .unwrap();
+        let recs = obs.audit.records();
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert_eq!(r.mode, "dynamic");
+        assert_eq!(r.block_items, 64);
+        // NaN would poison the JSON export; dynamic decisions carry the
+        // analytic Equation (8) fraction as the model reference.
+        assert!(r.cpu_fraction.is_finite());
+        assert!((0.0..=1.0).contains(&r.cpu_fraction));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use crate::cost::{cpu_core_time, WorkProfile};
 use crate::faults::SlowdownWindow;
 use crate::timeline::Timeline;
+use obs::Obs;
 use parking_lot::Mutex;
 use roofline::profiles::CpuSpec;
 use serde::{Deserialize, Serialize};
@@ -22,6 +23,18 @@ pub struct CpuStats {
     pub core_busy: f64,
 }
 
+/// Timeline attachment with the task kind pre-interned.
+struct TimelineAttach {
+    timeline: Timeline,
+    kind_task: Arc<str>,
+}
+
+/// Observability attachment with the task kind pre-interned.
+struct ObsAttach {
+    obs: Obs,
+    kind_task: Arc<str>,
+}
+
 /// A pool of CPU cores with shared-roofline task timing.
 pub struct CpuPool {
     /// Hardware description.
@@ -29,7 +42,13 @@ pub struct CpuPool {
     cores: Resource,
     stats: Mutex<CpuStats>,
     name: Arc<str>,
-    timeline: Mutex<Option<Timeline>>,
+    timeline: Mutex<Option<TimelineAttach>>,
+    obs: Mutex<Option<ObsAttach>>,
+    /// Recording lanes, one per concurrently busy core slot:
+    /// `(interned lane name, last recorded end time)`. Slots are
+    /// claimed lowest-index-first by tasks whose start is at or after
+    /// the slot's last end, so one lane never self-overlaps.
+    lane_slots: Mutex<Vec<(Arc<str>, f64)>>,
     slowdowns: Mutex<Vec<SlowdownWindow>>,
 }
 
@@ -42,6 +61,8 @@ impl CpuPool {
             stats: Mutex::new(CpuStats::default()),
             name: name.into(),
             timeline: Mutex::new(None),
+            obs: Mutex::new(None),
+            lane_slots: Mutex::new(Vec::new()),
             slowdowns: Mutex::new(Vec::new()),
         })
     }
@@ -64,7 +85,32 @@ impl CpuPool {
 
     /// Attaches an execution-timeline recorder.
     pub fn attach_timeline(&self, timeline: Timeline) {
-        *self.timeline.lock() = Some(timeline);
+        let kind_task = timeline.intern("cpu-task");
+        *self.timeline.lock() = Some(TimelineAttach { timeline, kind_task });
+    }
+
+    /// Attaches structured observability: per-task spans on the event
+    /// bus and block-wait-time observations in the metrics registry.
+    pub fn attach_obs(&self, obs: Obs) {
+        let kind_task = obs.bus.intern("cpu-task");
+        *self.obs.lock() = Some(ObsAttach { obs, kind_task });
+    }
+
+    /// Claims a recording lane for a task spanning `[start, end]`:
+    /// the lowest-index core slot free at `start`, growing the slot
+    /// table on first use. Tasks are recorded in completion order by
+    /// the deterministic engine, so the assignment is reproducible.
+    fn claim_lane(&self, start: f64, end: f64) -> Arc<str> {
+        let mut slots = self.lane_slots.lock();
+        for slot in slots.iter_mut() {
+            if slot.1 <= start + 1e-12 {
+                slot.1 = end;
+                return slot.0.clone();
+            }
+        }
+        let lane: Arc<str> = Arc::from(format!("{}-c{}", self.name, slots.len()).as_str());
+        slots.push((lane.clone(), end));
+        lane
     }
 
     /// Cores not currently running a task.
@@ -75,6 +121,7 @@ impl CpuPool {
     /// Runs one task on one core: blocks for a core, executes the real
     /// `body`, charges the roofline core time for `work`.
     pub fn run_task<R>(&self, ctx: &SimCtx, work: &WorkProfile, body: impl FnOnce() -> R) -> R {
+        let t_queued = ctx.now();
         self.cores.acquire(ctx, 1);
         let result = body();
         let t0 = ctx.now();
@@ -86,8 +133,22 @@ impl CpuPool {
             SimTime::from_secs_f64(base.as_secs_f64() * factor)
         };
         ctx.hold(t);
-        if let Some(tl) = self.timeline.lock().as_ref() {
-            tl.record(&self.name, "cpu-task", t0, ctx.now());
+        let t_end = ctx.now();
+        let recording = self.timeline.lock().is_some() || self.obs.lock().is_some();
+        if recording {
+            let lane = self.claim_lane(t0.as_secs_f64(), t_end.as_secs_f64());
+            if let Some(tl) = self.timeline.lock().as_ref() {
+                tl.timeline.record_interned(&lane, &tl.kind_task, t0, t_end);
+            }
+            if let Some(o) = self.obs.lock().as_ref() {
+                let wait = t0.saturating_sub(t_queued).as_secs_f64();
+                if let Some(d) = o.obs.bus.span_interned(&lane, &o.kind_task, t0, t_end) {
+                    d.attr("flops", work.flops).attr("wait_s", wait).commit();
+                }
+                o.obs
+                    .metrics
+                    .observe("prs_block_wait_seconds", &[("device", &self.name)], wait);
+            }
         }
         self.cores.release(ctx, 1);
         let mut s = self.stats.lock();
@@ -206,5 +267,51 @@ mod tests {
     fn idle_core_reporting() {
         let p = pool();
         assert_eq!(p.idle_cores(), 12);
+    }
+
+    #[test]
+    fn concurrent_tasks_record_on_distinct_non_overlapping_lanes() {
+        let p = pool();
+        let tl = Timeline::new();
+        p.attach_timeline(tl.clone());
+        let mut sim = Sim::new();
+        // Two waves of 12 one-second tasks: the recorder must spread each
+        // wave across 12 core lanes and reuse them for the second wave.
+        for i in 0..24 {
+            let p = p.clone();
+            sim.spawn(&format!("t{i}"), move |ctx| {
+                let w = WorkProfile::from_intensity(130e9 / 12.0, 1e9);
+                p.run_task_timed(ctx, &w);
+            });
+        }
+        sim.run().unwrap();
+        tl.assert_no_overlaps();
+        let busy = tl.busy_by_lane();
+        assert_eq!(busy.len(), 12, "12 cores -> 12 lanes: {busy:?}");
+        assert!(busy.iter().all(|(lane, b)| lane.starts_with("cpu-c") && (*b - 2.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn obs_attachment_records_spans_and_wait_times() {
+        let p = pool();
+        let obs = obs::Obs::recording();
+        p.attach_obs(obs.clone());
+        let mut sim = Sim::new();
+        for i in 0..13 {
+            let p = p.clone();
+            sim.spawn(&format!("t{i}"), move |ctx| {
+                let w = WorkProfile::from_intensity(130e9 / 12.0, 1e9);
+                p.run_task_timed(ctx, &w);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(obs.bus.len(), 13);
+        let (count, wait_sum) = obs
+            .metrics
+            .histogram_stats("prs_block_wait_seconds", &[("device", "cpu")])
+            .unwrap();
+        assert_eq!(count, 13);
+        // 13th task waits a full second for a core.
+        assert!((wait_sum - 1.0).abs() < 1e-9, "wait {wait_sum}");
     }
 }

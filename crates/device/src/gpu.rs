@@ -10,6 +10,7 @@ use crate::cost::{gpu_kernel_time, pcie_transfer_time, OverheadModel, WorkProfil
 use crate::faults::{GpuCrashed, SlowdownWindow};
 use crate::memory::MemorySpace;
 use crate::timeline::Timeline;
+use obs::Obs;
 use parking_lot::Mutex;
 use roofline::profiles::GpuSpec;
 use serde::{Deserialize, Serialize};
@@ -36,6 +37,21 @@ pub struct GpuStats {
     pub contexts: u64,
 }
 
+/// Pre-interned lane and kind names so hot-path recording is two `Arc`
+/// clones instead of a `format!` per kernel or transfer. Kepler-class
+/// parts (dual DMA) get separate `-copy-h2d` / `-copy-d2h` lanes so the
+/// overlapping directions never share (and never visually corrupt) one
+/// lane; Fermi keeps a single `-copy` lane, matching its single engine.
+struct RecordingLanes {
+    compute: Arc<str>,
+    copy_in: Arc<str>,
+    copy_out: Arc<str>,
+    kind_kernel: Arc<str>,
+    kind_crashed: Arc<str>,
+    kind_h2d: Arc<str>,
+    kind_d2h: Arc<str>,
+}
+
 /// A simulated GPU device.
 pub struct Gpu {
     /// Hardware description.
@@ -54,7 +70,9 @@ pub struct Gpu {
     stats: Mutex<GpuStats>,
     context_epoch: AtomicU64,
     name: Arc<str>,
+    lanes: RecordingLanes,
     timeline: Mutex<Option<Timeline>>,
+    obs: Mutex<Option<Obs>>,
     /// Armed crash time; the device dies the first time a kernel would run
     /// past this instant (or is launched after it).
     crash_at: Mutex<Option<SimTime>>,
@@ -69,9 +87,29 @@ impl Gpu {
     /// parts get dual DMA engines, letting H2D and D2H overlap.
     pub fn new(name: &str, spec: GpuSpec, host_dram_bw: f64, overheads: OverheadModel) -> Arc<Self> {
         let dual_dma = spec.hw_queues > 1;
+        let copy_in: Arc<str> = if dual_dma {
+            Arc::from(format!("{name}-copy-h2d").as_str())
+        } else {
+            Arc::from(format!("{name}-copy").as_str())
+        };
+        let copy_out: Arc<str> = if dual_dma {
+            Arc::from(format!("{name}-copy-d2h").as_str())
+        } else {
+            copy_in.clone()
+        };
         Arc::new(Gpu {
             name: name.into(),
+            lanes: RecordingLanes {
+                compute: Arc::from(format!("{name}-compute").as_str()),
+                copy_in,
+                copy_out,
+                kind_kernel: Arc::from("kernel"),
+                kind_crashed: Arc::from("crashed-kernel"),
+                kind_h2d: Arc::from("h2d"),
+                kind_d2h: Arc::from("d2h"),
+            },
             timeline: Mutex::new(None),
+            obs: Mutex::new(None),
             memory: MemorySpace::new(&format!("{name}-globalmem"), spec.mem_bytes),
             compute: Resource::new(&format!("{name}-compute"), 1),
             copy_h2d: Resource::new(&format!("{name}-copy-h2d"), 1),
@@ -130,9 +168,16 @@ impl Gpu {
         *self.timeline.lock() = Some(timeline);
     }
 
-    fn record(&self, engine: &str, kind: &str, start: simtime::SimTime, end: simtime::SimTime) {
+    /// Attaches structured observability: per-kernel and per-transfer
+    /// spans on the event bus, engine wait times and bytes-moved
+    /// counters in the metrics registry.
+    pub fn attach_obs(&self, obs: Obs) {
+        *self.obs.lock() = Some(obs);
+    }
+
+    fn record_tl(&self, lane: &Arc<str>, kind: &Arc<str>, start: SimTime, end: SimTime) {
         if let Some(t) = self.timeline.lock().as_ref() {
-            t.record(&format!("{}-{engine}", self.name), kind, start, end);
+            t.record_interned(lane, kind, start, end);
         }
     }
 
@@ -154,11 +199,35 @@ impl Gpu {
         self.copy_h2d.acquire(ctx, 1);
         let t0 = ctx.now();
         ctx.hold(t);
-        self.record("copy", "h2d", t0, ctx.now());
+        let t1 = ctx.now();
+        self.record_tl(&self.lanes.copy_in, &self.lanes.kind_h2d, t0, t1);
+        self.record_obs_transfer(&self.lanes.copy_in, &self.lanes.kind_h2d, "h2d", bytes, t0, t1);
         self.copy_h2d.release(ctx, 1);
         let mut s = self.stats.lock();
         s.bytes_h2d += bytes;
         s.copy_busy += t.as_secs_f64();
+    }
+
+    /// Emits a transfer span + bytes-moved counter when obs is attached.
+    fn record_obs_transfer(
+        &self,
+        lane: &Arc<str>,
+        kind: &Arc<str>,
+        dir: &'static str,
+        bytes: u64,
+        t0: SimTime,
+        t1: SimTime,
+    ) {
+        if let Some(o) = self.obs.lock().as_ref() {
+            if let Some(d) = o.bus.span_interned(lane, kind, t0, t1) {
+                d.attr("bytes", bytes as f64).commit();
+            }
+            o.metrics.counter_add(
+                "prs_bytes_moved_total",
+                &[("device", &self.name), ("dir", dir)],
+                bytes as f64,
+            );
+        }
     }
 
     /// Transfers `bytes` device→host: on Kepler-class parts this uses the
@@ -170,7 +239,9 @@ impl Gpu {
         engine.acquire(ctx, 1);
         let t0 = ctx.now();
         ctx.hold(t);
-        self.record("copy", "d2h", t0, ctx.now());
+        let t1 = ctx.now();
+        self.record_tl(&self.lanes.copy_out, &self.lanes.kind_d2h, t0, t1);
+        self.record_obs_transfer(&self.lanes.copy_out, &self.lanes.kind_d2h, "d2h", bytes, t0, t1);
         engine.release(ctx, 1);
         let mut s = self.stats.lock();
         s.bytes_d2h += bytes;
@@ -200,6 +271,7 @@ impl Gpu {
         if self.is_crashed(ctx.now()) {
             return Err(GpuCrashed { lost: SimTime::ZERO });
         }
+        let t_queued = ctx.now();
         self.compute.acquire(ctx, 1);
         let t0 = ctx.now();
         if self.is_crashed(t0) {
@@ -218,7 +290,15 @@ impl Gpu {
                 // Dies mid-kernel: burn the time up to the crash, then fail.
                 let lost = if at > t0 { at - t0 } else { SimTime::ZERO };
                 ctx.hold(lost);
-                self.record("compute", "crashed-kernel", t0, ctx.now());
+                let t1 = ctx.now();
+                self.record_tl(&self.lanes.compute, &self.lanes.kind_crashed, t0, t1);
+                if let Some(o) = self.obs.lock().as_ref() {
+                    if let Some(d) =
+                        o.bus.span_interned(&self.lanes.compute, &self.lanes.kind_crashed, t0, t1)
+                    {
+                        d.attr("lost_s", lost.as_secs_f64()).commit();
+                    }
+                }
                 self.compute.release(ctx, 1);
                 self.crashed.store(true, Ordering::Relaxed);
                 return Err(GpuCrashed { lost });
@@ -226,7 +306,17 @@ impl Gpu {
         }
         let result = body();
         ctx.hold(t);
-        self.record("compute", "kernel", t0, ctx.now());
+        let t1 = ctx.now();
+        self.record_tl(&self.lanes.compute, &self.lanes.kind_kernel, t0, t1);
+        if let Some(o) = self.obs.lock().as_ref() {
+            let wait = t0.saturating_sub(t_queued).as_secs_f64();
+            if let Some(d) = o.bus.span_interned(&self.lanes.compute, &self.lanes.kind_kernel, t0, t1)
+            {
+                d.attr("flops", work.flops).attr("wait_s", wait).commit();
+            }
+            o.metrics
+                .observe("prs_block_wait_seconds", &[("device", &self.name)], wait);
+        }
         self.compute.release(ctx, 1);
         let mut s = self.stats.lock();
         s.kernels += 1;
@@ -498,6 +588,60 @@ mod tests {
             (report.end_time.as_secs_f64() - one).abs() < 1e-9,
             "dual DMA should fully overlap"
         );
+    }
+
+    #[test]
+    fn kepler_copy_directions_record_on_distinct_lanes_without_overlap() {
+        let prof = DeviceProfile::bigred2_node();
+        let gpu = Gpu::new(
+            "k20",
+            prof.gpu().clone(),
+            prof.cpu.dram_bw,
+            OverheadModel::zero(),
+        );
+        let tl = crate::timeline::Timeline::new();
+        gpu.attach_timeline(tl.clone());
+        let mut sim = Sim::new();
+        let g1 = gpu.clone();
+        sim.spawn("h2d", move |ctx| g1.transfer_h2d(ctx, 1 << 30));
+        let g2 = gpu.clone();
+        sim.spawn("d2h", move |ctx| g2.transfer_d2h(ctx, 1 << 30));
+        sim.run().unwrap();
+        // The two directions overlap in time, so with one shared lane the
+        // no-overlap invariant would trip; dual DMA gets dual lanes.
+        tl.assert_no_overlaps();
+        let lanes: Vec<String> = tl.busy_by_lane().into_iter().map(|(l, _)| l).collect();
+        assert_eq!(lanes, vec!["k20-copy-d2h".to_string(), "k20-copy-h2d".to_string()]);
+    }
+
+    #[test]
+    fn obs_records_kernel_spans_and_byte_counters() {
+        let gpu = delta_gpu(OverheadModel::zero());
+        let obs = obs::Obs::recording();
+        gpu.attach_obs(obs.clone());
+        let mut sim = Sim::new();
+        let g = gpu.clone();
+        sim.spawn("p", move |ctx| {
+            g.transfer_h2d(ctx, 1000);
+            let w = WorkProfile::from_intensity(103e9, 1e9);
+            g.launch_timed(ctx, &w);
+            g.transfer_d2h(ctx, 500);
+        });
+        sim.run().unwrap();
+        assert_eq!(obs.bus.len(), 3);
+        assert_eq!(
+            obs.metrics
+                .counter("prs_bytes_moved_total", &[("device", "gpu0"), ("dir", "h2d")]),
+            Some(1000.0)
+        );
+        assert_eq!(
+            obs.metrics
+                .counter("prs_bytes_moved_total", &[("device", "gpu0"), ("dir", "d2h")]),
+            Some(500.0)
+        );
+        let jsonl = obs.bus.to_jsonl();
+        assert!(jsonl.contains("\"kind\":\"kernel\""));
+        assert!(jsonl.contains("gpu0-compute"));
     }
 
     #[test]

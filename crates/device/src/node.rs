@@ -74,6 +74,15 @@ impl FatNode {
         }
     }
 
+    /// Attaches one structured-observability bundle to every device on
+    /// the node.
+    pub fn attach_obs(&self, obs: &obs::Obs) {
+        self.cpu.attach_obs(obs.clone());
+        for gpu in &self.gpus {
+            gpu.attach_obs(obs.clone());
+        }
+    }
+
     /// Total flops executed on this node so far (CPU + all GPUs).
     pub fn total_flops(&self) -> f64 {
         self.cpu.stats().flops + self.gpus.iter().map(|g| g.stats().flops).sum::<f64>()

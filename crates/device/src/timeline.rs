@@ -7,6 +7,7 @@
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use simtime::SimTime;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// One busy interval on one lane (device engine).
@@ -22,40 +23,134 @@ pub struct Interval {
     pub kind: String,
 }
 
+/// Internal storage: interned lane/kind so hot-path recording never
+/// allocates a fresh `String` per interval.
+#[derive(Clone)]
+struct Rec {
+    lane: Arc<str>,
+    start: f64,
+    end: f64,
+    kind: Arc<str>,
+}
+
+struct TimelineInner {
+    recs: Mutex<Vec<Rec>>,
+    interned: Mutex<BTreeMap<String, Arc<str>>>,
+}
+
 /// A shared recorder devices append to.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Timeline {
-    intervals: Arc<Mutex<Vec<Interval>>>,
+    inner: Arc<TimelineInner>,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Timeline {
     /// An empty timeline.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            inner: Arc::new(TimelineInner {
+                recs: Mutex::new(Vec::new()),
+                interned: Mutex::new(BTreeMap::new()),
+            }),
+        }
     }
 
-    /// Records one interval.
+    /// Interns a lane or kind name: allocates once per *distinct* name,
+    /// returns `Arc` clones afterwards. Devices intern their lane names
+    /// up front and record via [`Timeline::record_interned`].
+    pub fn intern(&self, name: &str) -> Arc<str> {
+        let mut table = self.inner.interned.lock();
+        if let Some(a) = table.get(name) {
+            return a.clone();
+        }
+        let a: Arc<str> = Arc::from(name);
+        table.insert(name.to_string(), a.clone());
+        a
+    }
+
+    /// Records one interval, interning the names (allocation-free once
+    /// a name has been seen).
     pub fn record(&self, lane: &str, kind: &str, start: SimTime, end: SimTime) {
-        self.intervals.lock().push(Interval {
-            lane: lane.to_string(),
+        let lane = self.intern(lane);
+        let kind = self.intern(kind);
+        self.record_interned(&lane, &kind, start, end);
+    }
+
+    /// Hot-path record with pre-interned names: two `Arc` clones, one
+    /// vector push, no string work.
+    pub fn record_interned(&self, lane: &Arc<str>, kind: &Arc<str>, start: SimTime, end: SimTime) {
+        self.inner.recs.lock().push(Rec {
+            lane: lane.clone(),
             start: start.as_secs_f64(),
             end: end.as_secs_f64(),
-            kind: kind.to_string(),
+            kind: kind.clone(),
         });
     }
 
-    /// All intervals recorded so far, in recording order.
+    /// All intervals recorded so far, sorted by `(lane, start, end)` —
+    /// a canonical order independent of how device daemons interleaved
+    /// their appends.
     pub fn intervals(&self) -> Vec<Interval> {
-        self.intervals.lock().clone()
+        let mut out: Vec<Interval> = self
+            .inner
+            .recs
+            .lock()
+            .iter()
+            .map(|r| Interval {
+                lane: r.lane.to_string(),
+                start: r.start,
+                end: r.end,
+                kind: r.kind.to_string(),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.lane
+                .cmp(&b.lane)
+                .then_with(|| a.start.total_cmp(&b.start))
+                .then_with(|| a.end.total_cmp(&b.end))
+        });
+        out
     }
 
     /// Total busy time per lane.
     pub fn busy_by_lane(&self) -> Vec<(String, f64)> {
-        let mut map: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
-        for iv in self.intervals.lock().iter() {
-            *map.entry(iv.lane.clone()).or_default() += iv.end - iv.start;
+        let mut map: BTreeMap<String, f64> = BTreeMap::new();
+        for r in self.inner.recs.lock().iter() {
+            *map.entry(r.lane.to_string()).or_default() += r.end - r.start;
         }
         map.into_iter().collect()
+    }
+
+    /// Returns the overlapping start-sorted neighbour pairs per lane
+    /// (sharing an endpoint is not an overlap) — empty iff no two
+    /// intervals on any lane overlap. Device engines are exclusive
+    /// resources, so any hit is a recording bug.
+    pub fn overlapping_intervals(&self) -> Vec<(Interval, Interval)> {
+        let ivs = self.intervals();
+        let mut bad = Vec::new();
+        for w in ivs.windows(2) {
+            if w[0].lane == w[1].lane && w[1].start < w[0].end - 1e-12 {
+                bad.push((w[0].clone(), w[1].clone()));
+            }
+        }
+        bad
+    }
+
+    /// Regression assert: panics (with the offending pair) if any lane
+    /// carries overlapping intervals.
+    pub fn assert_no_overlaps(&self) {
+        let bad = self.overlapping_intervals();
+        assert!(
+            bad.is_empty(),
+            "timeline lanes must never self-overlap; first offender: {:?}",
+            bad[0]
+        );
     }
 }
 
@@ -200,6 +295,42 @@ mod tests {
     #[test]
     fn empty_timeline_renders_placeholder() {
         assert!(render_ascii(&[], 40).contains("empty"));
+    }
+
+    #[test]
+    fn intervals_sorted_by_lane_then_start() {
+        let t = Timeline::new();
+        t.record("b", "kernel", SimTime::from_secs(5), SimTime::from_secs(6));
+        t.record("a", "kernel", SimTime::from_secs(3), SimTime::from_secs(4));
+        t.record("a", "kernel", SimTime::from_secs(1), SimTime::from_secs(2));
+        let ivs = t.intervals();
+        let order: Vec<(&str, f64)> = ivs.iter().map(|i| (i.lane.as_str(), i.start)).collect();
+        assert_eq!(order, vec![("a", 1.0), ("a", 3.0), ("b", 5.0)]);
+    }
+
+    #[test]
+    fn interning_reuses_one_allocation_per_name() {
+        let t = Timeline::new();
+        let a = t.intern("node0-gpu0-compute");
+        let b = t.intern("node0-gpu0-compute");
+        assert!(Arc::ptr_eq(&a, &b));
+        let k = t.intern("kernel");
+        t.record_interned(&a, &k, SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(t.intervals()[0].lane, "node0-gpu0-compute");
+    }
+
+    #[test]
+    fn overlap_detection_flags_only_true_overlaps() {
+        let t = Timeline::new();
+        // Touching endpoints and different lanes are fine.
+        t.record("a", "kernel", SimTime::ZERO, SimTime::from_secs(1));
+        t.record("a", "kernel", SimTime::from_secs(1), SimTime::from_secs(2));
+        t.record("b", "kernel", SimTime::ZERO, SimTime::from_secs(2));
+        assert!(t.overlapping_intervals().is_empty());
+        t.assert_no_overlaps();
+        // A genuine overlap on one lane is caught.
+        t.record("a", "kernel", SimTime::from_secs_f64(1.5), SimTime::from_secs(3));
+        assert_eq!(t.overlapping_intervals().len(), 1);
     }
 
     #[test]

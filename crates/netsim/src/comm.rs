@@ -4,10 +4,20 @@
 
 use crate::faults::LinkDisruption;
 use crate::params::NetworkParams;
+use obs::Obs;
 use parking_lot::Mutex;
 use simtime::{Channel, Resource, SimCtx, SimTime};
 use std::any::Any;
 use std::sync::Arc;
+
+/// Observability attachment: the bundle plus per-rank egress lanes and
+/// the send kind, interned once so the per-message cost is two `Arc`
+/// clones.
+struct NetObs {
+    obs: Obs,
+    lanes: Vec<Arc<str>>,
+    kind_send: Arc<str>,
+}
 
 /// An in-flight message. Payloads are type-erased; [`Communicator::recv`]
 /// downcasts back to the concrete type.
@@ -25,6 +35,7 @@ pub struct Network {
     egress: Vec<Resource>,
     /// Installed fault windows (normally empty; see [`crate::faults`]).
     disruptions: Mutex<Vec<LinkDisruption>>,
+    obs: Mutex<Option<NetObs>>,
 }
 
 impl Network {
@@ -40,6 +51,7 @@ impl Network {
                 .map(|r| Resource::new(&format!("{name}-egress{r}"), 1))
                 .collect(),
             disruptions: Mutex::new(Vec::new()),
+            obs: Mutex::new(None),
         })
     }
 
@@ -47,6 +59,19 @@ impl Network {
     /// starts; windows are matched against each send's initiation time.
     pub fn set_disruptions(&self, windows: Vec<LinkDisruption>) {
         *self.disruptions.lock() = windows;
+    }
+
+    /// Attaches structured observability: every cross-rank send emits a
+    /// `net-send` span on the sender's egress lane (with bytes and
+    /// destination) and accumulates per-sender byte counters. Because
+    /// collectives and the shuffle all route through point-to-point
+    /// sends, this one choke point covers all traffic.
+    pub fn attach_obs(&self, obs: Obs) {
+        let lanes = (0..self.size())
+            .map(|r| obs.bus.intern(&format!("net-rank{r}")))
+            .collect();
+        let kind_send = obs.bus.intern("net-send");
+        *self.obs.lock() = Some(NetObs { obs, lanes, kind_send });
     }
 
     /// Effective (wire time, delivery delay, partition release time) for a
@@ -159,7 +184,19 @@ impl Communicator {
             self.net.disruption_effects(self.rank, dst, ctx.now(), bytes);
         let egress = &self.net.egress[self.rank];
         egress.acquire(ctx, 1);
+        let t0 = ctx.now();
         ctx.hold(wire);
+        let t1 = ctx.now();
+        if let Some(o) = self.net.obs.lock().as_ref() {
+            if let Some(d) = o.obs.bus.span_interned(&o.lanes[self.rank], &o.kind_send, t0, t1) {
+                d.attr("bytes", bytes as f64).attr("dst", dst as f64).commit();
+            }
+            o.obs.metrics.counter_add(
+                "prs_net_bytes_total",
+                &[("src", &self.rank.to_string())],
+                bytes as f64,
+            );
+        }
         egress.release(ctx, 1);
         if let Some(until) = release {
             // Partitioned: the message sits in flight until the window
@@ -442,6 +479,30 @@ mod tests {
             assert_eq!(ctx.now(), SimTime::from_secs(31));
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn obs_records_send_spans_and_byte_counters_but_not_self_sends() {
+        let mut sim = Sim::new();
+        let net = Network::new("n", 2, params());
+        let o = obs::Obs::recording();
+        net.attach_obs(o.clone());
+        let c0 = net.communicator(0);
+        let c1 = net.communicator(1);
+        sim.spawn("r0", move |ctx| {
+            c0.send(ctx, 0, 1, 500, ()); // self-send: no NIC, no event
+            c0.send(ctx, 1, 0, 200, ());
+        });
+        sim.spawn("r1", move |ctx| {
+            c1.recv::<()>(ctx, 0, 0);
+        });
+        sim.run().unwrap();
+        assert_eq!(o.bus.len(), 1);
+        let jsonl = o.bus.to_jsonl();
+        assert!(jsonl.contains("net-rank0"));
+        assert!(jsonl.contains("\"net-send\""));
+        assert_eq!(o.metrics.counter("prs_net_bytes_total", &[("src", "0")]), Some(200.0));
+        assert_eq!(o.metrics.counter("prs_net_bytes_total", &[("src", "1")]), None);
     }
 
     #[test]

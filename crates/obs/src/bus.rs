@@ -1,0 +1,302 @@
+//! The structured event bus: spans and point events carrying virtual
+//! timestamps, keyed by iteration / partition / block / device lane.
+//!
+//! Hot paths (CPU pollers, GPU stream workers, the comm layer) emit one
+//! event per task or transfer, so recording must be cheap: lane and kind
+//! strings are interned to `Arc<str>` (one allocation per *distinct*
+//! name, not per event) and the event vector sits behind a single
+//! `parking_lot` mutex taken only when the bus is enabled.
+
+use parking_lot::Mutex;
+use serde::Value;
+use simtime::SimTime;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One structured event. `dur` distinguishes spans (busy intervals)
+/// from point events (a retry firing, a daemon dying).
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Start time, virtual seconds.
+    pub t: f64,
+    /// Span duration in virtual seconds; `None` for point events.
+    pub dur: Option<f64>,
+    /// Device/engine lane (e.g. `node0-gpu0-compute`) or logical lane
+    /// (e.g. `node1-sched`, `master`).
+    pub lane: Arc<str>,
+    /// Event kind (`kernel`, `h2d`, `cpu-task`, `assign`, `retry`, ...).
+    pub kind: Arc<str>,
+    /// Outer iteration index, if the event belongs to one.
+    pub iteration: Option<u64>,
+    /// Master-level partition id, if any.
+    pub partition: Option<u64>,
+    /// Worker-level block index, if any.
+    pub block: Option<u64>,
+    /// Free-form numeric attributes (flops, bytes, wait seconds, ...).
+    pub attrs: Vec<(&'static str, f64)>,
+}
+
+impl Event {
+    /// JSON object for one event; keys are emitted in BTreeMap order so
+    /// the rendering is deterministic.
+    pub fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("t".to_string(), Value::Number(self.t));
+        if let Some(d) = self.dur {
+            m.insert("dur".to_string(), Value::Number(d));
+        }
+        m.insert("lane".to_string(), Value::String(self.lane.to_string()));
+        m.insert("kind".to_string(), Value::String(self.kind.to_string()));
+        if let Some(i) = self.iteration {
+            m.insert("iter".to_string(), Value::Number(i as f64));
+        }
+        if let Some(p) = self.partition {
+            m.insert("part".to_string(), Value::Number(p as f64));
+        }
+        if let Some(b) = self.block {
+            m.insert("block".to_string(), Value::Number(b as f64));
+        }
+        if !self.attrs.is_empty() {
+            let mut attrs = BTreeMap::new();
+            for (k, v) in &self.attrs {
+                attrs.insert((*k).to_string(), Value::Number(*v));
+            }
+            m.insert("attrs".to_string(), Value::Object(attrs));
+        }
+        Value::Object(m)
+    }
+}
+
+struct BusInner {
+    events: Mutex<Vec<Event>>,
+    interned: Mutex<BTreeMap<String, Arc<str>>>,
+}
+
+/// A shared, cheaply clonable event sink. The default value is
+/// *disabled*: every emit call returns `None` without locking.
+#[derive(Clone, Default)]
+pub struct EventBus {
+    inner: Option<Arc<BusInner>>,
+}
+
+impl EventBus {
+    /// A live bus that records events.
+    pub fn recording() -> Self {
+        Self {
+            inner: Some(Arc::new(BusInner {
+                events: Mutex::new(Vec::new()),
+                interned: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// A disabled bus (same as `EventBus::default()`).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether emits will actually record.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Interns a lane/kind name: one allocation the first time a name
+    /// is seen, `Arc` clones afterwards. Callers on hot paths should
+    /// intern once up front and pass the `Arc<str>` to [`Self::span_interned`].
+    /// Returns an owned `Arc<str>` even when the bus is disabled so
+    /// device setup code can intern unconditionally.
+    pub fn intern(&self, name: &str) -> Arc<str> {
+        match &self.inner {
+            Some(inner) => {
+                let mut table = inner.interned.lock();
+                if let Some(a) = table.get(name) {
+                    return a.clone();
+                }
+                let a: Arc<str> = Arc::from(name);
+                table.insert(name.to_string(), a.clone());
+                a
+            }
+            None => Arc::from(name),
+        }
+    }
+
+    /// Starts a point event draft at time `t`. Returns `None` when
+    /// disabled; call [`EventDraft::commit`] to record.
+    pub fn event(&self, lane: &str, kind: &str, t: SimTime) -> Option<EventDraft<'_>> {
+        self.inner.as_ref().map(|inner| EventDraft {
+            inner,
+            ev: Event {
+                t: t.as_secs_f64(),
+                dur: None,
+                lane: self.intern(lane),
+                kind: self.intern(kind),
+                iteration: None,
+                partition: None,
+                block: None,
+                attrs: Vec::new(),
+            },
+        })
+    }
+
+    /// Starts a span draft covering `[start, end]` in virtual seconds.
+    pub fn span(&self, lane: &str, kind: &str, start: SimTime, end: SimTime) -> Option<EventDraft<'_>> {
+        self.event(lane, kind, start).map(|d| {
+            let mut d = d;
+            d.ev.dur = Some(end.as_secs_f64() - start.as_secs_f64());
+            d
+        })
+    }
+
+    /// Span emit with pre-interned lane and kind — zero string work on
+    /// the hot path beyond two `Arc` clones.
+    pub fn span_interned(
+        &self,
+        lane: &Arc<str>,
+        kind: &Arc<str>,
+        start: SimTime,
+        end: SimTime,
+    ) -> Option<EventDraft<'_>> {
+        self.inner.as_ref().map(|inner| EventDraft {
+            inner,
+            ev: Event {
+                t: start.as_secs_f64(),
+                dur: Some(end.as_secs_f64() - start.as_secs_f64()),
+                lane: lane.clone(),
+                kind: kind.clone(),
+                iteration: None,
+                partition: None,
+                block: None,
+                attrs: Vec::new(),
+            },
+        })
+    }
+
+    /// Number of events recorded so far (0 when disabled).
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.events.lock().len())
+    }
+
+    /// True when no events have been recorded (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all recorded events, in append order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| i.events.lock().clone())
+    }
+
+    /// Canonical JSONL export: one JSON object per line, lines sorted
+    /// by `(t, rendered bytes)` so two runs that record the same set of
+    /// events — in any append order — produce byte-identical output.
+    pub fn to_jsonl(&self) -> String {
+        let mut lines: Vec<(f64, String)> = self
+            .events()
+            .iter()
+            .map(|e| (e.t, e.to_value().to_json_string()))
+            .collect();
+        lines.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        let mut out = String::new();
+        for (_, l) in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Builder for one event: chain the optional keys, then [`commit`].
+///
+/// [`commit`]: EventDraft::commit
+#[must_use = "an uncommitted event draft records nothing"]
+pub struct EventDraft<'a> {
+    inner: &'a BusInner,
+    ev: Event,
+}
+
+impl EventDraft<'_> {
+    /// Tags the event with an outer iteration index.
+    pub fn iteration(mut self, i: usize) -> Self {
+        self.ev.iteration = Some(i as u64);
+        self
+    }
+
+    /// Tags the event with a master partition id.
+    pub fn partition(mut self, p: usize) -> Self {
+        self.ev.partition = Some(p as u64);
+        self
+    }
+
+    /// Tags the event with a worker block index.
+    pub fn block(mut self, b: usize) -> Self {
+        self.ev.block = Some(b as u64);
+        self
+    }
+
+    /// Attaches a numeric attribute.
+    pub fn attr(mut self, key: &'static str, value: f64) -> Self {
+        self.ev.attrs.push((key, value));
+        self
+    }
+
+    /// Records the event on the bus.
+    pub fn commit(self) {
+        self.inner.events.lock().push(self.ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_bus_emits_nothing() {
+        let bus = EventBus::disabled();
+        assert!(bus.event("l", "k", SimTime::ZERO).is_none());
+        assert!(bus.is_empty());
+        assert_eq!(bus.to_jsonl(), "");
+    }
+
+    #[test]
+    fn interning_reuses_allocations() {
+        let bus = EventBus::recording();
+        let a = bus.intern("node0-gpu0-compute");
+        let b = bus.intern("node0-gpu0-compute");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn span_and_tags_round_trip_through_json() {
+        let bus = EventBus::recording();
+        bus.span("node0-cpu-c0", "cpu-task", SimTime::from_secs(1), SimTime::from_secs(3))
+            .unwrap()
+            .iteration(2)
+            .block(7)
+            .attr("flops", 1e9)
+            .commit();
+        let jsonl = bus.to_jsonl();
+        let doc = serde_json::from_str(jsonl.trim()).unwrap();
+        assert_eq!(doc["t"].as_f64(), Some(1.0));
+        assert_eq!(doc["dur"].as_f64(), Some(2.0));
+        assert_eq!(doc["lane"].as_str(), Some("node0-cpu-c0"));
+        assert_eq!(doc["iter"].as_u64(), Some(2));
+        assert_eq!(doc["block"].as_u64(), Some(7));
+        assert_eq!(doc["attrs"]["flops"].as_f64(), Some(1e9));
+    }
+
+    #[test]
+    fn jsonl_is_canonically_sorted_regardless_of_append_order() {
+        let render = |order: &[(f64, &str)]| {
+            let bus = EventBus::recording();
+            for (t, kind) in order {
+                bus.event("l", kind, SimTime::from_secs_f64(*t)).unwrap().commit();
+            }
+            bus.to_jsonl()
+        };
+        let fwd = render(&[(1.0, "a"), (1.0, "b"), (2.0, "c")]);
+        let rev = render(&[(2.0, "c"), (1.0, "b"), (1.0, "a")]);
+        assert_eq!(fwd, rev);
+        let first = fwd.lines().next().unwrap();
+        assert!(first.contains("\"a\""));
+    }
+}

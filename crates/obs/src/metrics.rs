@@ -1,0 +1,291 @@
+//! The metrics registry: counters, gauges, and virtual-time histograms
+//! with a deterministic Prometheus-style text exporter.
+//!
+//! Series are keyed by their fully rendered name — metric family plus
+//! inline labels, e.g. `prs_device_busy_seconds{device="node0-gpu0"}` —
+//! in a `BTreeMap`, so the exporter's output order is deterministic
+//! without any extra sorting pass.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Histogram bucket upper bounds, virtual seconds. Spans the runtime's
+/// dynamic range: microsecond block waits up to multi-second stalls.
+const BUCKET_BOUNDS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+#[derive(Clone, Debug, Default)]
+struct Hist {
+    count: u64,
+    sum: f64,
+    /// Cumulative counts per bound in [`BUCKET_BOUNDS`]; the implicit
+    /// `+Inf` bucket equals `count`.
+    buckets: [u64; BUCKET_BOUNDS.len()],
+}
+
+impl Hist {
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        for (i, bound) in BUCKET_BOUNDS.iter().enumerate() {
+            if v <= *bound {
+                self.buckets[i] += 1;
+            }
+        }
+    }
+}
+
+struct RegInner {
+    counters: Mutex<BTreeMap<String, f64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    hists: Mutex<BTreeMap<String, Hist>>,
+}
+
+/// A shared, cheaply clonable metrics sink. The default value is
+/// *disabled*: every update is a no-op branch.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<RegInner>>,
+}
+
+/// Renders `name{k="v",...}` (or bare `name` without labels).
+fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut s = String::with_capacity(name.len() + 16 * labels.len());
+    s.push_str(name);
+    s.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{k}=\"{v}\"");
+    }
+    s.push('}');
+    s
+}
+
+/// Metric family = series name up to the label block.
+fn family(series: &str) -> &str {
+    series.split('{').next().unwrap_or(series)
+}
+
+/// Formats a sample value the way the rest of the workspace formats
+/// JSON numbers: integral values print without a fractional part.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl MetricsRegistry {
+    /// A live registry.
+    pub fn recording() -> Self {
+        Self {
+            inner: Some(Arc::new(RegInner {
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                hists: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// A disabled registry (same as `MetricsRegistry::default()`).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether updates will actually record.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `v` to a counter series (creating it at zero).
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        if let Some(inner) = &self.inner {
+            *inner.counters.lock().entry(series_key(name, labels)).or_insert(0.0) += v;
+        }
+    }
+
+    /// Sets a gauge series to `v`.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.gauges.lock().insert(series_key(name, labels), v);
+        }
+    }
+
+    /// Sets a gauge to the maximum of its current value and `v` —
+    /// used for high-water marks like peak queue depth.
+    pub fn gauge_max(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        if let Some(inner) = &self.inner {
+            let mut g = inner.gauges.lock();
+            let e = g.entry(series_key(name, labels)).or_insert(f64::NEG_INFINITY);
+            if v > *e {
+                *e = v;
+            }
+        }
+    }
+
+    /// Records one observation into a histogram series.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.hists.lock().entry(series_key(name, labels)).or_default().observe(v);
+        }
+    }
+
+    /// Reads back a counter (testing / summaries); `None` if absent.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.inner.as_ref()?.counters.lock().get(&series_key(name, labels)).copied()
+    }
+
+    /// Reads back a gauge; `None` if absent.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.inner.as_ref()?.gauges.lock().get(&series_key(name, labels)).copied()
+    }
+
+    /// Reads back a histogram's `(count, sum)`; `None` if absent.
+    pub fn histogram_stats(&self, name: &str, labels: &[(&str, &str)]) -> Option<(u64, f64)> {
+        self.inner
+            .as_ref()?
+            .hists
+            .lock()
+            .get(&series_key(name, labels))
+            .map(|h| (h.count, h.sum))
+    }
+
+    /// Prometheus text-format snapshot: `# TYPE` per family, then the
+    /// samples, everything in deterministic (BTreeMap) order. Empty
+    /// string when disabled.
+    pub fn to_prometheus(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return String::new();
+        };
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (series, v) in inner.counters.lock().iter() {
+            let fam = family(series);
+            if fam != last_family {
+                let _ = writeln!(out, "# TYPE {fam} counter");
+                last_family = fam.to_string();
+            }
+            let _ = writeln!(out, "{series} {}", fmt_value(*v));
+        }
+        last_family.clear();
+        for (series, v) in inner.gauges.lock().iter() {
+            let fam = family(series);
+            if fam != last_family {
+                let _ = writeln!(out, "# TYPE {fam} gauge");
+                last_family = fam.to_string();
+            }
+            let _ = writeln!(out, "{series} {}", fmt_value(*v));
+        }
+        last_family.clear();
+        for (series, h) in inner.hists.lock().iter() {
+            let fam = family(series);
+            if fam != last_family {
+                let _ = writeln!(out, "# TYPE {fam} histogram");
+                last_family = fam.to_string();
+            }
+            // Re-render the series key with an `le` label appended.
+            let (name, labels) = match series.split_once('{') {
+                Some((n, rest)) => (n, rest.trim_end_matches('}')),
+                None => (series.as_str(), ""),
+            };
+            let sep = if labels.is_empty() { "" } else { "," };
+            for (i, bound) in BUCKET_BOUNDS.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{{labels}{sep}le=\"{bound}\"}} {}",
+                    h.buckets[i]
+                );
+            }
+            let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum{} {}", if labels.is_empty() { String::new() } else { format!("{{{labels}}}") }, fmt_value(h.sum));
+            let _ = writeln!(out, "{name}_count{} {}", if labels.is_empty() { String::new() } else { format!("{{{labels}}}") }, h.count);
+        }
+        out
+    }
+
+    /// Parses a `to_prometheus` snapshot back into `(series, value)`
+    /// sample pairs, skipping comments. Used by `prs metrics` to render
+    /// summaries from a file on disk.
+    pub fn parse_samples(text: &str) -> Vec<(String, f64)> {
+        text.lines()
+            .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+            .filter_map(|l| {
+                let (series, value) = l.rsplit_once(' ')?;
+                Some((series.to_string(), value.parse().ok()?))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let m = MetricsRegistry::disabled();
+        m.counter_add("c", &[], 1.0);
+        m.observe("h", &[], 0.5);
+        assert_eq!(m.to_prometheus(), "");
+        assert_eq!(m.counter("c", &[]), None);
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let m = MetricsRegistry::recording();
+        m.counter_add("prs_bytes_total", &[("dir", "h2d")], 10.0);
+        m.counter_add("prs_bytes_total", &[("dir", "h2d")], 5.0);
+        m.gauge_set("prs_util", &[("device", "gpu0")], 0.5);
+        m.gauge_set("prs_util", &[("device", "gpu0")], 0.9);
+        m.gauge_max("prs_q", &[], 3.0);
+        m.gauge_max("prs_q", &[], 1.0);
+        assert_eq!(m.counter("prs_bytes_total", &[("dir", "h2d")]), Some(15.0));
+        assert_eq!(m.gauge("prs_util", &[("device", "gpu0")]), Some(0.9));
+        assert_eq!(m.gauge("prs_q", &[]), Some(3.0));
+    }
+
+    #[test]
+    fn prometheus_text_is_deterministic_and_parseable() {
+        let m = MetricsRegistry::recording();
+        m.counter_add("b_total", &[("x", "2")], 2.0);
+        m.counter_add("a_total", &[], 1.0);
+        m.observe("h_seconds", &[("d", "cpu")], 0.0005);
+        m.observe("h_seconds", &[("d", "cpu")], 2.0);
+        let text = m.to_prometheus();
+        // Families appear sorted, each introduced by a TYPE line.
+        let a = text.find("# TYPE a_total counter").unwrap();
+        let b = text.find("# TYPE b_total counter").unwrap();
+        assert!(a < b);
+        assert!(text.contains("h_seconds_bucket{d=\"cpu\",le=\"0.001\"} 1"));
+        assert!(text.contains("h_seconds_bucket{d=\"cpu\",le=\"+Inf\"} 2"));
+        assert!(text.contains("h_seconds_count{d=\"cpu\"} 2"));
+        let samples = MetricsRegistry::parse_samples(&text);
+        assert!(samples.iter().any(|(s, v)| s == "a_total" && *v == 1.0));
+        assert!(samples
+            .iter()
+            .any(|(s, v)| s == "h_seconds_sum{d=\"cpu\"}" && (*v - 2.0005).abs() < 1e-12));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = MetricsRegistry::recording();
+        for v in [1e-7, 1e-4, 1e-4, 0.5, 100.0] {
+            m.observe("w", &[], v);
+        }
+        let text = m.to_prometheus();
+        assert!(text.contains("w_bucket{le=\"0.000001\"} 1"));
+        assert!(text.contains("w_bucket{le=\"0.0001\"} 3"));
+        assert!(text.contains("w_bucket{le=\"1\"} 4"));
+        assert!(text.contains("w_bucket{le=\"+Inf\"} 5"));
+        let (count, sum) = m.histogram_stats("w", &[]).unwrap();
+        assert_eq!(count, 5);
+        assert!((sum - 100.5002001).abs() < 1e-9);
+    }
+}

@@ -1,16 +1,20 @@
-//! Visualize a job's execution as an ASCII Gantt chart: see the CPU
-//! cores and GPU engines fill up, transfers overlap kernels across
-//! streams, and — if Equation (8) did its job — both device classes
-//! finish together.
+//! Visualize a job's execution two ways from one instrumented run: the
+//! ASCII Gantt chart (CPU cores and GPU engines filling up, transfers
+//! overlapping kernels across streams), and the unified observability
+//! exporters — structured events, Prometheus metrics, the
+//! scheduler-decision audit, and a Chrome trace you can open in
+//! Perfetto. If Equation (8) did its job, both device classes finish
+//! together and the audit's predicted map time matches the observed one.
 //!
 //! ```sh
 //! cargo run --release -p prs-suite --example timeline_view
 //! ```
 
-use device::render_ascii;
-use prs_core::{run_job, ClusterSpec, DeviceClass, JobConfig, Key, SpmdApp};
+use device::{render_ascii, to_chrome_trace};
+use prs_core::{run_job_observed, ClusterSpec, DeviceClass, JobConfig, Key, Obs, SpmdApp};
 use roofline::model::DataResidency;
 use roofline::schedule::Workload;
+use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -50,7 +54,10 @@ fn main() {
         gpu_streams: 2,
         ..JobConfig::static_analytic()
     };
-    let result = run_job(&ClusterSpec::delta(1), Arc::new(Balanced), config).expect("job");
+    let obs = Obs::recording();
+    let result =
+        run_job_observed(&ClusterSpec::delta(1), Arc::new(Balanced), config, obs.clone())
+            .expect("job");
 
     println!(
         "Equation (8) split: {:.1}% CPU — makespan {:.2} ms\n",
@@ -59,8 +66,45 @@ fn main() {
     );
     println!("Gantt ('#' kernel/CPU task, '>' H2D transfer, '<' D2H transfer):\n");
     print!("{}", render_ascii(&result.metrics.timeline, 100));
+
+    // The same execution, as the structured event stream sees it.
+    let mut by_kind: BTreeMap<String, (usize, f64)> = BTreeMap::new();
+    for e in obs.bus.events() {
+        let slot = by_kind.entry(e.kind.to_string()).or_default();
+        slot.0 += 1;
+        slot.1 += e.dur.unwrap_or(0.0);
+    }
+    println!("\nEvent stream ({} events):", obs.bus.len());
+    for (kind, (n, busy)) in &by_kind {
+        println!("  {kind:<16} x{n:<5} {:.3} ms busy", busy * 1e3);
+    }
+
+    // The audited decision: Equation (8)'s prediction against reality.
+    for d in obs.audit.records() {
+        println!(
+            "\nAudited split: p = {:.3} ({}, {} regime)",
+            d.cpu_fraction, d.trigger, d.regime
+        );
+        println!(
+            "  predicted map {:.3} ms   observed {:.3} ms   error {:.2}%",
+            d.predicted_map_secs * 1e3,
+            d.observed_map_secs.unwrap_or(0.0) * 1e3,
+            d.map_error().unwrap_or(0.0) * 100.0
+        );
+    }
+
+    // Full bundle on disk — `prs trace` / `prs metrics` read the same files.
+    let dir = std::path::Path::new("target").join("obs-example");
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    std::fs::write(dir.join("events.jsonl"), obs.bus.to_jsonl()).expect("events");
+    std::fs::write(dir.join("metrics.prom"), obs.metrics.to_prometheus()).expect("metrics");
+    std::fs::write(dir.join("decisions.jsonl"), obs.audit.to_jsonl()).expect("decisions");
+    std::fs::write(dir.join("trace.json"), to_chrome_trace(&result.metrics.timeline))
+        .expect("trace");
     println!(
-        "\n{} intervals recorded; note the GPU copy lane ('>') running while the\ncompute lane ('#') is busy — stream overlap — and the CPU finishing with the GPU.",
-        result.metrics.timeline.len()
+        "\nWrote events.jsonl / metrics.prom / decisions.jsonl / trace.json to {}\n\
+         (open trace.json in Perfetto, or run: prs trace --dir {})",
+        dir.display(),
+        dir.display()
     );
 }
