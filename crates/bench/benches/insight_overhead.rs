@@ -1,0 +1,162 @@
+//! Insight-layer overhead bench, emitted to
+//! `target/experiments/BENCH_insight.json`:
+//!
+//! - *analyzer wall-time* — critical-path analysis and calibration
+//!   fitting are post-hoc passes over the recorded trace; neither touches
+//!   the simulation, so their cost is pure host time and is reported per
+//!   pass over a real two-node trace;
+//! - *online-calibration overhead* — the per-iteration EWMA update and
+//!   Equation (8) re-solve run inside the scheduler, so their wall cost
+//!   is measured against the identical uncalibrated run;
+//! - *frozen-fit invariant* — with `alpha = 0` the fit never moves off
+//!   the configured profile, so the calibrated run's `total_seconds`
+//!   must be bit-identical to the uncalibrated one.
+
+use criterion::{criterion_group, Criterion};
+use prs_bench::{write_json, SyntheticApp};
+use prs_core::{run_iterative_observed, ClusterSpec, JobConfig, Obs};
+use roofline::model::DataResidency;
+use roofline::profiles::DeviceProfile;
+use roofline::schedule::Workload;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn app() -> Arc<SyntheticApp> {
+    Arc::new(SyntheticApp {
+        n: 200_000,
+        item_bytes: 64,
+        workload: Workload::uniform(200.0, DataResidency::Staged),
+        keys: 16,
+        value_bytes: 16,
+    })
+}
+
+fn config() -> JobConfig {
+    JobConfig::static_analytic().with_iterations(3)
+}
+
+/// A recorded two-node, three-iteration trace to analyze.
+fn recorded_trace() -> Vec<insight::TraceEvent> {
+    let obs = Obs::recording();
+    run_iterative_observed(&ClusterSpec::delta(2), app(), config(), obs.clone()).unwrap();
+    insight::from_bus(&obs.bus)
+}
+
+fn bench_insight(c: &mut Criterion) {
+    let events = recorded_trace();
+    let mut g = c.benchmark_group("insight");
+    g.sample_size(20);
+    g.bench_function("analyze_trace", |b| {
+        b.iter(|| black_box(insight::analyze(black_box(&events))));
+    });
+    g.bench_function("fit_from_events", |b| {
+        b.iter(|| {
+            black_box(insight::fit_from_events(
+                DeviceProfile::delta_node(),
+                insight::DEFAULT_ALPHA,
+                black_box(&events),
+            ))
+        });
+    });
+    g.finish();
+
+    let spec = ClusterSpec::delta(2);
+    let mut g = c.benchmark_group("insight/two_node_3_iter");
+    g.sample_size(10);
+    g.bench_function("calibrate_off", |b| {
+        b.iter(|| {
+            black_box(run_iterative_observed(&spec, app(), config(), Obs::disabled()).unwrap())
+        });
+    });
+    g.bench_function("calibrate_online", |b| {
+        b.iter(|| {
+            black_box(
+                run_iterative_observed(
+                    &spec,
+                    app(),
+                    config().with_online_calibration(0.3),
+                    Obs::disabled(),
+                )
+                .unwrap(),
+            )
+        });
+    });
+    g.finish();
+}
+
+/// Mean wall-clock seconds of `f` over `n` timed runs (after one warmup).
+fn mean_secs<R>(n: u32, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..n {
+        black_box(f());
+    }
+    start.elapsed().as_secs_f64() / f64::from(n)
+}
+
+fn emit_json() {
+    let events = recorded_trace();
+    let analyze_secs = mean_secs(50, || insight::analyze(&events));
+    let fit_secs = mean_secs(50, || {
+        insight::fit_from_events(DeviceProfile::delta_node(), insight::DEFAULT_ALPHA, &events)
+    });
+
+    let spec = ClusterSpec::delta(2);
+    let runs = 10;
+    let off_secs = mean_secs(runs, || {
+        run_iterative_observed(&spec, app(), config(), Obs::disabled()).unwrap()
+    });
+    let online_secs = mean_secs(runs, || {
+        run_iterative_observed(
+            &spec,
+            app(),
+            config().with_online_calibration(0.3),
+            Obs::disabled(),
+        )
+        .unwrap()
+    });
+
+    // The frozen-fit invariant: alpha = 0 never moves the fit off the
+    // configured profile, so the schedule — and the virtual clock — must
+    // not change at all.
+    let bare = run_iterative_observed(&spec, app(), config(), Obs::disabled()).unwrap();
+    let frozen = run_iterative_observed(
+        &spec,
+        app(),
+        config().with_online_calibration(0.0),
+        Obs::disabled(),
+    )
+    .unwrap();
+    let frozen_identical =
+        bare.metrics.total_seconds.to_bits() == frozen.metrics.total_seconds.to_bits();
+    assert!(
+        frozen_identical,
+        "alpha=0 calibration must be bit-identical: {} vs {}",
+        bare.metrics.total_seconds, frozen.metrics.total_seconds
+    );
+
+    let overhead = if off_secs > 0.0 { online_secs / off_secs - 1.0 } else { 0.0 };
+    write_json(
+        "BENCH_insight",
+        &serde_json::json!({
+            "bench": "insight_overhead",
+            "scenario": "delta(2), 3 iterations, 200k items",
+            "trace_events": events.len(),
+            "analyze_wall_secs": analyze_secs,
+            "fit_from_events_wall_secs": fit_secs,
+            "timed_runs": runs,
+            "calibrate_off_wall_secs": off_secs,
+            "calibrate_online_wall_secs": online_secs,
+            "calibration_wall_overhead_fraction": overhead,
+            "frozen_fit_bit_identical": frozen_identical,
+        }),
+    );
+}
+
+criterion_group!(benches, bench_insight);
+
+fn main() {
+    benches();
+    emit_json();
+}

@@ -6,7 +6,7 @@
 
 #![warn(missing_docs)]
 
-use prs_core::{JobConfig, SchedulingMode};
+use prs_core::{CalibrationMode, JobConfig, SchedulingMode};
 use roofline::model::DataResidency;
 use roofline::profiles::DeviceProfile;
 use std::collections::BTreeMap;
@@ -66,6 +66,9 @@ pub struct RunOptions {
     pub nodes: usize,
     /// Node profile name (`delta` or `bigred2`).
     pub profile: String,
+    /// Load the node profile from a calibration TOML file instead of a
+    /// preset (the output of `prs calibrate`); overrides `profile`.
+    pub profile_file: Option<String>,
     /// Scheduling and runtime knobs.
     pub config: JobConfig,
     /// Input records (points / rows / tokens / signals).
@@ -93,6 +96,7 @@ impl Default for RunOptions {
             app: AppKind::Cmeans,
             nodes: 2,
             profile: "delta".to_string(),
+            profile_file: None,
             config: JobConfig::static_analytic().with_iterations(10),
             points: 50_000,
             dims: 32,
@@ -133,6 +137,28 @@ pub fn parse_mode(s: &str) -> Result<SchedulingMode, String> {
             "unknown mode '{other}' (try: static, static:<p>, dynamic:<block>, gpu, cpu)"
         )),
     }
+}
+
+/// Parses a calibration-mode string: `off`, `online`, `online:<alpha>`.
+pub fn parse_calibration(s: &str) -> Result<CalibrationMode, String> {
+    if s == "off" {
+        return Ok(CalibrationMode::Off);
+    }
+    if s == "online" {
+        return Ok(CalibrationMode::Online {
+            alpha: insight::DEFAULT_ALPHA,
+        });
+    }
+    if let Some(a) = s.strip_prefix("online:") {
+        let alpha: f64 = a.parse().map_err(|_| format!("bad alpha '{a}'"))?;
+        if !alpha.is_finite() || !(0.0..=1.0).contains(&alpha) {
+            return Err(format!("alpha {alpha} out of [0,1]"));
+        }
+        return Ok(CalibrationMode::Online { alpha });
+    }
+    Err(format!(
+        "unknown calibration '{s}' (try: off, online, online:<alpha>)"
+    ))
 }
 
 /// Resolves a profile name.
@@ -192,8 +218,8 @@ fn get_parsed<T: std::str::FromStr>(
 pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
     let (kv, flags) = parse_kv(args)?;
     let known = [
-        "app", "nodes", "profile", "mode", "iterations", "points", "dims", "clusters", "seed",
-        "gpus", "streams", "blocks-per-core", "trace", "obs",
+        "app", "nodes", "profile", "profile-file", "mode", "iterations", "points", "dims",
+        "clusters", "seed", "gpus", "streams", "blocks-per-core", "trace", "obs", "calibrate",
     ];
     for k in kv.keys() {
         if !known.contains(&k.as_str()) {
@@ -217,8 +243,12 @@ pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
         parse_profile(p)?; // validate
         opts.profile = p.clone();
     }
+    opts.profile_file = kv.get("profile-file").cloned();
     if let Some(mode) = kv.get("mode") {
         opts.config.scheduling = parse_mode(mode)?;
+    }
+    if let Some(cal) = kv.get("calibrate") {
+        opts.config.calibration = parse_calibration(cal)?;
     }
     opts.config.max_iterations = get_parsed(&kv, "iterations", opts.config.max_iterations)?;
     opts.config.gpus_per_node = get_parsed(&kv, "gpus", opts.config.gpus_per_node)?;
@@ -317,6 +347,35 @@ mod tests {
         assert!(parse_run(&argv("--frobnicate")).is_err());
         assert!(parse_run(&argv("--nodes 0")).is_err());
         assert!(parse_run(&argv("--nodes abc")).is_err());
+    }
+
+    #[test]
+    fn calibration_grammar() {
+        assert_eq!(parse_calibration("off").unwrap(), CalibrationMode::Off);
+        assert!(matches!(
+            parse_calibration("online").unwrap(),
+            CalibrationMode::Online { alpha } if alpha == insight::DEFAULT_ALPHA
+        ));
+        assert!(matches!(
+            parse_calibration("online:0.5").unwrap(),
+            CalibrationMode::Online { alpha } if alpha == 0.5
+        ));
+        assert!(parse_calibration("online:1.5").is_err());
+        assert!(parse_calibration("offline").is_err());
+    }
+
+    #[test]
+    fn run_accepts_calibration_and_profile_file() {
+        let opts = parse_run(&argv("--calibrate online:0.4 --profile-file /tmp/p.toml")).unwrap();
+        assert!(matches!(
+            opts.config.calibration,
+            CalibrationMode::Online { alpha } if alpha == 0.4
+        ));
+        assert_eq!(opts.profile_file.as_deref(), Some("/tmp/p.toml"));
+        let plain = parse_run(&argv("--app cmeans")).unwrap();
+        assert_eq!(plain.config.calibration, CalibrationMode::Off);
+        assert_eq!(plain.profile_file, None);
+        assert!(parse_run(&argv("--calibrate sometimes")).is_err());
     }
 
     #[test]

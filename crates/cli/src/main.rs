@@ -40,6 +40,8 @@ fn main() {
         Some("advise") => cmd_advise(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("calibrate") => cmd_calibrate(&args[1..]),
         Some("profiles") => cmd_profiles(),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_help();
@@ -64,6 +66,9 @@ USAGE:
   prs advise [options]    print the analytic scheduling decision (Eq 8-11)
   prs trace --dir <d>     summarize events.jsonl + decisions.jsonl from --obs
   prs metrics --dir <d>   summarize metrics.prom from --obs
+  prs analyze <d>         critical-path + blame analysis of an --obs dir;
+                          writes report.json and critical_path.json into it
+  prs calibrate [options] fit a hardware profile from an --obs trace
   prs profiles            list the built-in fat-node hardware profiles
   prs help                this text
 
@@ -71,7 +76,11 @@ RUN OPTIONS (defaults in parentheses):
   --app <{apps}>   (cmeans)
   --nodes <n>                 cluster size (2)
   --profile <delta|bigred2>   node hardware (delta)
+  --profile-file <toml>       node hardware from a `prs calibrate` TOML
   --mode <static|static:<p>|dynamic:<block>|gpu|cpu>   (static)
+  --calibrate <off|online|online:<alpha>>   online roofline recalibration:
+                              re-fit the profile and re-solve Eq (8)
+                              every iteration (off)
   --iterations <n>            iteration cap for iterative apps (10)
   --points / --dims / --clusters    workload shape (50000 / 32 / 8)
   --gpus <n>                  GPUs engaged per node (1)
@@ -91,8 +100,17 @@ ADVISE OPTIONS:
   --gpus <n>                  (1)
   --from-trace <path>         instead of a hypothetical: report the
                               analytic model's predicted-vs-observed
-                              error from a decisions.jsonl (or --obs dir)",
-        apps = AppKind::names().join("|")
+                              error from a decisions.jsonl (or --obs dir)
+                              (also accepts --profile-file <toml>)
+
+CALIBRATE OPTIONS:
+  --from-trace <path>         events.jsonl or an --obs dir (required)
+  --out <file> / -o <file>    write the fitted profile TOML here
+                              (default: print to stdout)
+  --profile <delta|bigred2>   seed profile for the EWMA fit (delta)
+  --alpha <a>                 EWMA smoothing factor in [0,1] ({alpha})",
+        apps = AppKind::names().join("|"),
+        alpha = insight::DEFAULT_ALPHA
     );
 }
 
@@ -136,7 +154,13 @@ fn cmd_sweep(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let profile = parse_profile(&opts.profile).expect("validated");
+    let profile = match resolve_profile(&opts) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
     let spec = ClusterSpec::homogeneous(
         opts.nodes,
         profile.clone(),
@@ -208,11 +232,19 @@ fn cmd_advise(args: &[String]) -> i32 {
             .map(|v| parse_residency(v))
             .transpose()?
             .unwrap_or(DataResidency::Staged);
-        let profile = kv
-            .get("profile")
-            .map(|v| parse_profile(v))
-            .transpose()?
-            .unwrap_or_else(|| parse_profile("delta").unwrap());
+        let profile = match kv.get("profile-file") {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading {path}: {e}"))?;
+                insight::profile_toml::parse_device_profile(&text)
+                    .map_err(|e| format!("{path}: {e}"))?
+            }
+            None => kv
+                .get("profile")
+                .map(|v| parse_profile(v))
+                .transpose()?
+                .unwrap_or_else(|| parse_profile("delta").unwrap()),
+        };
         let gpus: usize = kv
             .get("gpus")
             .map(|v| v.parse().map_err(|_| format!("bad --gpus '{v}'")))
@@ -501,6 +533,166 @@ fn cmd_metrics(args: &[String]) -> i32 {
     0
 }
 
+/// Reads `events.jsonl` from a path that is either the file itself or an
+/// `--obs` output directory containing one.
+fn read_trace_events(path: &str) -> Result<Vec<insight::TraceEvent>, String> {
+    let p = std::path::Path::new(path);
+    let file = if p.is_dir() { p.join("events.jsonl") } else { p.to_path_buf() };
+    let text = std::fs::read_to_string(&file)
+        .map_err(|e| format!("reading {}: {e}", file.display()))?;
+    let events = insight::parse_events_jsonl(&text).map_err(|e| format!("{}: {e}", file.display()))?;
+    if events.is_empty() {
+        return Err(format!("no events found in {}", file.display()));
+    }
+    Ok(events)
+}
+
+/// `prs analyze`: critical-path + blame analysis of an `--obs` bundle.
+/// Writes deterministic `report.json` and `critical_path.json` next to
+/// the events and prints the per-iteration summary table.
+fn cmd_analyze(args: &[String]) -> i32 {
+    // Accept the directory as a positional argument or as `--dir`.
+    let dir = if let Some(first) = args.first().filter(|a| !a.starts_with("--")) {
+        if args.len() > 1 {
+            eprintln!("error: unexpected argument '{}'", args[1]);
+            return 2;
+        }
+        first.clone()
+    } else {
+        match artifact_dir(args) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        }
+    };
+    let events = match read_trace_events(&dir) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let analysis = insight::analyze(&events);
+    if analysis.iterations.is_empty() {
+        eprintln!(
+            "no iteration spans found in {dir}: was the run recorded with --obs?"
+        );
+        return 1;
+    }
+    let out_dir = {
+        let p = std::path::Path::new(&dir);
+        if p.is_dir() { p.to_path_buf() } else { p.parent().unwrap_or(p).to_path_buf() }
+    };
+    for (name, content) in [
+        ("report.json", insight::report_json(&analysis)),
+        ("critical_path.json", insight::critical_path_json(&analysis)),
+    ] {
+        let path = out_dir.join(name);
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("error writing {}: {e}", path.display());
+            return 1;
+        }
+    }
+    say!("{}", insight::summary_table(&analysis));
+    eprintln!(
+        "analysis written to {}/report.json and {}/critical_path.json",
+        out_dir.display(),
+        out_dir.display()
+    );
+    0
+}
+
+/// `prs calibrate`: EWMA-fit a hardware profile from a recorded trace
+/// and persist it as TOML (`--profile-file` loads it back).
+fn cmd_calibrate(args: &[String]) -> i32 {
+    // parse_kv only knows `--key`; accept the conventional `-o` too.
+    let args: Vec<String> = args
+        .iter()
+        .map(|a| if a == "-o" { "--out".to_string() } else { a.clone() })
+        .collect();
+    let parsed = parse_kv(&args).and_then(|(kv, flags)| {
+        if let Some(f) = flags.first() {
+            return Err(format!("unknown flag --{f}"));
+        }
+        for k in kv.keys() {
+            if !["from-trace", "out", "profile", "alpha"].contains(&k.as_str()) {
+                return Err(format!("unknown option --{k}"));
+            }
+        }
+        let trace = kv
+            .get("from-trace")
+            .cloned()
+            .ok_or_else(|| "missing --from-trace <events.jsonl or --obs dir>".to_string())?;
+        let base = kv
+            .get("profile")
+            .map(|v| parse_profile(v))
+            .transpose()?
+            .unwrap_or_else(|| parse_profile("delta").unwrap());
+        let alpha: f64 = kv
+            .get("alpha")
+            .map(|v| v.parse().map_err(|_| format!("bad --alpha '{v}'")))
+            .transpose()?
+            .unwrap_or(insight::DEFAULT_ALPHA);
+        if !alpha.is_finite() || !(0.0..=1.0).contains(&alpha) {
+            return Err(format!("--alpha {alpha} out of [0,1]"));
+        }
+        Ok((trace, kv.get("out").cloned(), base, alpha))
+    });
+    let (trace, out, base, alpha) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let events = match read_trace_events(&trace) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let cal = insight::fit_from_events(base, alpha, &events);
+    let counts = cal.samples;
+    if cal.total_samples() == 0 {
+        eprintln!(
+            "warning: no compute or transfer spans in the trace; \
+             the fitted profile equals the '{}' seed",
+            cal.profile().name
+        );
+    }
+    let toml = insight::profile_toml::to_toml(&cal);
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &toml) {
+                eprintln!("error writing {path}: {e}");
+                return 1;
+            }
+            eprintln!(
+                "fitted profile written to {path} ({} cpu / {} gpu / {} pcie / {} net samples); \
+                 load it with --profile-file",
+                counts.cpu, counts.gpu, counts.pcie, counts.net
+            );
+        }
+        None => say!("{toml}"),
+    }
+    0
+}
+
+/// Resolves the node hardware for `run`/`sweep`: a `prs calibrate` TOML
+/// when `--profile-file` is given, a named preset otherwise.
+fn resolve_profile(opts: &RunOptions) -> Result<roofline::profiles::DeviceProfile, String> {
+    match &opts.profile_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            insight::profile_toml::parse_device_profile(&text).map_err(|e| format!("{path}: {e}"))
+        }
+        None => parse_profile(&opts.profile),
+    }
+}
+
 fn cmd_run(args: &[String]) -> i32 {
     let opts = match parse_run(args) {
         Ok(o) => o,
@@ -510,7 +702,13 @@ fn cmd_run(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let profile = parse_profile(&opts.profile).expect("validated");
+    let profile = match resolve_profile(&opts) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
     let spec = ClusterSpec::homogeneous(
         opts.nodes,
         profile,

@@ -27,6 +27,23 @@ pub enum SchedulingMode {
     GpuOnly,
 }
 
+/// Whether the scheduler's hardware model learns from observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CalibrationMode {
+    /// Trust the configured `DeviceProfile` for the whole job (the
+    /// paper's behaviour: the analytic model needs no test runs).
+    Off,
+    /// EWMA-fit per-device throughput from each iteration's observed map
+    /// times and re-solve Equation (8) at every iteration boundary
+    /// against the fitted profile (StarPU-style history feedback).
+    Online {
+        /// EWMA smoothing factor in `[0, 1]`: weight of the newest
+        /// sample. 0 freezes the fit (useful to measure plumbing
+        /// overhead), 1 jumps to the last observation.
+        alpha: f64,
+    },
+}
+
 /// Full job configuration with the paper's defaults.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct JobConfig {
@@ -68,6 +85,12 @@ pub struct JobConfig {
     /// [`crate::JobMetrics::timeline`] (Gantt observability; small
     /// overhead in host time, none in virtual time).
     pub record_timeline: bool,
+    /// Online roofline recalibration (§III.B.2 extension): when
+    /// `Online`, each worker EWMA-fits its device profile from observed
+    /// map times and re-solves Equation (8) against the fitted profile
+    /// at every iteration boundary. Requires `Static` scheduling with
+    /// no `p_override`.
+    pub calibration: CalibrationMode,
     /// Master-side deadline (virtual seconds) for a node to acknowledge a
     /// partition assignment. `None` disables straggler detection: the
     /// master waits forever (the seed's original behaviour).
@@ -93,6 +116,7 @@ impl Default for JobConfig {
             cache_resident_data: true,
             hetero_aware_partitioning: true,
             record_timeline: false,
+            calibration: CalibrationMode::Off,
             partition_timeout_secs: None,
             max_partition_retries: 2,
         }
@@ -161,6 +185,17 @@ impl JobConfig {
         self
     }
 
+    /// Builder-style online roofline recalibration with EWMA smoothing
+    /// factor `alpha` (see [`CalibrationMode::Online`]).
+    pub fn with_online_calibration(mut self, alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && (0.0..=1.0).contains(&alpha),
+            "alpha must be in [0,1]"
+        );
+        self.calibration = CalibrationMode::Online { alpha };
+        self
+    }
+
     /// Builder-style straggler detection: acknowledgement deadline and
     /// per-node retry budget before reassignment.
     pub fn with_partition_timeout(mut self, secs: f64, retries: u32) -> Self {
@@ -202,6 +237,22 @@ mod tests {
         let c = JobConfig::default().with_partition_timeout(0.25, 3);
         assert_eq!(c.partition_timeout_secs, Some(0.25));
         assert_eq!(c.max_partition_retries, 3);
+        let c = JobConfig::default().with_online_calibration(0.3);
+        assert!(matches!(
+            c.calibration,
+            CalibrationMode::Online { alpha } if alpha == 0.3
+        ));
+    }
+
+    #[test]
+    fn calibration_defaults_off() {
+        assert_eq!(JobConfig::default().calibration, CalibrationMode::Off);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0,1]")]
+    fn calibration_alpha_validated() {
+        let _ = JobConfig::default().with_online_calibration(1.5);
     }
 
     #[test]

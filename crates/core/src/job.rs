@@ -4,15 +4,17 @@
 
 use crate::api::{DeviceClass, IterativeApp, Key, SpmdApp};
 use crate::cluster::ClusterSpec;
-use crate::config::{JobConfig, SchedulingMode};
+use crate::config::{CalibrationMode, JobConfig, SchedulingMode};
 use crate::faults::NodeStall;
 use crate::metrics::{JobMetrics, RecoveryCounters, StageTimes};
 use crate::task::{split_fixed, split_range, Task, TaskResult};
 use device::FatNode;
+use insight::CalibrationProfile;
 use netsim::{shuffle, CollectiveSeq, Network, ShuffleItem};
 use obs::{DecisionId, DecisionRecord, Obs};
 use parking_lot::Mutex;
 use roofline::model::DataResidency;
+use roofline::profiles::DeviceProfile;
 use roofline::schedule::{device_time, partition_across_nodes, split_multi_gpu, Workload};
 use simtime::{Channel, RecvOutcome, Sim, SimCtx, SimError, SimTime};
 use std::collections::BTreeMap;
@@ -189,6 +191,23 @@ fn validate<A: SpmdApp>(spec: &ClusterSpec, app: &A, config: &JobConfig) -> Resu
             return Err(JobError::InvalidConfig(format!(
                 "partition_timeout_secs {t} must be positive and finite"
             )));
+        }
+    }
+    if let CalibrationMode::Online { alpha } = config.calibration {
+        if !alpha.is_finite() || !(0.0..=1.0).contains(&alpha) {
+            return Err(JobError::InvalidConfig(format!(
+                "calibration alpha {alpha} out of [0,1]"
+            )));
+        }
+        // Calibration re-solves Equation (8); it is meaningless where the
+        // split is pinned (override) or emerges from polling (dynamic).
+        if !matches!(
+            config.scheduling,
+            SchedulingMode::Static { p_override: None }
+        ) {
+            return Err(JobError::InvalidConfig(
+                "online calibration requires Static scheduling without p_override".into(),
+            ));
         }
     }
     if let Err(msg) = spec.faults.validate() {
@@ -784,7 +803,8 @@ fn gpu_down<A: SpmdApp>(
 #[allow(clippy::too_many_arguments)]
 fn audit_decision(
     obs: &Obs,
-    node: &FatNode,
+    profile: &DeviceProfile,
+    calibrated: bool,
     workload: &Workload,
     config: &JobConfig,
     rank: usize,
@@ -797,7 +817,6 @@ fn audit_decision(
     if !obs.audit.is_enabled() {
         return None;
     }
-    let profile = &node.profile;
     let uses_gpu = !matches!(config.scheduling, SchedulingMode::CpuOnly);
     let has_gpu_hw = !profile.gpus.is_empty();
     let gpu_side = uses_gpu && has_gpu_hw && gpus_usable > 0;
@@ -813,6 +832,7 @@ fn audit_decision(
             p_override: Some(_),
         } => "override",
         _ if uses_gpu && gpus_usable < config.gpus_per_node => "survivor-recompute",
+        _ if calibrated => "calibrated",
         _ => "initial",
     };
     let (p, regime, pred_cpu, pred_gpu) = if workload.ai_cpu <= 0.0 || workload.ai_gpu <= 0.0 {
@@ -967,6 +987,15 @@ fn worker_body<A: SpmdApp>(
         SchedulingMode::Dynamic { .. } => f64::NAN, // decided by polling
     };
 
+    // Online calibration state: an EWMA fit of this node's profile,
+    // seeded from the configured one and updated after every map stage.
+    let mut calib: Option<CalibrationProfile> = match config.calibration {
+        CalibrationMode::Online { alpha } => {
+            Some(CalibrationProfile::new(node.profile.clone(), alpha))
+        }
+        CalibrationMode::Off => None,
+    };
+
     let uses_gpu = !matches!(config.scheduling, SchedulingMode::CpuOnly);
     let resident = workload.residency == DataResidency::Resident;
     // Surviving GPU stream daemons per engaged GPU; decremented as
@@ -1033,6 +1062,10 @@ fn worker_body<A: SpmdApp>(
             SchedulingMode::Static { p_override } => {
                 if gpu_usable == 0 {
                     1.0
+                } else if let Some(cal) = calib.as_ref() {
+                    // Equation (8) against the fitted profile (identical to
+                    // the configured split until the first observation).
+                    cal.split(&workload, gpu_usable).cpu_fraction
                 } else if gpu_usable == config.gpus_per_node {
                     p
                 } else {
@@ -1047,9 +1080,22 @@ fn worker_body<A: SpmdApp>(
         };
 
         // Audit the split decision before dispatch; completed with
-        // observed per-device times once the map stage drains.
+        // observed per-device times once the map stage drains. Under
+        // online calibration the audited profile (ridges, predictions)
+        // is the fitted one — the model the split actually used.
+        let calibrated = calib.as_ref().is_some_and(|c| c.total_samples() > 0);
         let decision = audit_decision(
-            &obs, node, &workload, &config, rank, iter, gpu_usable, p_eff, my_items, my_bytes,
+            &obs,
+            calib.as_ref().map_or(&node.profile, |c| c.profile()),
+            calibrated,
+            &workload,
+            &config,
+            rank,
+            iter,
+            gpu_usable,
+            p_eff,
+            my_items,
+            my_bytes,
         );
 
         // MAP: second-level scheduling of blocks onto device daemons.
@@ -1169,13 +1215,28 @@ fn worker_body<A: SpmdApp>(
             ctx.join_all(&handles);
         }
         let t_map = ctx.now();
+        let obs_cpu = last_cpu_end.map_or(0.0, |t| (t - t0).as_secs_f64());
+        let obs_gpu = last_gpu_end.map_or(0.0, |t| (t - t0).as_secs_f64());
         if let Some(id) = decision {
-            obs.audit.complete(
-                id,
-                last_cpu_end.map_or(0.0, |t| (t - t0).as_secs_f64()),
-                last_gpu_end.map_or(0.0, |t| (t - t0).as_secs_f64()),
-                (t_map - t0).as_secs_f64(),
-            );
+            obs.audit
+                .complete(id, obs_cpu, obs_gpu, (t_map - t0).as_secs_f64());
+        }
+        // Feed the observed per-device map times back into the EWMA fit:
+        // each side's effective throughput is its share of the flops over
+        // the wall time its last block took to land.
+        if let Some(cal) = calib.as_mut() {
+            let bytes_f = my_bytes as f64;
+            let cpu_bytes = p_eff * bytes_f;
+            if obs_cpu > 0.0 && cpu_bytes > 0.0 && workload.ai_cpu > 0.0 {
+                cal.observe_cpu_rate(workload.ai_cpu, cpu_bytes * workload.ai_cpu / obs_cpu);
+            }
+            let gpu_bytes = (1.0 - p_eff) * bytes_f;
+            if obs_gpu > 0.0 && gpu_bytes > 0.0 && workload.ai_gpu > 0.0 && gpu_usable > 0 {
+                cal.observe_gpu_rate(
+                    workload.ai_gpu,
+                    gpu_bytes * workload.ai_gpu / obs_gpu / gpu_usable as f64,
+                );
+            }
         }
 
         // SHUFFLE.

@@ -63,7 +63,7 @@ mod task;
 
 pub use api::{DeviceClass, IterativeApp, Key, SpmdApp};
 pub use cluster::ClusterSpec;
-pub use config::{JobConfig, SchedulingMode};
+pub use config::{CalibrationMode, JobConfig, SchedulingMode};
 pub use faults::{CpuSlowdown, FaultPlan, GpuCrash, GpuSlowdown, LinkFault, NodeStall};
 pub use job::{
     run_iterative, run_iterative_observed, run_job, run_job_observed, JobError, JobResult,
@@ -358,6 +358,67 @@ mod tests {
         .unwrap();
         assert_eq!(*app.iters.read(), 3);
         assert_eq!(result.metrics.iterations.len(), 3);
+    }
+
+    #[test]
+    fn calibration_requires_plain_static_scheduling() {
+        for cfg in [
+            JobConfig::dynamic(64).with_online_calibration(0.3),
+            JobConfig::static_with_p(0.3).with_online_calibration(0.3),
+            JobConfig::gpu_only().with_online_calibration(0.3),
+        ] {
+            let err = run_job(&ClusterSpec::delta(1), ModCount::new(100, 2), cfg).unwrap_err();
+            assert!(matches!(err, JobError::InvalidConfig(_)), "config {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn calibrated_iterative_job_stays_correct_and_deterministic() {
+        let run = || {
+            let app = Arc::new(Damping {
+                n: 64,
+                state: RwLock::new(1.0),
+                iters: RwLock::new(0),
+            });
+            let r = run_iterative(
+                &ClusterSpec::delta(2),
+                app,
+                JobConfig::static_analytic()
+                    .with_online_calibration(0.5)
+                    .with_iterations(50),
+            )
+            .unwrap();
+            (r.outputs.clone(), r.metrics.total_seconds, r.metrics.iterations.len())
+        };
+        let (outputs, total, iters) = run();
+        assert_eq!(iters, 7, "calibration must not change convergence");
+        assert!(!outputs.is_empty());
+        assert_eq!(run(), (outputs, total, iters));
+    }
+
+    #[test]
+    fn calibrated_decisions_use_calibrated_trigger_after_first_iteration() {
+        let app = Arc::new(Damping {
+            n: 64,
+            state: RwLock::new(1.0),
+            iters: RwLock::new(0),
+        });
+        let obs = Obs::recording();
+        run_iterative_observed(
+            &ClusterSpec::delta(1),
+            app,
+            JobConfig::static_analytic()
+                .with_online_calibration(0.5)
+                .with_iterations(3),
+            obs.clone(),
+        )
+        .unwrap();
+        let records = obs.audit.records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].trigger, "initial");
+        assert!(records[1..].iter().all(|r| r.trigger == "calibrated"));
+        // The fitted split must stay a valid fraction.
+        assert!(records.iter().all(|r| (0.0..=1.0).contains(&r.cpu_fraction)));
     }
 
     #[test]

@@ -143,7 +143,10 @@ impl CpuPool {
             if let Some(o) = self.obs.lock().as_ref() {
                 let wait = t0.saturating_sub(t_queued).as_secs_f64();
                 if let Some(d) = o.obs.bus.span_interned(&lane, &o.kind_task, t0, t_end) {
-                    d.attr("flops", work.flops).attr("wait_s", wait).commit();
+                    d.attr("flops", work.flops)
+                        .attr("bytes", work.dram_bytes)
+                        .attr("wait_s", wait)
+                        .commit();
                 }
                 o.obs
                     .metrics

@@ -312,7 +312,10 @@ impl Gpu {
             let wait = t0.saturating_sub(t_queued).as_secs_f64();
             if let Some(d) = o.bus.span_interned(&self.lanes.compute, &self.lanes.kind_kernel, t0, t1)
             {
-                d.attr("flops", work.flops).attr("wait_s", wait).commit();
+                d.attr("flops", work.flops)
+                    .attr("bytes", work.dram_bytes)
+                    .attr("wait_s", wait)
+                    .commit();
             }
             o.metrics
                 .observe("prs_block_wait_seconds", &[("device", &self.name)], wait);

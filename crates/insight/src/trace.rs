@@ -1,0 +1,188 @@
+//! Owned, analysis-friendly view of the event stream.
+//!
+//! The analyzer consumes traces from two sources: a live [`obs::EventBus`]
+//! (same process, `Arc<str>`-interned lanes) and an `events.jsonl` file
+//! written by a previous run. Both normalize into [`TraceEvent`] so every
+//! downstream pass is source-agnostic, and both are sorted with the same
+//! canonical order, so the analysis of a live bus and of its exported
+//! JSONL are identical.
+
+use std::collections::BTreeMap;
+
+/// One span or point event, with owned strings and a key-sorted attr map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Start timestamp, virtual seconds.
+    pub t: f64,
+    /// Span length; `None` for point events.
+    pub dur: Option<f64>,
+    /// Timeline name, e.g. `node0-gpu0-compute`.
+    pub lane: String,
+    /// Event kind, e.g. `kernel`.
+    pub kind: String,
+    /// Iteration tag, when the emitter scoped the event to one.
+    pub iter: Option<u64>,
+    /// Partition tag.
+    pub part: Option<u64>,
+    /// Block tag.
+    pub block: Option<u64>,
+    /// Free-form numeric attributes (`flops`, `bytes`, `wait_s`, …).
+    pub attrs: BTreeMap<String, f64>,
+}
+
+impl TraceEvent {
+    /// End timestamp (equals `t` for point events).
+    pub fn end(&self) -> f64 {
+        self.t + self.dur.unwrap_or(0.0)
+    }
+
+    /// Span length, 0 for point events.
+    pub fn duration(&self) -> f64 {
+        self.dur.unwrap_or(0.0)
+    }
+
+    /// Looks up a numeric attribute.
+    pub fn attr(&self, key: &str) -> Option<f64> {
+        self.attrs.get(key).copied()
+    }
+
+    /// Overlap (in seconds) between this span and `[start, end]`.
+    pub fn overlap(&self, start: f64, end: f64) -> f64 {
+        (self.end().min(end) - self.t.max(start)).max(0.0)
+    }
+}
+
+fn canonical_sort(events: &mut [TraceEvent]) {
+    events.sort_by(|a, b| {
+        a.t.total_cmp(&b.t)
+            .then_with(|| a.end().total_cmp(&b.end()))
+            .then_with(|| a.lane.cmp(&b.lane))
+            .then_with(|| a.kind.cmp(&b.kind))
+    });
+}
+
+/// Snapshots a live bus into owned events, canonically sorted.
+pub fn from_bus(bus: &obs::EventBus) -> Vec<TraceEvent> {
+    let mut out: Vec<TraceEvent> = bus
+        .events()
+        .into_iter()
+        .map(|e| TraceEvent {
+            t: e.t,
+            dur: e.dur,
+            lane: e.lane.to_string(),
+            kind: e.kind.to_string(),
+            iter: e.iteration,
+            part: e.partition,
+            block: e.block,
+            attrs: e
+                .attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+        })
+        .collect();
+    canonical_sort(&mut out);
+    out
+}
+
+/// Parses an `events.jsonl` export (one JSON object per line).
+///
+/// Unknown keys are ignored so the parser tolerates schema growth; a line
+/// that is not a JSON object is an error, because a truncated bundle
+/// should fail loudly rather than silently analyze half a run.
+pub fn parse_events_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = serde_json::from_str(line)
+            .map_err(|e| format!("events.jsonl line {}: {e}", lineno + 1))?;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| format!("events.jsonl line {}: not an object", lineno + 1))?;
+        let num = |key: &str| obj.get(key).and_then(|x| x.as_f64());
+        let int = |key: &str| obj.get(key).and_then(|x| x.as_u64());
+        let text_field = |key: &str| {
+            obj.get(key)
+                .and_then(|x| x.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("events.jsonl line {}: missing {key:?}", lineno + 1))
+        };
+        let mut attrs = BTreeMap::new();
+        if let Some(a) = obj.get("attrs").and_then(|x| x.as_object()) {
+            for (k, v) in a {
+                if let Some(f) = v.as_f64() {
+                    attrs.insert(k.clone(), f);
+                }
+            }
+        }
+        out.push(TraceEvent {
+            t: num("t")
+                .ok_or_else(|| format!("events.jsonl line {}: missing \"t\"", lineno + 1))?,
+            dur: num("dur"),
+            lane: text_field("lane")?,
+            kind: text_field("kind")?,
+            iter: int("iter"),
+            part: int("part"),
+            block: int("block"),
+            attrs,
+        });
+    }
+    canonical_sort(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trip_matches_live_bus() {
+        use simtime::SimTime;
+        let bus = obs::EventBus::recording();
+        let lane = bus.intern("node0-cpu-c0");
+        let kind = bus.intern("cpu-task");
+        let t = |s: f64| SimTime::from_secs_f64(s);
+        if let Some(d) = bus.span_interned(&lane, &kind, t(1.5), t(2.0)) {
+            d.attr("flops", 100.0).attr("bytes", 50.0).commit();
+        }
+        if let Some(d) = bus.event("master", "assign", t(0.25)) {
+            d.iteration(3).commit();
+        }
+
+        let live = from_bus(&bus);
+        let parsed = parse_events_jsonl(&bus.to_jsonl()).unwrap();
+        assert_eq!(live, parsed);
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0].kind, "assign");
+        assert_eq!(live[0].iter, Some(3));
+        assert_eq!(live[1].attr("bytes"), Some(50.0));
+        assert_eq!(live[1].end(), 2.0);
+    }
+
+    #[test]
+    fn overlap_clamps_to_window() {
+        let e = TraceEvent {
+            t: 1.0,
+            dur: Some(2.0),
+            lane: "l".into(),
+            kind: "k".into(),
+            iter: None,
+            part: None,
+            block: None,
+            attrs: BTreeMap::new(),
+        };
+        assert_eq!(e.overlap(0.0, 10.0), 2.0);
+        assert_eq!(e.overlap(2.0, 2.5), 0.5);
+        assert_eq!(e.overlap(4.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn bad_lines_are_rejected() {
+        assert!(parse_events_jsonl("{\"t\": 1.0}").is_err());
+        assert!(parse_events_jsonl("not json").is_err());
+        assert!(parse_events_jsonl("").unwrap().is_empty());
+    }
+}

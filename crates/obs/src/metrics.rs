@@ -49,7 +49,10 @@ pub struct MetricsRegistry {
     inner: Option<Arc<RegInner>>,
 }
 
-/// Renders `name{k="v",...}` (or bare `name` without labels).
+/// Renders `name{k="v",...}` (or bare `name` without labels). Label
+/// values get the Prometheus text-format escapes (`\\`, `\"`, `\n`) so
+/// a value containing a quote or newline cannot corrupt the exposition
+/// (or collide with a different value that renders the same).
 fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return name.to_string();
@@ -61,7 +64,16 @@ fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
         if i > 0 {
             s.push(',');
         }
-        let _ = write!(s, "{k}=\"{v}\"");
+        let _ = write!(s, "{k}=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => s.push_str("\\\\"),
+                '"' => s.push_str("\\\""),
+                '\n' => s.push_str("\\n"),
+                _ => s.push(c),
+            }
+        }
+        s.push('"');
     }
     s.push('}');
     s
@@ -271,6 +283,84 @@ mod tests {
         assert!(samples
             .iter()
             .any(|(s, v)| s == "h_seconds_sum{d=\"cpu\"}" && (*v - 2.0005).abs() < 1e-12));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let m = MetricsRegistry::recording();
+        let tricky = "a\"b\\c\nd";
+        m.counter_add("c_total", &[("lane", tricky)], 1.0);
+        // Read-back goes through the same key rendering, so it still hits.
+        assert_eq!(m.counter("c_total", &[("lane", tricky)]), Some(1.0));
+        let text = m.to_prometheus();
+        assert!(
+            text.contains(r#"c_total{lane="a\"b\\c\nd"} 1"#),
+            "escaped exposition, got: {text}"
+        );
+        // The raw control characters never reach the output line.
+        assert!(!text.lines().any(|l| l.contains("a\"b") && !l.contains("\\\"")));
+        // Distinct values that would collide unescaped stay distinct.
+        let m = MetricsRegistry::recording();
+        m.counter_add("c_total", &[("l", "x\\n")], 1.0);
+        m.counter_add("c_total", &[("l", "x\n")], 2.0);
+        assert_eq!(MetricsRegistry::parse_samples(&m.to_prometheus()).len(), 2);
+    }
+
+    #[test]
+    fn histogram_sum_count_and_inf_bucket_agree_per_series() {
+        let m = MetricsRegistry::recording();
+        m.observe("lat", &[("node", "0")], 0.002);
+        m.observe("lat", &[("node", "0")], 7.0);
+        m.observe("lat", &[("node", "1")], 0.3);
+        let text = m.to_prometheus();
+        let samples = MetricsRegistry::parse_samples(&text);
+        let get = |key: &str| samples.iter().find(|(s, _)| s == key).map(|(_, v)| *v);
+        for (node, count, sum) in [("0", 2.0, 7.002), ("1", 1.0, 0.3)] {
+            let inf = get(&format!("lat_bucket{{node=\"{node}\",le=\"+Inf\"}}")).unwrap();
+            assert_eq!(inf, count, "+Inf bucket equals _count");
+            assert_eq!(get(&format!("lat_count{{node=\"{node}\"}}")), Some(count));
+            let s = get(&format!("lat_sum{{node=\"{node}\"}}")).unwrap();
+            assert!((s - sum).abs() < 1e-12);
+        }
+        // Cumulative buckets never decrease toward +Inf.
+        for node in ["0", "1"] {
+            let mut prev = 0.0;
+            for bound in BUCKET_BOUNDS {
+                let v = get(&format!("lat_bucket{{node=\"{node}\",le=\"{bound}\"}}")).unwrap();
+                assert!(v >= prev, "bucket regression at le={bound}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn family_sort_is_stable_across_renders_and_insert_order() {
+        let fill = |m: &MetricsRegistry, order: &[usize]| {
+            for &i in order {
+                match i {
+                    0 => m.counter_add("z_total", &[], 1.0),
+                    1 => m.counter_add("a_total", &[("k", "v")], 2.0),
+                    2 => m.gauge_set("m_gauge", &[], 0.5),
+                    _ => m.observe("h_seconds", &[("d", "gpu")], 0.1),
+                }
+            }
+        };
+        let (m1, m2) = (MetricsRegistry::recording(), MetricsRegistry::recording());
+        fill(&m1, &[0, 1, 2, 3]);
+        fill(&m2, &[3, 2, 1, 0]);
+        let text = m1.to_prometheus();
+        assert_eq!(text, m2.to_prometheus(), "insert order must not leak");
+        assert_eq!(text, m1.to_prometheus(), "repeated renders identical");
+        let type_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE")).collect();
+        assert_eq!(
+            type_lines,
+            [
+                "# TYPE a_total counter",
+                "# TYPE z_total counter",
+                "# TYPE m_gauge gauge",
+                "# TYPE h_seconds histogram",
+            ]
+        );
     }
 
     #[test]

@@ -4,9 +4,15 @@
 //! (9)–(11) stream/granularity advice.
 //!
 //! ```sh
-//! cargo run -p prs-suite --example scheduler_advisor -- <AI> [staged|resident] [block-MB]
+//! cargo run -p prs-suite --example scheduler_advisor -- <AI> [staged|resident] [block-MB] [profile.toml]
 //! cargo run -p prs-suite --example scheduler_advisor -- 12.5 staged 16
+//! cargo run -p prs-suite --example scheduler_advisor -- 500 resident 16 fitted.toml
 //! ```
+//!
+//! The optional trailing argument is a fitted-profile TOML produced by
+//! `prs calibrate --from-trace <obs-dir> -o fitted.toml` (see
+//! `docs/calibration.md`): the advisor then reports what the analytic
+//! model decides for the hardware *as measured*, alongside the presets.
 
 use roofline::granularity::{min_block_size, overlap_percentage, ConstantIntensity, GemmIntensity};
 use roofline::model::DataResidency;
@@ -23,10 +29,28 @@ fn main() {
     let block_mb: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(16.0);
     let block_bytes = block_mb * 1e6;
 
+    let mut profiles = vec![DeviceProfile::delta_node(), DeviceProfile::bigred2_node()];
+    if let Some(path) = args.get(4) {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read fitted profile {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match insight::profile_toml::parse_device_profile(&text) {
+            Ok(p) => profiles.push(p),
+            Err(e) => {
+                eprintln!("cannot parse fitted profile {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let w = Workload::uniform(ai, residency);
     println!("application: AI = {ai} flops/byte, data {residency:?}, GPU block = {block_mb} MB\n");
 
-    for profile in [DeviceProfile::delta_node(), DeviceProfile::bigred2_node()] {
+    for profile in profiles {
         let d = split(&profile, &w);
         println!("--- {} ({} + {}) ---", profile.name, profile.cpu.model, profile.gpu().model);
         println!(
