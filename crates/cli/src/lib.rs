@@ -11,6 +11,8 @@ use roofline::model::DataResidency;
 use roofline::profiles::DeviceProfile;
 use std::collections::BTreeMap;
 
+pub mod top;
+
 /// Which application to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AppKind {

@@ -9,7 +9,8 @@
 //! prs profiles
 //! ```
 
-use device::{render_ascii, to_chrome_trace};
+use device::{render_ascii, to_chrome_trace, to_chrome_trace_with_flows, FlowArrow};
+use obs::rollup::{rollup, RollupConfig, RollupEvent};
 use obs::{AuditLog, MetricsRegistry, Obs};
 use prs_apps::{BatchFft, CMeans, CsrMatrix, DaKmeans, Dgemm, Gemv, Gmm, KMeans, Spmv, WordCount};
 use prs_cli::{parse_kv, parse_profile, parse_residency, parse_run, AppKind, RunOptions};
@@ -42,6 +43,8 @@ fn main() {
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("calibrate") => cmd_calibrate(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("profiles") => cmd_profiles(),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_help();
@@ -65,9 +68,18 @@ USAGE:
   prs sweep [options]     sweep static CPU fractions and compare with Eq (8)
   prs advise [options]    print the analytic scheduling decision (Eq 8-11)
   prs trace --dir <d>     summarize events.jsonl + decisions.jsonl from --obs
+                          (--flows adds the cross-node message-flow summary)
   prs metrics --dir <d>   summarize metrics.prom from --obs
   prs analyze <d>         critical-path + blame analysis of an --obs dir;
                           writes report.json and critical_path.json into it
+  prs top <d>             live dashboard replaying an --obs dir in virtual
+                          time; --snapshot <t> renders one deterministic
+                          frame, --window <s> sets the gauge window,
+                          --frames <n> the replay frame count
+  prs bench --all         run the fixed benchmark suite and write
+                          BENCH_prs.json (--check compares virtual
+                          makespans against the committed baseline,
+                          --out <file> overrides the output path)
   prs calibrate [options] fit a hardware profile from an --obs trace
   prs profiles            list the built-in fat-node hardware profiles
   prs help                this text
@@ -90,7 +102,8 @@ RUN OPTIONS (defaults in parentheses):
   --timeline                  print the execution Gantt chart
   --trace <file>              write a Chrome-tracing JSON file
   --obs <dir>                 write events.jsonl, metrics.prom,
-                              decisions.jsonl and trace.json into <dir>
+                              decisions.jsonl, rollup.jsonl and a
+                              flow-linked trace.json into <dir>
   --json                      machine-readable output
 
 ADVISE OPTIONS:
@@ -376,9 +389,27 @@ fn artifact_dir(args: &[String]) -> Result<String, String> {
 }
 
 /// `prs trace`: summarize `events.jsonl` and `decisions.jsonl`.
+/// `--flows` adds the paired `msg-send`/`msg-recv` causal-edge summary.
 fn cmd_trace(args: &[String]) -> i32 {
-    let dir = match artifact_dir(args) {
-        Ok(d) => d,
+    let parsed = parse_kv(args).and_then(|(kv, flags)| {
+        for f in &flags {
+            if f != "flows" {
+                return Err(format!("unknown flag --{f}"));
+            }
+        }
+        for k in kv.keys() {
+            if k != "dir" {
+                return Err(format!("unknown option --{k}"));
+            }
+        }
+        let dir = kv
+            .get("dir")
+            .cloned()
+            .ok_or_else(|| "missing --dir <obs output directory>".to_string())?;
+        Ok((dir, flags.iter().any(|f| f == "flows")))
+    });
+    let (dir, want_flows) = match parsed {
+        Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
             return 2;
@@ -428,6 +459,46 @@ fn cmd_trace(args: &[String]) -> i32 {
         say!("\n{} recovery event(s):", recovery.len());
         for (t, kind, lane) in &recovery {
             say!("  t={t:<12.6} {kind:<16} on {lane}");
+        }
+    }
+    if want_flows {
+        match read_trace_events(&dir) {
+            Ok(events) => {
+                let flows = insight::pair_flows(&events);
+                if flows.is_empty() {
+                    say!("\nno message flows (run recorded before flow tracing, or single node)");
+                } else {
+                    let bytes: f64 = flows.iter().map(|f| f.bytes).sum();
+                    let mean_lat =
+                        flows.iter().map(insight::Flow::latency).sum::<f64>() / flows.len() as f64;
+                    say!(
+                        "\n{} message flow(s), {bytes:.0} B total, mean latency {mean_lat:.6}s:",
+                        flows.len()
+                    );
+                    // Aggregate by (src lane, dst lane) edge.
+                    let mut edges: std::collections::BTreeMap<(String, String), (u64, f64, f64)> =
+                        std::collections::BTreeMap::new();
+                    for f in &flows {
+                        let e = edges
+                            .entry((f.src_lane.clone(), f.dst_lane.clone()))
+                            .or_insert((0, 0.0, 0.0));
+                        e.0 += 1;
+                        e.1 += f.bytes;
+                        e.2 += f.latency();
+                    }
+                    say!("  {:<14} -> {:<14} {:>6} {:>12} {:>12}", "src", "dst", "count", "bytes", "mean_lat_s");
+                    for ((src, dst), (count, b, lat)) in &edges {
+                        say!(
+                            "  {src:<14} -> {dst:<14} {count:>6} {b:>12.0} {:>12.6}",
+                            lat / *count as f64
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
         }
     }
     // Decision summary: the iterations where the model was most wrong.
@@ -681,6 +752,248 @@ fn cmd_calibrate(args: &[String]) -> i32 {
     0
 }
 
+/// `prs top`: terminal dashboard over an `--obs` bundle, replayed in
+/// virtual time. `--snapshot <t>` renders exactly one frame (the mode
+/// the determinism tests pin); without it the replay renders `--frames`
+/// evenly spaced instants up to the trace horizon.
+fn cmd_top(args: &[String]) -> i32 {
+    let parsed = (|| -> Result<(String, Option<f64>, Option<f64>, usize), String> {
+        let (positional, rest) = match args.first() {
+            Some(a) if !a.starts_with("--") => (Some(a.clone()), &args[1..]),
+            _ => (None, args),
+        };
+        let (kv, flags) = parse_kv(rest)?;
+        if let Some(f) = flags.first() {
+            return Err(format!("unknown flag --{f}"));
+        }
+        for k in kv.keys() {
+            if !["dir", "snapshot", "window", "frames"].contains(&k.as_str()) {
+                return Err(format!("unknown option --{k}"));
+            }
+        }
+        let dir = positional
+            .or_else(|| kv.get("dir").cloned())
+            .ok_or_else(|| "missing <obs output directory>".to_string())?;
+        let num = |key: &str| -> Result<Option<f64>, String> {
+            kv.get(key)
+                .map(|v| v.parse::<f64>().map_err(|_| format!("bad --{key} '{v}'")))
+                .transpose()
+        };
+        let frames: usize = kv
+            .get("frames")
+            .map(|v| v.parse().map_err(|_| format!("bad --frames '{v}'")))
+            .transpose()?
+            .unwrap_or(8);
+        if frames == 0 {
+            return Err("--frames must be at least 1".to_string());
+        }
+        Ok((dir, num("snapshot")?, num("window")?, frames))
+    })();
+    let (dir, snapshot, window, frames) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let events = match read_trace_events(&dir) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let decisions = std::fs::read_to_string(resolve_decisions_path(&dir))
+        .map(|t| AuditLog::parse_jsonl(&t))
+        .unwrap_or_default();
+    let horizon = events.iter().map(|e| e.end()).fold(0.0, f64::max);
+    let window = window.unwrap_or_else(|| (horizon / 8.0).max(1e-9));
+    match snapshot {
+        Some(t) => say!("{}", prs_cli::top::render_frame(&events, &decisions, t, window)),
+        None => {
+            for i in 1..=frames {
+                let t = horizon * i as f64 / frames as f64;
+                say!("{}", "─".repeat(72));
+                say!("{}", prs_cli::top::render_frame(&events, &decisions, t, window));
+            }
+        }
+    }
+    0
+}
+
+/// The fixed, seeded benchmark suite behind `prs bench --all`: the same
+/// scenarios every run, so their virtual makespans are bit-reproducible
+/// and regressions are diffable. Wall-clock medians are reported for
+/// context but never gated on.
+fn bench_suite() -> Vec<(&'static str, RunOptions)> {
+    let base = RunOptions::default();
+    let mut cmeans_static = base.clone();
+    cmeans_static.app = AppKind::Cmeans;
+    cmeans_static.nodes = 2;
+    cmeans_static.points = 20_000;
+    cmeans_static.config = prs_core::JobConfig::static_analytic().with_iterations(3);
+    let mut cmeans_dynamic = base.clone();
+    cmeans_dynamic.app = AppKind::Cmeans;
+    cmeans_dynamic.nodes = 4;
+    cmeans_dynamic.points = 20_000;
+    cmeans_dynamic.config = prs_core::JobConfig::dynamic(2000).with_iterations(3);
+    let mut kmeans_static = base.clone();
+    kmeans_static.app = AppKind::Kmeans;
+    kmeans_static.nodes = 2;
+    kmeans_static.points = 20_000;
+    kmeans_static.config = prs_core::JobConfig::static_analytic().with_iterations(3);
+    let mut gemv_gpu = base.clone();
+    gemv_gpu.app = AppKind::Gemv;
+    gemv_gpu.nodes = 2;
+    gemv_gpu.points = 4_000;
+    gemv_gpu.dims = 512;
+    let mut wordcount = base;
+    wordcount.app = AppKind::Wordcount;
+    wordcount.nodes = 2;
+    wordcount.points = 50_000;
+    vec![
+        ("cmeans_static_2node", cmeans_static),
+        ("cmeans_dynamic_4node", cmeans_dynamic),
+        ("kmeans_static_2node", kmeans_static),
+        ("gemv_2node", gemv_gpu),
+        ("wordcount_2node", wordcount),
+    ]
+}
+
+/// `prs bench --all [--check] [--out <file>]`: run the fixed suite,
+/// write `BENCH_prs.json`, and with `--check` fail (exit 1) when any
+/// scenario's virtual makespan regressed more than 10% against the
+/// committed baseline.
+fn cmd_bench(args: &[String]) -> i32 {
+    let parsed = parse_kv(args).and_then(|(kv, flags)| {
+        for f in &flags {
+            if !["all", "check"].contains(&f.as_str()) {
+                return Err(format!("unknown flag --{f}"));
+            }
+        }
+        for k in kv.keys() {
+            if k != "out" {
+                return Err(format!("unknown option --{k}"));
+            }
+        }
+        if !flags.iter().any(|f| f == "all") {
+            return Err("prs bench requires --all (the fixed suite)".to_string());
+        }
+        Ok((
+            flags.iter().any(|f| f == "check"),
+            kv.get("out").cloned().unwrap_or_else(|| "BENCH_prs.json".to_string()),
+        ))
+    });
+    let (check, out_path) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    const ITERS: usize = 5;
+    let mut entries = Vec::new();
+    for (name, opts) in bench_suite() {
+        let profile = match resolve_profile(&opts) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+        let spec = ClusterSpec::homogeneous(
+            opts.nodes,
+            profile,
+            netsim::NetworkParams::infiniband_qdr(),
+        );
+        let mut wall_ns: Vec<u128> = Vec::with_capacity(ITERS);
+        let mut makespan = 0.0f64;
+        for _ in 0..ITERS {
+            let t0 = std::time::Instant::now();
+            match dispatch(&opts, &spec, Obs::disabled()) {
+                Ok((m, _, _)) => makespan = m.total_seconds,
+                Err(e) => {
+                    eprintln!("error in bench '{name}': {e}");
+                    return 1;
+                }
+            }
+            wall_ns.push(t0.elapsed().as_nanos());
+        }
+        wall_ns.sort_unstable();
+        let median_ns = wall_ns[ITERS / 2];
+        say!(
+            "{name:<24} median {:>10.3} ms wall, {makespan:.6} s virtual",
+            median_ns as f64 / 1e6
+        );
+        entries.push((name, median_ns, makespan));
+    }
+    if check {
+        match std::fs::read_to_string(&out_path) {
+            Ok(text) => {
+                let Ok(doc) = serde_json::from_str(&text) else {
+                    eprintln!("error: {out_path} is not valid JSON");
+                    return 1;
+                };
+                let mut regressed = false;
+                for (name, _, fresh) in &entries {
+                    let baseline = doc["entries"]
+                        .as_array()
+                        .and_then(|a| {
+                            a.iter()
+                                .find(|e| e["bench"].as_str() == Some(name))
+                                .and_then(|e| e["virtual_makespan"].as_f64())
+                        });
+                    match baseline {
+                        Some(b) if *fresh > b * 1.10 => {
+                            eprintln!(
+                                "REGRESSION {name}: virtual makespan {fresh:.6}s vs baseline \
+                                 {b:.6}s (+{:.1}%)",
+                                (fresh / b - 1.0) * 100.0
+                            );
+                            regressed = true;
+                        }
+                        Some(b) => {
+                            say!("check {name:<24} {fresh:.6}s vs {b:.6}s baseline: ok");
+                        }
+                        None => {
+                            say!("check {name:<24} no baseline entry (new bench)");
+                        }
+                    }
+                }
+                if regressed {
+                    return 1;
+                }
+                return 0;
+            }
+            Err(e) => {
+                eprintln!("error reading baseline {out_path}: {e}");
+                return 1;
+            }
+        }
+    }
+    let json_entries: Vec<serde_json::Value> = entries
+        .iter()
+        .map(|(name, median_ns, makespan)| {
+            serde_json::json!({
+                "bench": *name,
+                "median_ns": *median_ns as f64,
+                "iters": ITERS as f64,
+                "virtual_makespan": *makespan,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "schema": "prs-bench-v1",
+        "entries": json_entries,
+    });
+    if let Err(e) = std::fs::write(&out_path, serde_json::to_string_pretty(&doc).unwrap() + "\n") {
+        eprintln!("error writing {out_path}: {e}");
+        return 1;
+    }
+    eprintln!("benchmark results written to {out_path}");
+    0
+}
+
 /// Resolves the node hardware for `run`/`sweep`: a `prs calibrate` TOML
 /// when `--profile-file` is given, a named preset otherwise.
 fn resolve_profile(opts: &RunOptions) -> Result<roofline::profiles::DeviceProfile, String> {
@@ -782,7 +1095,7 @@ fn cmd_run(args: &[String]) -> i32 {
         match write_obs_bundle(dir, &obs, &result.timeline) {
             Ok(()) => eprintln!(
                 "observability bundle written to {dir}/ (events.jsonl, metrics.prom, \
-                 decisions.jsonl, trace.json)"
+                 decisions.jsonl, rollup.jsonl, trace.json)"
             ),
             Err(e) => {
                 eprintln!("error writing observability bundle: {e}");
@@ -793,7 +1106,25 @@ fn cmd_run(args: &[String]) -> i32 {
     0
 }
 
-/// Writes the four deterministic export artifacts of an observed run.
+/// Converts paired message flows into Chrome-trace arrows.
+fn flow_arrows(flows: &[insight::Flow]) -> Vec<FlowArrow> {
+    flows
+        .iter()
+        .map(|f| FlowArrow {
+            id: f.id,
+            name: format!("msg {}B", f.bytes as u64),
+            src_lane: f.src_lane.clone(),
+            send_t: f.send_t,
+            dst_lane: f.dst_lane.clone(),
+            recv_t: f.recv_t,
+        })
+        .collect()
+}
+
+/// Writes the deterministic export artifacts of an observed run:
+/// `events.jsonl`, `metrics.prom` (including the rollup gauge families),
+/// `decisions.jsonl`, `rollup.jsonl`, and a `trace.json` whose lanes are
+/// linked by flow arrows for every paired cross-node message.
 fn write_obs_bundle(dir: &str, obs: &Obs, timeline: &[device::Interval]) -> Result<(), String> {
     let dir = std::path::Path::new(dir);
     std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
@@ -801,10 +1132,28 @@ fn write_obs_bundle(dir: &str, obs: &Obs, timeline: &[device::Interval]) -> Resu
         let path = dir.join(name);
         std::fs::write(&path, content).map_err(|e| format!("writing {}: {e}", path.display()))
     };
+    let events = insight::from_bus(&obs.bus);
+    let flows = insight::pair_flows(&events);
+    let decisions = obs.audit.records();
+    let horizon = events.iter().map(|e| e.end()).fold(0.0, f64::max);
+    let roll_events: Vec<RollupEvent> = events
+        .iter()
+        .map(|e| RollupEvent {
+            t: e.t,
+            dur: e.dur,
+            lane: e.lane.clone(),
+            kind: e.kind.clone(),
+            iter: e.iter,
+            attrs: e.attrs.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        })
+        .collect();
+    let roll = rollup(&roll_events, &decisions, &RollupConfig::auto(horizon.max(1e-9)));
+    roll.register_metrics(&obs.metrics);
     write("events.jsonl", obs.bus.to_jsonl())?;
     write("metrics.prom", obs.metrics.to_prometheus())?;
     write("decisions.jsonl", obs.audit.to_jsonl())?;
-    write("trace.json", to_chrome_trace(timeline))?;
+    write("rollup.jsonl", roll.to_jsonl())?;
+    write("trace.json", to_chrome_trace_with_flows(timeline, &flow_arrows(&flows)))?;
     Ok(())
 }
 

@@ -1,0 +1,252 @@
+//! `prs top` — a deterministic terminal dashboard over an `--obs`
+//! bundle, replayed in *virtual* time.
+//!
+//! The renderer is a pure function of `(events, decisions, t, window)`:
+//! given the same bundle and the same snapshot instant it produces
+//! byte-identical text, which is what the suite's snapshot test pins.
+//! The binary drives it either once (`--snapshot <t>`) or over a series
+//! of evenly spaced virtual instants (replay mode).
+
+use insight::TraceEvent;
+use obs::rollup::{rollup, RollupConfig, RollupEvent};
+use obs::DecisionRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Width of the utilization bars.
+const BAR_W: usize = 24;
+
+/// Truncates the event stream to what an observer at virtual time `t`
+/// has seen: events starting later vanish, spans still running are
+/// clamped to `t` (their remaining duration is the future).
+fn visible_at(events: &[TraceEvent], t: f64) -> Vec<TraceEvent> {
+    events
+        .iter()
+        .filter(|e| e.t <= t)
+        .map(|e| {
+            let mut e = e.clone();
+            if let Some(d) = e.dur {
+                e.dur = Some(d.min(t - e.t));
+            }
+            e
+        })
+        .collect()
+}
+
+fn to_rollup_events(events: &[TraceEvent]) -> Vec<RollupEvent> {
+    events
+        .iter()
+        .map(|e| RollupEvent {
+            t: e.t,
+            dur: e.dur,
+            lane: e.lane.clone(),
+            kind: e.kind.clone(),
+            iter: e.iter,
+            attrs: e.attrs.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        })
+        .collect()
+}
+
+fn bar(frac: f64) -> String {
+    let filled = ((frac.clamp(0.0, 1.0)) * BAR_W as f64).round() as usize;
+    let mut s = String::with_capacity(BAR_W);
+    for i in 0..BAR_W {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+fn is_device_lane(lane: &str) -> bool {
+    lane.contains("-cpu-c") || (lane.contains("-gpu") && lane.ends_with("-compute"))
+}
+
+fn lane_node(lane: &str) -> Option<u64> {
+    let rest = lane
+        .strip_prefix("node")
+        .or_else(|| lane.strip_prefix("net-rank"))?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Renders one dashboard frame at virtual instant `t`.
+///
+/// Sections: a header with the virtual clock; per-node device-lane
+/// gauges (busy fraction over the trailing `window` seconds); the
+/// cluster rollup table (windowed utilization, queue depth, bytes in
+/// flight, straggler lag); messages currently on the wire; and the
+/// blame verdict of the last iteration that finished by `t`.
+pub fn render_frame(
+    events: &[TraceEvent],
+    decisions: &[DecisionRecord],
+    t: f64,
+    window: f64,
+) -> String {
+    let horizon = events.iter().map(|e| e.end()).fold(0.0, f64::max);
+    let seen = visible_at(events, t);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "prs top — virtual t = {t:.6}s / horizon {horizon:.6}s  ({} of {} events)",
+        seen.len(),
+        events.len()
+    );
+
+    // Per-node device gauges over the trailing window.
+    let w0 = (t - window).max(0.0);
+    let mut node_busy: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
+    for e in &seen {
+        if !is_device_lane(&e.lane) || e.dur.is_none() {
+            continue;
+        }
+        if let Some(n) = lane_node(&e.lane) {
+            node_busy.entry(n).or_insert((0.0, 0)).0 += e.overlap(w0, t);
+        }
+    }
+    let mut node_lanes: BTreeMap<u64, std::collections::BTreeSet<&str>> = BTreeMap::new();
+    for e in events {
+        if is_device_lane(&e.lane) {
+            if let Some(n) = lane_node(&e.lane) {
+                node_lanes.entry(n).or_default().insert(&e.lane);
+            }
+        }
+    }
+    if !node_lanes.is_empty() {
+        let _ = writeln!(out, "\nnode lanes (busy over trailing {window:.6}s):");
+        let span = (t - w0).max(1e-12);
+        for (n, lanes) in &node_lanes {
+            let busy = node_busy.get(n).map_or(0.0, |b| b.0);
+            let frac = busy / (span * lanes.len() as f64);
+            let _ = writeln!(
+                out,
+                "  node{n:<2} [{}] {:>5.1}%  ({} device lanes)",
+                bar(frac),
+                frac * 100.0,
+                lanes.len()
+            );
+        }
+    }
+
+    // Cluster rollup table over everything seen so far.
+    let cfg = RollupConfig::auto(t.max(1e-9));
+    let roll = rollup(&to_rollup_events(&seen), decisions, &cfg);
+    let _ = writeln!(
+        out,
+        "\ncluster rollup (window {:.6}s, {} device lanes, {} nodes):",
+        roll.window_secs, roll.device_lanes, roll.nodes
+    );
+    let _ = writeln!(
+        out,
+        "  {:>3}  {:>10}  {:>6}  {:>6}  {:>12}  {:>10}  {:>10}",
+        "w", "t0", "util", "queue", "inflight_B", "lag_s", "mispredict"
+    );
+    for w in &roll.windows {
+        let _ = writeln!(
+            out,
+            "  {:>3}  {:>10.6}  {:>5.1}%  {:>6.0}  {:>12.0}  {:>10.6}  {:>10.4}",
+            w.index,
+            w.t0,
+            w.device_util * 100.0,
+            w.queue_depth_peak,
+            w.net_inflight_bytes,
+            w.straggler_lag_secs,
+            w.mispredict
+        );
+    }
+
+    // Messages on the wire at t: sends seen whose recv is in the future.
+    let flows = insight::pair_flows(&seen);
+    let inflight: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == "msg-send" && e.t <= t)
+        .filter_map(|e| e.attr("flow").map(|f| (f as u64, e.attr("bytes").unwrap_or(0.0))))
+        .filter(|(id, _)| !flows.iter().any(|f| f.id == *id && f.recv_t <= t))
+        .collect();
+    let inflight_bytes: f64 = inflight.iter().map(|(_, b)| b).sum::<f64>().max(0.0);
+    let _ = writeln!(
+        out,
+        "\nwire: {} flow(s) delivered, {} in flight ({inflight_bytes:.0} B)",
+        flows.len(),
+        inflight.len()
+    );
+
+    // Blame of the last iteration completed by t.
+    let analysis = insight::analyze(&seen);
+    match analysis.iterations.iter().rev().find(|it| it.end <= t) {
+        Some(it) => {
+            let _ = writeln!(
+                out,
+                "blame: iter {} -> {} (critical node {}, comm {:.6}s / compute {:.6}s)",
+                it.index,
+                it.blame.as_str(),
+                it.critical_node,
+                it.comm_secs,
+                it.compute_secs
+            );
+        }
+        None => {
+            let _ = writeln!(out, "blame: (no iteration completed yet)");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Map;
+
+    fn ev(lane: &str, kind: &str, t: f64, dur: Option<f64>, iter: Option<u64>) -> TraceEvent {
+        TraceEvent {
+            t,
+            dur,
+            lane: lane.into(),
+            kind: kind.into(),
+            iter,
+            part: None,
+            block: None,
+            attrs: Map::new(),
+        }
+    }
+
+    fn sample() -> Vec<TraceEvent> {
+        let mut send = ev("net-rank0", "msg-send", 0.05, None, Some(0));
+        send.attrs.insert("flow".into(), 7.0);
+        send.attrs.insert("bytes".into(), 512.0);
+        let mut recv = ev("net-rank1", "msg-recv", 0.4, None, Some(0));
+        recv.attrs.insert("flow".into(), 7.0);
+        vec![
+            ev("node0-cpu-c0", "cpu-task", 0.0, Some(0.3), Some(0)),
+            ev("node1-cpu-c0", "cpu-task", 0.0, Some(0.1), Some(0)),
+            ev("node0-sched", "map", 0.0, Some(0.3), Some(0)),
+            ev("node1-sched", "map", 0.0, Some(0.1), Some(0)),
+            send,
+            recv,
+        ]
+    }
+
+    #[test]
+    fn frame_is_deterministic_and_mentions_every_section() {
+        let events = sample();
+        let a = render_frame(&events, &[], 0.2, 0.5);
+        let b = render_frame(&events, &[], 0.2, 0.5);
+        assert_eq!(a, b);
+        assert!(a.contains("prs top — virtual t = 0.200000s"));
+        assert!(a.contains("node0"));
+        assert!(a.contains("cluster rollup"));
+        assert!(a.contains("1 in flight (512 B)"), "recv at 0.4 is the future:\n{a}");
+    }
+
+    #[test]
+    fn snapshot_past_the_recv_shows_the_flow_delivered() {
+        let events = sample();
+        let s = render_frame(&events, &[], 0.5, 0.5);
+        assert!(s.contains("1 flow(s) delivered, 0 in flight"), "{s}");
+    }
+
+    #[test]
+    fn truncation_clamps_running_spans() {
+        let events = vec![ev("node0-cpu-c0", "cpu-task", 0.0, Some(10.0), Some(0))];
+        let seen = visible_at(&events, 1.0);
+        assert_eq!(seen[0].dur, Some(1.0));
+    }
+}

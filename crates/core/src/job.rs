@@ -11,7 +11,7 @@ use crate::task::{split_fixed, split_range, Task, TaskResult};
 use device::FatNode;
 use insight::CalibrationProfile;
 use netsim::{shuffle, CollectiveSeq, Network, ShuffleItem};
-use obs::{DecisionId, DecisionRecord, Obs};
+use obs::{trace_ctx, DecisionId, DecisionRecord, Obs, TraceCtx};
 use parking_lot::Mutex;
 use roofline::model::DataResidency;
 use roofline::profiles::DeviceProfile;
@@ -342,6 +342,17 @@ fn run_with_update<A: SpmdApp>(
                     if let Some(d) = obs.bus.event("master", "assign", ctx.now()) {
                         d.partition(id as usize)
                             .attr("target", target as f64)
+                            .attr("items", part.len() as f64)
+                            .commit();
+                    }
+                    // Control-plane flow: pairs with the worker's
+                    // `msg-recv` on its sched lane. The attempt id is
+                    // unique per send, so retries/reassignments each get
+                    // their own flow and conservation holds exactly.
+                    if let Some(d) = obs.bus.event("master", "msg-send", ctx.now()) {
+                        d.partition(id as usize)
+                            .attr("flow", trace_ctx::flow_id(trace_ctx::CONTROL_RANK, target as u64, id) as f64)
+                            .attr("dst", target as f64)
                             .attr("items", part.len() as f64)
                             .commit();
                     }
@@ -949,9 +960,24 @@ fn worker_body<A: SpmdApp>(
     // assignments the master finally confirms: anything else was
     // reassigned to another node after we missed the deadline.
     let mut assigned: BTreeMap<u64, Range<usize>> = BTreeMap::new();
+    // The lowest confirmed attempt id doubles as this worker's trace
+    // root partition (deterministic; falls back to the rank if nothing
+    // was confirmed).
+    let mut root_part = u64::MAX;
     let partitions: Vec<Range<usize>> = loop {
         match ctrl.recv(ctx) {
             Some(CtrlMsg::Partition { id, range }) => {
+                // The master's control-plane flow lands here; pair its
+                // `msg-send` at the instant the assignment is matched.
+                if let Some(d) = obs.bus.event(&sched_lane, "msg-recv", ctx.now()) {
+                    d.partition(id as usize)
+                        .attr(
+                            "flow",
+                            trace_ctx::flow_id(trace_ctx::CONTROL_RANK, rank as u64, id) as f64,
+                        )
+                        .attr("src", trace_ctx::CONTROL_RANK as f64)
+                        .commit();
+                }
                 let now = ctx.now().as_secs_f64();
                 let delay: f64 = stalls
                     .iter()
@@ -965,6 +991,7 @@ fn worker_body<A: SpmdApp>(
                 assigned.insert(id, range);
             }
             Some(CtrlMsg::Done { confirmed }) => {
+                root_part = confirmed.iter().copied().min().unwrap_or(u64::MAX);
                 break confirmed
                     .iter()
                     .filter_map(|id| assigned.remove(id))
@@ -973,6 +1000,7 @@ fn worker_body<A: SpmdApp>(
             None => break Vec::new(),
         }
     };
+    let root_part = if root_part == u64::MAX { rank as u64 } else { root_part };
     let my_items: usize = partitions.iter().map(|r| r.len()).sum();
     let my_bytes = my_items as u64 * app.item_bytes();
 
@@ -1038,6 +1066,10 @@ fn worker_body<A: SpmdApp>(
     let mut final_outputs: Option<Vec<(Key, A::Output)>> = None;
     for iter in 0..config.max_iterations {
         let t0 = ctx.now();
+        // Every message this iteration sends (shuffle, collectives)
+        // carries this causal root, so cross-node flow events get
+        // deterministic trace/span ids and iteration tags.
+        comm.set_trace_ctx(TraceCtx::root(iter as u64, root_part));
 
         // Un-cached resident data must be re-staged every iteration (A4).
         if uses_gpu && resident && !config.cache_resident_data && my_bytes > 0 {
@@ -1101,13 +1133,25 @@ fn worker_body<A: SpmdApp>(
         // MAP: second-level scheduling of blocks onto device daemons.
         // `sample_queues` keeps a high-water mark of the second-level
         // queue backlog as blocks are dispatched.
-        let metrics_on = obs.metrics.is_enabled();
+        let metrics_on = obs.metrics.is_enabled() || obs.bus.is_enabled();
+        let q_lane = obs.bus.intern(&sched_lane);
+        let q_kind = obs.bus.intern("queue-sample");
         let sample_queues = |queue: &str, depth: usize| {
             obs.metrics.gauge_max(
                 "prs_queue_depth_peak",
                 &[("node", &rank_label), ("queue", queue)],
                 depth as f64,
             );
+            // The same sample as a point event, so rollups can window
+            // queue backlog over time (the gauge only keeps the peak).
+            if let Some(d) = obs.bus.event_interned(&q_lane, &q_kind, ctx.now()) {
+                let class = match queue {
+                    "shared" => 0.0,
+                    "cpu" => 1.0,
+                    _ => 2.0,
+                };
+                d.attr("depth", depth as f64).attr("queue", class).commit();
+            }
         };
         let mut n_tasks = 0u64;
         match config.scheduling {

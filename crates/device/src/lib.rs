@@ -38,7 +38,9 @@ pub use faults::{GpuCrashed, SlowdownWindow};
 pub use gpu::{Gpu, GpuContext, Stream};
 pub use memory::{MemorySpace, OutOfMemory, Region};
 pub use node::FatNode;
-pub use timeline::{render_ascii, to_chrome_trace, Interval, Timeline};
+pub use timeline::{
+    render_ascii, to_chrome_trace, to_chrome_trace_with_flows, FlowArrow, Interval, Timeline,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -204,21 +204,54 @@ pub fn render_ascii(intervals: &[Interval], width: usize) -> String {
     out
 }
 
+/// One cross-lane causal arrow for the Chrome-trace export: a message
+/// leaving `src_lane` at `send_t` and matching a receive on `dst_lane`
+/// at `recv_t`. Rendered as a flow-event pair (`ph:"s"` → `ph:"f"`)
+/// anchored to two zero-ish-width slices, which trace viewers draw as
+/// an arrow between the lanes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowArrow {
+    /// Unique flow id (binds the `s` and `f` halves together).
+    pub id: u64,
+    /// Arrow label shown in the viewer (e.g. `msg 4096B`).
+    pub name: String,
+    /// Lane the message departed from.
+    pub src_lane: String,
+    /// Departure, virtual seconds.
+    pub send_t: f64,
+    /// Lane the message was received on.
+    pub dst_lane: String,
+    /// Receive-match, virtual seconds.
+    pub recv_t: f64,
+}
+
 /// Serializes intervals in the Chrome tracing (`chrome://tracing` /
 /// Perfetto) "trace event" JSON format: one complete (`X`) event per
 /// interval, lanes mapped to thread names. Load the returned string from
 /// a file in any trace viewer.
 pub fn to_chrome_trace(intervals: &[Interval]) -> String {
-    let mut lanes: Vec<&str> = Vec::new();
-    let mut events = Vec::with_capacity(intervals.len() + 8);
-    for iv in intervals {
-        let tid = match lanes.iter().position(|l| *l == iv.lane) {
+    to_chrome_trace_with_flows(intervals, &[])
+}
+
+/// [`to_chrome_trace`] plus causal arrows: each [`FlowArrow`] becomes a
+/// flow-start (`ph:"s"`) on the source lane and a binding flow-finish
+/// (`ph:"f"`, `bp:"e"`) on the destination lane, each anchored to a
+/// 1 µs `X` slice so viewers have geometry to attach the arrow to.
+/// Flow lanes that carry no intervals still get thread names.
+pub fn to_chrome_trace_with_flows(intervals: &[Interval], flows: &[FlowArrow]) -> String {
+    fn lane_tid<'a>(lanes: &mut Vec<&'a str>, lane: &'a str) -> usize {
+        match lanes.iter().position(|l| *l == lane) {
             Some(i) => i,
             None => {
-                lanes.push(&iv.lane);
+                lanes.push(lane);
                 lanes.len() - 1
             }
-        };
+        }
+    }
+    let mut lanes: Vec<&str> = Vec::new();
+    let mut events = Vec::with_capacity(intervals.len() + 4 * flows.len() + 8);
+    for iv in intervals {
+        let tid = lane_tid(&mut lanes, iv.lane.as_str());
         events.push(serde_json::json!({
             "name": iv.kind,
             "ph": "X",
@@ -226,6 +259,26 @@ pub fn to_chrome_trace(intervals: &[Interval]) -> String {
             "dur": (iv.end - iv.start) * 1e6,
             "pid": 0,
             "tid": tid,
+        }));
+    }
+    for f in flows {
+        let src = lane_tid(&mut lanes, f.src_lane.as_str());
+        let dst = lane_tid(&mut lanes, f.dst_lane.as_str());
+        let (send_us, recv_us) = (f.send_t * 1e6, f.recv_t * 1e6);
+        // Anchor slices: the arrow endpoints need enclosing slices.
+        events.push(serde_json::json!({
+            "name": f.name, "ph": "X", "ts": send_us, "dur": 1.0, "pid": 0, "tid": src,
+        }));
+        events.push(serde_json::json!({
+            "name": f.name, "ph": "X", "ts": recv_us, "dur": 1.0, "pid": 0, "tid": dst,
+        }));
+        events.push(serde_json::json!({
+            "name": f.name, "cat": "flow", "ph": "s", "id": f.id,
+            "ts": send_us, "pid": 0, "tid": src,
+        }));
+        events.push(serde_json::json!({
+            "name": f.name, "cat": "flow", "ph": "f", "bp": "e", "id": f.id,
+            "ts": recv_us, "pid": 0, "tid": dst,
         }));
     }
     for (tid, lane) in lanes.iter().enumerate() {
@@ -357,6 +410,35 @@ mod tests {
         assert_eq!(x[0]["ts"], 1000.0);
         assert_eq!(x[0]["dur"], 1000.0);
         assert!(json.contains("gpu-compute"));
+    }
+
+    #[test]
+    fn chrome_trace_flows_emit_paired_s_f_events_with_anchors() {
+        let ivs = vec![iv("net-rank0", "net-send", 0.0, 0.001)];
+        let flows = vec![FlowArrow {
+            id: 42,
+            name: "msg 64B".into(),
+            src_lane: "net-rank0".into(),
+            send_t: 0.001,
+            dst_lane: "net-rank1".into(),
+            recv_t: 0.002,
+        }];
+        let json = to_chrome_trace_with_flows(&ivs, &flows);
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        // 1 interval X + 2 anchor X + s + f + 2 thread_name.
+        assert_eq!(events.len(), 7);
+        let s: Vec<_> = events.iter().filter(|e| e["ph"] == "s").collect();
+        let f: Vec<_> = events.iter().filter(|e| e["ph"] == "f").collect();
+        assert_eq!((s.len(), f.len()), (1, 1));
+        assert_eq!(s[0]["id"], f[0]["id"]);
+        assert_eq!(s[0]["ts"].as_f64(), Some(1000.0));
+        assert_eq!(f[0]["ts"].as_f64(), Some(2000.0));
+        assert_eq!(f[0]["bp"], "e");
+        // The destination lane has no interval, but still gets a name.
+        assert!(json.contains("net-rank1"));
+        // tids differ: the arrow spans two lanes.
+        assert_ne!(s[0]["tid"], f[0]["tid"]);
     }
 
     #[test]

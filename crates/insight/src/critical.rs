@@ -10,7 +10,7 @@
 //! node whose window ends last; inside the critical `map` window, the
 //! device class whose last block arrives last.
 
-use crate::trace::TraceEvent;
+use crate::trace::{pair_flows, Flow, TraceEvent};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Barrier-ordered stages of one iteration, in execution order.
@@ -111,6 +111,16 @@ pub struct IterationAnalysis {
     pub comm_secs: f64,
     /// Map + reduce stage seconds (the compute share).
     pub compute_secs: f64,
+    /// Cross-node flows (`msg-send`/`msg-recv` pairs) received inside
+    /// this iteration's window.
+    pub flow_count: u64,
+    /// Total bytes those flows carried.
+    pub flow_bytes: f64,
+    /// Per-node inbound in-flight seconds overlapping the node's *map*
+    /// window — how long each node's map stage spent with bytes bound
+    /// for it still on the wire. These are the true cross-node DAG
+    /// edges the straggler-vs-comm-bound verdict keys on.
+    pub comm_wait_by_node: BTreeMap<u64, f64>,
 }
 
 impl IterationAnalysis {
@@ -173,6 +183,9 @@ pub fn analyze(events: &[TraceEvent]) -> Analysis {
     }
     analysis.trace_start = events.iter().map(|e| e.t).fold(f64::INFINITY, f64::min);
     analysis.trace_end = events.iter().map(|e| e.end()).fold(0.0, f64::max);
+
+    // Cross-node causal edges, paired once for the whole trace.
+    let flows: Vec<Flow> = pair_flows(events);
 
     // Stage windows: (iter, stage, node) -> (start, end).
     let mut windows: BTreeMap<(u64, usize, u64), (f64, f64)> = BTreeMap::new();
@@ -257,6 +270,23 @@ pub fn analyze(events: &[TraceEvent]) -> Analysis {
         let compute_secs = stages.get("map").copied().unwrap_or(0.0)
             + stages.get("reduce").copied().unwrap_or(0.0);
 
+        // Inbound in-flight seconds overlapping each node's map window:
+        // the flow-edge evidence that a long map window was spent
+        // waiting on a slow *sender*, not on slow local compute.
+        let mut comm_wait_by_node: BTreeMap<u64, f64> = BTreeMap::new();
+        for &(node, a, b) in &per_stage[0] {
+            let wait: f64 = flows
+                .iter()
+                .filter(|f| f.dst_node == Some(node))
+                .map(|f| (f.recv_t.min(b) - f.send_t.max(a)).max(0.0))
+                .sum();
+            comm_wait_by_node.insert(node, wait);
+        }
+        let (flow_count, flow_bytes) = flows
+            .iter()
+            .filter(|f| f.recv_t >= start && f.recv_t <= end)
+            .fold((0u64, 0.0), |(n, b), f| (n + 1, b + f.bytes));
+
         let blame = classify(
             events,
             &per_stage[0],
@@ -264,6 +294,7 @@ pub fn analyze(events: &[TraceEvent]) -> Analysis {
             recovery_events,
             comm_secs,
             compute_secs,
+            &comm_wait_by_node,
         );
 
         // Per-lane slack against the iteration window. Scheduler lanes
@@ -299,6 +330,9 @@ pub fn analyze(events: &[TraceEvent]) -> Analysis {
             recovery_events,
             comm_secs,
             compute_secs,
+            flow_count,
+            flow_bytes,
+            comm_wait_by_node,
         });
     }
     analysis
@@ -322,6 +356,7 @@ fn last_device_lane(events: &[TraceEvent], node: u64, start: f64, end: f64) -> O
         .map(|e| e.lane.clone())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn classify(
     events: &[TraceEvent],
     map_windows: &[(u64, f64, f64)],
@@ -329,17 +364,32 @@ fn classify(
     recovery_events: u64,
     comm_secs: f64,
     compute_secs: f64,
+    comm_wait_by_node: &BTreeMap<u64, f64>,
 ) -> Blame {
     if recovery_events > 0 {
         return Blame::Recovery;
     }
-    // Straggler: one node's map window much longer than the median.
+    // Straggler: one node's map window much longer than the median —
+    // unless the flow edges show the excess was spent waiting on
+    // inbound bytes, in which case the *senders* (the network) own the
+    // time and the verdict is comm-bound, not straggler.
     if map_windows.len() > 1 {
         let mut durs: Vec<f64> = map_windows.iter().map(|w| w.2 - w.1).collect();
         durs.sort_by(f64::total_cmp);
         let median = durs[durs.len() / 2];
         let max = *durs.last().unwrap();
         if median > 0.0 && max > STRAGGLER_FACTOR * median {
+            let slowest = map_windows
+                .iter()
+                .max_by(|a, b| (a.2 - a.1).total_cmp(&(b.2 - b.1)).then_with(|| b.0.cmp(&a.0)))
+                .map(|w| w.0);
+            let wait = slowest
+                .and_then(|n| comm_wait_by_node.get(&n))
+                .copied()
+                .unwrap_or(0.0);
+            if wait >= 0.5 * (max - median) {
+                return Blame::CommBound;
+            }
             return Blame::Straggler;
         }
     }
@@ -448,6 +498,53 @@ mod tests {
         let a = analyze(&events);
         assert_eq!(a.iterations[0].blame, Blame::Straggler);
         assert_eq!(a.iterations[0].critical_node, 2);
+    }
+
+    fn flow_ev(lane: &str, kind: &str, t: f64, flow: f64, bytes: f64) -> TraceEvent {
+        let mut e = ev(lane, kind, t, None, None);
+        e.attrs.insert("flow".into(), flow);
+        if kind == "msg-send" {
+            e.attrs.insert("bytes".into(), bytes);
+        }
+        e
+    }
+
+    /// The jitter-window scenario in miniature: node 2's map window
+    /// looks like a straggler (0.9 s vs a 0.1 s median), but the flow
+    /// edges show 0.8 s of that window was spent with inbound bytes
+    /// still on the wire — the verdict flips to comm-bound. Removing
+    /// the flow events restores the straggler verdict (previous test).
+    #[test]
+    fn flow_edges_flip_straggler_to_comm_bound() {
+        let events = vec![
+            ev("node0-sched", "map", 0.0, Some(0.1), Some(0)),
+            ev("node1-sched", "map", 0.0, Some(0.1), Some(0)),
+            ev("node2-sched", "map", 0.0, Some(0.9), Some(0)),
+            flow_ev("net-rank0", "msg-send", 0.0, 77.0, 4096.0),
+            flow_ev("net-rank2", "msg-recv", 0.8, 77.0, 0.0),
+        ];
+        let a = analyze(&events);
+        let it = &a.iterations[0];
+        assert_eq!(it.blame, Blame::CommBound, "inbound flow wait owns the excess");
+        assert_eq!(it.flow_count, 1);
+        assert_eq!(it.flow_bytes, 4096.0);
+        assert!((it.comm_wait_by_node[&2] - 0.8).abs() < 1e-12);
+        assert_eq!(it.comm_wait_by_node[&0], 0.0);
+    }
+
+    /// A flow landing on a *fast* node must not excuse a genuinely slow
+    /// straggler.
+    #[test]
+    fn flows_to_other_nodes_do_not_flip_the_verdict() {
+        let events = vec![
+            ev("node0-sched", "map", 0.0, Some(0.1), Some(0)),
+            ev("node1-sched", "map", 0.0, Some(0.1), Some(0)),
+            ev("node2-sched", "map", 0.0, Some(0.9), Some(0)),
+            flow_ev("net-rank2", "msg-send", 0.0, 78.0, 4096.0),
+            flow_ev("net-rank0", "msg-recv", 0.05, 78.0, 0.0),
+        ];
+        let a = analyze(&events);
+        assert_eq!(a.iterations[0].blame, Blame::Straggler);
     }
 
     #[test]

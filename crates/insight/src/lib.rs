@@ -39,4 +39,4 @@ pub mod trace;
 pub use calibrate::{fit_from_events, CalibrationProfile, SampleCounts, DEFAULT_ALPHA};
 pub use critical::{analyze, Analysis, Blame, IterationAnalysis, LaneSlack, PathSegment};
 pub use report::{critical_path_json, report_json, summary_table};
-pub use trace::{from_bus, parse_events_jsonl, TraceEvent};
+pub use trace::{from_bus, pair_flows, parse_events_jsonl, Flow, TraceEvent};

@@ -33,6 +33,12 @@ fn iteration_value(it: &IterationAnalysis) -> Value {
             })
         })
         .collect();
+    let comm_wait: Value = Value::Object(
+        it.comm_wait_by_node
+            .iter()
+            .map(|(n, w)| (format!("node{n}"), Value::Number(*w)))
+            .collect(),
+    );
     json!({
         "iter": it.index,
         "start_s": it.start,
@@ -44,6 +50,9 @@ fn iteration_value(it: &IterationAnalysis) -> Value {
         "comm_s": it.comm_secs,
         "compute_s": it.compute_secs,
         "recovery_events": it.recovery_events,
+        "flows": it.flow_count as f64,
+        "flow_bytes": it.flow_bytes,
+        "comm_wait_s": comm_wait,
         "lane_slack": Value::Array(slack),
     })
 }

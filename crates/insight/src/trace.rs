@@ -52,6 +52,81 @@ impl TraceEvent {
     }
 }
 
+/// One cross-node message flow: a `msg-send` point event paired with its
+/// `msg-recv` through the shared `flow` attribute. The interval
+/// `[send_t, recv_t]` is the message's in-flight (wire + queueing +
+/// match-wait) time — a true causal edge between two node lanes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flow {
+    /// The packed flow id (see `obs::trace_ctx::flow_id`).
+    pub id: u64,
+    /// Lane the `msg-send` was stamped on (`net-rank2`, `master`).
+    pub src_lane: String,
+    /// Lane the `msg-recv` was stamped on.
+    pub dst_lane: String,
+    /// Departure instant, virtual seconds.
+    pub send_t: f64,
+    /// Match instant at the receiver, virtual seconds.
+    pub recv_t: f64,
+    /// Declared wire bytes (0 for control messages).
+    pub bytes: f64,
+    /// Iteration tag carried from the sender's trace context.
+    pub iter: Option<u64>,
+    /// Worker node of the source lane (`None` for `master`).
+    pub src_node: Option<u64>,
+    /// Worker node of the destination lane.
+    pub dst_node: Option<u64>,
+}
+
+impl Flow {
+    /// In-flight seconds from departure to receive-match.
+    pub fn latency(&self) -> f64 {
+        self.recv_t - self.send_t
+    }
+}
+
+/// Worker node index of a `node{r}-...` or `net-rank{r}` lane.
+pub(crate) fn lane_node(lane: &str) -> Option<u64> {
+    let rest = lane
+        .strip_prefix("node")
+        .or_else(|| lane.strip_prefix("net-rank"))?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Pairs `msg-send` events with their `msg-recv` by flow id. Events
+/// missing a counterpart are dropped (the flow-conservation tests assert
+/// there are none); duplicate ids pair in time order. The result is
+/// sorted by `(send_t, id)`.
+pub fn pair_flows(events: &[TraceEvent]) -> Vec<Flow> {
+    use std::collections::VecDeque;
+    let mut sends: BTreeMap<u64, VecDeque<&TraceEvent>> = BTreeMap::new();
+    for e in events.iter().filter(|e| e.kind == "msg-send") {
+        if let Some(flow) = e.attr("flow") {
+            sends.entry(flow as u64).or_default().push_back(e);
+        }
+    }
+    let mut out = Vec::new();
+    for e in events.iter().filter(|e| e.kind == "msg-recv") {
+        let Some(flow) = e.attr("flow") else { continue };
+        let Some(q) = sends.get_mut(&(flow as u64)) else { continue };
+        let Some(s) = q.pop_front() else { continue };
+        out.push(Flow {
+            id: flow as u64,
+            src_lane: s.lane.clone(),
+            dst_lane: e.lane.clone(),
+            send_t: s.t,
+            recv_t: e.t,
+            bytes: s.attr("bytes").unwrap_or(0.0),
+            iter: s.iter,
+            src_node: lane_node(&s.lane),
+            dst_node: lane_node(&e.lane),
+        });
+    }
+    out.sort_by(|a, b| a.send_t.total_cmp(&b.send_t).then_with(|| a.id.cmp(&b.id)));
+    out
+}
+
 fn canonical_sort(events: &mut [TraceEvent]) {
     events.sort_by(|a, b| {
         a.t.total_cmp(&b.t)
@@ -177,6 +252,52 @@ mod tests {
         assert_eq!(e.overlap(0.0, 10.0), 2.0);
         assert_eq!(e.overlap(2.0, 2.5), 0.5);
         assert_eq!(e.overlap(4.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn pair_flows_matches_sends_to_recvs_by_id_in_time_order() {
+        let mk = |lane: &str, kind: &str, t: f64, flow: f64, bytes: Option<f64>| {
+            let mut attrs = BTreeMap::new();
+            attrs.insert("flow".to_string(), flow);
+            if let Some(b) = bytes {
+                attrs.insert("bytes".to_string(), b);
+            }
+            TraceEvent {
+                t,
+                dur: None,
+                lane: lane.into(),
+                kind: kind.into(),
+                iter: Some(4),
+                part: None,
+                block: None,
+                attrs,
+            }
+        };
+        let events = vec![
+            mk("net-rank0", "msg-send", 0.0, 9.0, Some(64.0)),
+            mk("net-rank1", "msg-recv", 0.5, 9.0, None),
+            // duplicate flow id: second pair must match in time order
+            mk("net-rank0", "msg-send", 1.0, 9.0, Some(128.0)),
+            mk("net-rank1", "msg-recv", 1.25, 9.0, None),
+            // orphan recv (no send) is dropped
+            mk("net-rank2", "msg-recv", 2.0, 11.0, None),
+            // master lane has no node index
+            mk("master", "msg-send", 0.1, 13.0, Some(0.0)),
+            mk("node2-sched", "msg-recv", 0.2, 13.0, None),
+        ];
+        let flows = pair_flows(&events);
+        assert_eq!(flows.len(), 3);
+        assert_eq!(flows[0].id, 9);
+        assert_eq!(flows[0].bytes, 64.0);
+        assert_eq!(flows[0].latency(), 0.5);
+        assert_eq!(flows[0].src_node, Some(0));
+        assert_eq!(flows[0].dst_node, Some(1));
+        assert_eq!(flows[0].iter, Some(4));
+        assert_eq!(flows[1].id, 13);
+        assert_eq!(flows[1].src_node, None);
+        assert_eq!(flows[1].dst_node, Some(2));
+        assert_eq!(flows[2].bytes, 128.0);
+        assert_eq!(flows[2].latency(), 0.25);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use simtime::SimCtx;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// High tag space reserved for collective traffic.
-const COLL_TAG_BASE: u64 = 1 << 48;
+pub(crate) const COLL_TAG_BASE: u64 = 1 << 48;
 
 /// Sequence numbers for collectives, one per communicator. Kept outside
 /// `Communicator` so the point-to-point layer stays independent.

@@ -4,27 +4,56 @@
 
 use crate::faults::LinkDisruption;
 use crate::params::NetworkParams;
-use obs::Obs;
+use obs::{trace_ctx, Obs, TraceCtx};
 use parking_lot::Mutex;
 use simtime::{Channel, Resource, SimCtx, SimTime};
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Traffic class stamped on `msg-send`/`msg-recv` events (`class` attr)
+/// so rollups can break fabric bytes out by origin.
+const CLASS_P2P: f64 = 0.0;
+const CLASS_COLLECTIVE: f64 = 1.0;
+const CLASS_SHUFFLE: f64 = 2.0;
+
+fn traffic_class(tag: u64) -> f64 {
+    if tag >= crate::collectives::COLL_TAG_BASE {
+        CLASS_COLLECTIVE
+    } else if tag >= crate::shuffle::SHUFFLE_TAG_BASE {
+        CLASS_SHUFFLE
+    } else {
+        CLASS_P2P
+    }
+}
+
 /// Observability attachment: the bundle plus per-rank egress lanes and
-/// the send kind, interned once so the per-message cost is two `Arc`
+/// the event kinds, interned once so the per-message cost is a few `Arc`
 /// clones.
 struct NetObs {
     obs: Obs,
     lanes: Vec<Arc<str>>,
     kind_send: Arc<str>,
+    kind_msg_send: Arc<str>,
+    kind_msg_recv: Arc<str>,
 }
 
 /// An in-flight message. Payloads are type-erased; [`Communicator::recv`]
-/// downcasts back to the concrete type.
+/// downcasts back to the concrete type. Every cross-rank message also
+/// carries its causal identity: a unique flow id plus the sender's
+/// [`TraceCtx`], so the receiver can stamp a `msg-recv` event that pairs
+/// with the sender's `msg-send`.
 struct Message {
     src: usize,
     tag: u64,
     bytes: u64,
+    /// Unique flow id (see [`obs::trace_ctx::flow_id`]); 0 for untracked
+    /// self-sends.
+    flow: u64,
+    /// Span id minted for this transfer under the sender's context.
+    span: u64,
+    /// The sender's causal context at send time.
+    tctx: TraceCtx,
     payload: Box<dyn Any + Send>,
 }
 
@@ -35,7 +64,16 @@ pub struct Network {
     egress: Vec<Resource>,
     /// Installed fault windows (normally empty; see [`crate::faults`]).
     disruptions: Mutex<Vec<LinkDisruption>>,
-    obs: Mutex<Option<NetObs>>,
+    /// Current obs attachment plus a generation counter so communicators
+    /// constructed *before* [`Network::attach_obs`] pick the attachment
+    /// up on their next operation (each keeps a generation-checked
+    /// cache; see [`Communicator::net_obs`]).
+    obs: Mutex<Option<Arc<NetObs>>>,
+    obs_gen: AtomicU64,
+    /// Per-source message sequence numbers for flow-id minting. Each
+    /// rank's communicator is driven by exactly one simulation process,
+    /// so these advance deterministically.
+    flow_seq: Vec<AtomicU64>,
 }
 
 impl Network {
@@ -52,6 +90,8 @@ impl Network {
                 .collect(),
             disruptions: Mutex::new(Vec::new()),
             obs: Mutex::new(None),
+            obs_gen: AtomicU64::new(0),
+            flow_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
         })
     }
 
@@ -62,16 +102,33 @@ impl Network {
     }
 
     /// Attaches structured observability: every cross-rank send emits a
-    /// `net-send` span on the sender's egress lane (with bytes and
-    /// destination) and accumulates per-sender byte counters. Because
-    /// collectives and the shuffle all route through point-to-point
-    /// sends, this one choke point covers all traffic.
+    /// `net-send` span (NIC occupancy) plus a `msg-send` point event on
+    /// the sender's egress lane, and the matching receive emits a
+    /// `msg-recv` point event on the receiver's lane — the two carry the
+    /// same `flow` id, which is what cross-node trace arrows and flow
+    /// conservation checks key on. Because collectives and the shuffle
+    /// all route through point-to-point sends, this one choke point
+    /// covers all traffic.
+    ///
+    /// Attachment propagates to communicators constructed *before* this
+    /// call: each [`Communicator`] re-reads the attachment whenever the
+    /// network's generation counter moves, so late attachment never
+    /// yields silently empty traces.
     pub fn attach_obs(&self, obs: Obs) {
         let lanes = (0..self.size())
             .map(|r| obs.bus.intern(&format!("net-rank{r}")))
             .collect();
         let kind_send = obs.bus.intern("net-send");
-        *self.obs.lock() = Some(NetObs { obs, lanes, kind_send });
+        let kind_msg_send = obs.bus.intern("msg-send");
+        let kind_msg_recv = obs.bus.intern("msg-recv");
+        *self.obs.lock() = Some(Arc::new(NetObs {
+            obs,
+            lanes,
+            kind_send,
+            kind_msg_send,
+            kind_msg_recv,
+        }));
+        self.obs_gen.fetch_add(1, Ordering::Release);
     }
 
     /// Effective (wire time, delivery delay, partition release time) for a
@@ -132,6 +189,8 @@ impl Network {
             net: self.clone(),
             rank,
             pending: Mutex::new(Vec::new()),
+            trace: Mutex::new(TraceCtx::default()),
+            obs_cache: Mutex::new((0, None)),
         }
     }
 }
@@ -144,12 +203,44 @@ pub struct Communicator {
     pub(crate) rank: usize,
     /// Received-but-unmatched messages (MPI's unexpected-message queue).
     pending: Mutex<Vec<Message>>,
+    /// Causal context stamped on outgoing messages; see
+    /// [`Communicator::set_trace_ctx`].
+    trace: Mutex<TraceCtx>,
+    /// Generation-checked cache of the network's obs attachment: the
+    /// common path is one relaxed atomic load plus an uncontended
+    /// (communicator-local) mutex, and a late `attach_obs` on the
+    /// network is still picked up on the very next send/recv.
+    obs_cache: Mutex<(u64, Option<Arc<NetObs>>)>,
 }
 
 impl Communicator {
     /// This endpoint's rank.
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// Installs the causal context stamped on every subsequent outgoing
+    /// message (until replaced). Workers call this once per iteration
+    /// with [`TraceCtx::root`]`(iteration, partition)`, which is enough
+    /// to give every transfer deterministic trace/span ids and carry
+    /// iteration/partition tags onto `msg-send`/`msg-recv` events.
+    pub fn set_trace_ctx(&self, ctx: TraceCtx) {
+        *self.trace.lock() = ctx;
+    }
+
+    /// The currently installed causal context.
+    pub fn trace_ctx(&self) -> TraceCtx {
+        *self.trace.lock()
+    }
+
+    /// The network's current obs attachment (generation-cached).
+    fn net_obs(&self) -> Option<Arc<NetObs>> {
+        let gen = self.net.obs_gen.load(Ordering::Acquire);
+        let mut cache = self.obs_cache.lock();
+        if cache.0 != gen {
+            *cache = (gen, self.net.obs.lock().clone());
+        }
+        cache.1.clone()
     }
 
     /// Total ranks in the fabric.
@@ -170,16 +261,34 @@ impl Communicator {
     /// immediately without touching the NIC.
     pub fn send<T: Send + 'static>(&self, ctx: &SimCtx, dst: usize, tag: u64, bytes: u64, value: T) {
         assert!(dst < self.size(), "send to out-of-range rank {dst}");
+        if dst == self.rank {
+            // Self-sends never touch the NIC and mint no flow (flow 0):
+            // they are local moves, not cross-node causality.
+            let msg = Message {
+                src: self.rank,
+                tag,
+                bytes,
+                flow: 0,
+                span: 0,
+                tctx: TraceCtx::default(),
+                payload: Box::new(value),
+            };
+            self.net.inboxes[dst].send(ctx, msg);
+            return;
+        }
+        let seq = self.net.flow_seq[self.rank].fetch_add(1, Ordering::Relaxed);
+        let tctx = *self.trace.lock();
+        let flow = trace_ctx::flow_id(self.rank as u64, dst as u64, seq);
+        let span = tctx.span_for(seq);
         let msg = Message {
             src: self.rank,
             tag,
             bytes,
+            flow,
+            span,
+            tctx,
             payload: Box::new(value),
         };
-        if dst == self.rank {
-            self.net.inboxes[dst].send(ctx, msg);
-            return;
-        }
         let (wire, mut delay, release) =
             self.net.disruption_effects(self.rank, dst, ctx.now(), bytes);
         let egress = &self.net.egress[self.rank];
@@ -187,9 +296,27 @@ impl Communicator {
         let t0 = ctx.now();
         ctx.hold(wire);
         let t1 = ctx.now();
-        if let Some(o) = self.net.obs.lock().as_ref() {
+        if let Some(o) = self.net_obs() {
             if let Some(d) = o.obs.bus.span_interned(&o.lanes[self.rank], &o.kind_send, t0, t1) {
                 d.attr("bytes", bytes as f64).attr("dst", dst as f64).commit();
+            }
+            // The flow's departure instant: pairs with the receiver's
+            // `msg-recv` through the shared `flow` id.
+            if let Some(d) = o.obs.bus.event_interned(&o.lanes[self.rank], &o.kind_msg_send, t1) {
+                let mut d = d
+                    .attr("flow", flow as f64)
+                    .attr("bytes", bytes as f64)
+                    .attr("dst", dst as f64)
+                    .attr("span", span as f64)
+                    .attr("trace", tctx.trace_id as f64)
+                    .attr("class", traffic_class(tag));
+                if let Some(i) = tctx.iteration {
+                    d = d.iteration(i as usize);
+                }
+                if let Some(p) = tctx.partition {
+                    d = d.partition(p as usize);
+                }
+                d.commit();
             }
             o.obs.metrics.counter_add(
                 "prs_net_bytes_total",
@@ -230,6 +357,8 @@ impl Communicator {
             let mut pending = self.pending.lock();
             if let Some(pos) = pending.iter().position(|m| m.src == src && m.tag == tag) {
                 let m = pending.swap_remove(pos);
+                drop(pending);
+                self.note_recv(ctx, &m);
                 return (downcast_payload(m.payload, src, tag), m.bytes);
             }
         }
@@ -238,9 +367,38 @@ impl Communicator {
                 .recv(ctx)
                 .expect("network inbox closed while receiving");
             if m.src == src && m.tag == tag {
+                self.note_recv(ctx, &m);
                 return (downcast_payload(m.payload, src, tag), m.bytes);
             }
             self.pending.lock().push(m);
+        }
+    }
+
+    /// Stamps the `msg-recv` point event pairing with the sender's
+    /// `msg-send` (same `flow` id), at the virtual instant the message
+    /// was *matched* by a receive — which is when the flow's causal
+    /// effect lands on this rank.
+    fn note_recv(&self, ctx: &SimCtx, m: &Message) {
+        if m.flow == 0 {
+            return;
+        }
+        if let Some(o) = self.net_obs() {
+            if let Some(d) = o.obs.bus.event_interned(&o.lanes[self.rank], &o.kind_msg_recv, ctx.now()) {
+                let mut d = d
+                    .attr("flow", m.flow as f64)
+                    .attr("bytes", m.bytes as f64)
+                    .attr("src", m.src as f64)
+                    .attr("span", m.span as f64)
+                    .attr("trace", m.tctx.trace_id as f64)
+                    .attr("class", traffic_class(m.tag));
+                if let Some(i) = m.tctx.iteration {
+                    d = d.iteration(i as usize);
+                }
+                if let Some(p) = m.tctx.partition {
+                    d = d.partition(p as usize);
+                }
+                d.commit();
+            }
         }
     }
 
@@ -497,12 +655,91 @@ mod tests {
             c1.recv::<()>(ctx, 0, 0);
         });
         sim.run().unwrap();
-        assert_eq!(o.bus.len(), 1);
+        // One cross-rank transfer: a `net-send` NIC span, a `msg-send`
+        // departure, and a `msg-recv` arrival. The self-send is silent.
+        assert_eq!(o.bus.len(), 3);
         let jsonl = o.bus.to_jsonl();
         assert!(jsonl.contains("net-rank0"));
         assert!(jsonl.contains("\"net-send\""));
+        assert!(jsonl.contains("\"msg-send\""));
+        assert!(jsonl.contains("\"msg-recv\""));
         assert_eq!(o.metrics.counter("prs_net_bytes_total", &[("src", "0")]), Some(200.0));
         assert_eq!(o.metrics.counter("prs_net_bytes_total", &[("src", "1")]), None);
+    }
+
+    #[test]
+    fn attach_obs_after_communicator_construction_still_records() {
+        // Regression: communicators built before `attach_obs` must pick
+        // the attachment up (generation-checked cache), not trace into
+        // the void.
+        let mut sim = Sim::new();
+        let net = Network::new("n", 2, params());
+        let c0 = net.communicator(0);
+        let c1 = net.communicator(1);
+        let o = obs::Obs::recording();
+        net.attach_obs(o.clone()); // AFTER communicator construction
+        sim.spawn("r0", move |ctx| {
+            c0.send(ctx, 1, 0, 100, 9u8);
+        });
+        sim.spawn("r1", move |ctx| {
+            let _: u8 = c1.recv(ctx, 0, 0);
+        });
+        sim.run().unwrap();
+        assert_eq!(o.bus.len(), 3, "late attach_obs must still trace");
+        assert_eq!(o.metrics.counter("prs_net_bytes_total", &[("src", "0")]), Some(100.0));
+    }
+
+    #[test]
+    fn msg_send_and_msg_recv_share_a_flow_id_and_order() {
+        let mut sim = Sim::new();
+        let net = Network::new("n", 2, params());
+        let o = obs::Obs::recording();
+        net.attach_obs(o.clone());
+        let c0 = net.communicator(0);
+        let c1 = net.communicator(1);
+        sim.spawn("r0", move |ctx| {
+            c0.set_trace_ctx(obs::TraceCtx::root(3, 1));
+            c0.send(ctx, 1, 0, 100, ());
+            c0.send(ctx, 1, 1, 100, ());
+        });
+        sim.spawn("r1", move |ctx| {
+            c1.recv::<()>(ctx, 0, 0);
+            c1.recv::<()>(ctx, 0, 1);
+        });
+        sim.run().unwrap();
+        let events = o.bus.events();
+        let flows = |kind: &str| -> Vec<(u64, f64)> {
+            let mut v: Vec<(u64, f64)> = events
+                .iter()
+                .filter(|e| &*e.kind == kind)
+                .map(|e| {
+                    let flow = e.attrs.iter().find(|(k, _)| *k == "flow").unwrap().1;
+                    (flow as u64, e.t)
+                })
+                .collect();
+            v.sort_by_key(|&(flow, _)| flow);
+            v
+        };
+        let sends = flows("msg-send");
+        let recvs = flows("msg-recv");
+        assert_eq!(sends.len(), 2);
+        assert_eq!(
+            sends.iter().map(|s| s.0).collect::<Vec<_>>(),
+            recvs.iter().map(|r| r.0).collect::<Vec<_>>(),
+            "every msg-recv pairs with exactly one msg-send"
+        );
+        for (s, r) in sends.iter().zip(&recvs) {
+            assert!(r.1 >= s.1, "recv time precedes send time");
+            assert_eq!(obs::trace_ctx::flow_src(s.0), 0);
+            assert_eq!(obs::trace_ctx::flow_dst(s.0), 1);
+        }
+        // Iteration/partition tags ride along from the sender's context.
+        let tagged = events
+            .iter()
+            .find(|e| &*e.kind == "msg-recv")
+            .expect("msg-recv recorded");
+        assert_eq!(tagged.iteration, Some(3));
+        assert_eq!(tagged.partition, Some(1));
     }
 
     #[test]

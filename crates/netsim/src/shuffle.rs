@@ -7,7 +7,7 @@ use crate::comm::Communicator;
 use simtime::SimCtx;
 
 /// Tag space reserved for shuffle traffic.
-const SHUFFLE_TAG_BASE: u64 = 1 << 47;
+pub(crate) const SHUFFLE_TAG_BASE: u64 = 1 << 47;
 
 /// An item entering the shuffle: destined for `bucket`, carrying `bytes`
 /// of payload on the wire.

@@ -147,6 +147,30 @@ impl EventBus {
         })
     }
 
+    /// Point-event emit with pre-interned lane and kind — the
+    /// counterpart of [`Self::span_interned`] for hot paths that stamp
+    /// instants (message departures/arrivals, queue samples).
+    pub fn event_interned(
+        &self,
+        lane: &Arc<str>,
+        kind: &Arc<str>,
+        t: SimTime,
+    ) -> Option<EventDraft<'_>> {
+        self.inner.as_ref().map(|inner| EventDraft {
+            inner,
+            ev: Event {
+                t: t.as_secs_f64(),
+                dur: None,
+                lane: lane.clone(),
+                kind: kind.clone(),
+                iteration: None,
+                partition: None,
+                block: None,
+                attrs: Vec::new(),
+            },
+        })
+    }
+
     /// Span emit with pre-interned lane and kind — zero string work on
     /// the hot path beyond two `Arc` clones.
     pub fn span_interned(

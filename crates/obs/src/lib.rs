@@ -32,10 +32,14 @@
 pub mod audit;
 pub mod bus;
 pub mod metrics;
+pub mod rollup;
+pub mod trace_ctx;
 
 pub use audit::{AuditLog, DecisionId, DecisionRecord};
 pub use bus::{Event, EventBus, EventDraft};
 pub use metrics::MetricsRegistry;
+pub use rollup::{rollup, Rollup, RollupConfig, RollupEvent};
+pub use trace_ctx::{flow_id, TraceCtx, CONTROL_RANK};
 
 /// The bundle threaded through the runtime: one event bus, one metrics
 /// registry, one decision audit log. Cloning shares the underlying
