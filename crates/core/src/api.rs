@@ -115,6 +115,28 @@ pub trait IterativeApp: SpmdApp {
     fn update(&self, outputs: &[(Key, Self::Output)]) -> bool;
 }
 
+/// Extension for iterative applications whose model state can be
+/// checkpointed and restored, enabling the epoch-based recovery driver
+/// (`run_resilient`) to resume a crashed job from the last iteration
+/// boundary.
+///
+/// The byte format is the app's own business — the runtime treats it as
+/// opaque — but it must be **deterministic** (identical state ⇒ identical
+/// bytes) and `restore_state(save_state())` must reproduce the state
+/// exactly, bit for bit, or resumed runs will diverge from fault-free
+/// ones.
+pub trait CheckpointableApp: IterativeApp {
+    /// Serializes the mutable model state (centers, mixture parameters,
+    /// convergence trackers, ...) — not the immutable input data, which
+    /// every node reloads on restart.
+    fn save_state(&self) -> Vec<u8>;
+
+    /// Restores state previously produced by
+    /// [`CheckpointableApp::save_state`]. Panics or garbage-in is
+    /// acceptable for bytes this app never emitted.
+    fn restore_state(&self, bytes: &[u8]);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,488 @@
+//! Seeded chaos harness: samples deterministic fault plans across a grid
+//! of jobs and cluster shapes, runs each through the resilient driver,
+//! and asserts the recovery invariants the rest of the stack depends on:
+//!
+//! 1. **Result equivalence** — the recovered run's final outputs and
+//!    model state are bit-identical to a fault-free run of the same job
+//!    (the app under test uses order-insensitive exact integer reduces,
+//!    where bit-identity is guaranteed).
+//! 2. **Flow conservation** — every `msg-send` on the event bus has a
+//!    matching `msg-recv` per flow id: crashes abort at iteration
+//!    boundaries, never mid-message.
+//! 3. **Counter consistency** — `speculative_launched ==
+//!    speculative_won + speculative_wasted`, and `restores ==
+//!    node_crashes + master_failovers == epochs - 1`.
+//! 4. **Monotone virtual clock** — cumulative epoch base times strictly
+//!    increase and every epoch ends at or after its base.
+//!
+//! Everything is a pure function of the seed: the same `(trials, seed)`
+//! pair yields the same trial grid, the same fault plans, and the same
+//! report, byte for byte.
+
+use crate::api::{CheckpointableApp, DeviceClass, IterativeApp, Key, SpmdApp};
+use crate::checkpoint::MemStore;
+use crate::cluster::ClusterSpec;
+use crate::config::JobConfig;
+use crate::faults::{splitmix64, FaultPlan};
+use crate::job::run_iterative;
+use crate::metrics::RecoveryCounters;
+use crate::resilient::{run_resilient_observed, ResilientOutcome};
+use obs::Obs;
+use parking_lot::RwLock;
+use roofline::model::DataResidency;
+use roofline::schedule::Workload;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Chaos-harness parameters: how many seeded trials to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Trials to sample (each gets its own derived seed).
+    pub trials: usize,
+    /// Root seed; every trial's plan derives from it deterministically.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig { trials: 32, seed: 7 }
+    }
+}
+
+/// One chaos trial: the sampled shape, the injected crashes, and the
+/// invariant verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosTrial {
+    /// Trial index within the run.
+    pub index: usize,
+    /// Node count sampled for this trial.
+    pub nodes: usize,
+    /// Input items.
+    pub items: usize,
+    /// Distinct reduce keys.
+    pub keys: usize,
+    /// Iteration cap.
+    pub iterations: usize,
+    /// True when the trial used dynamic (polling) scheduling.
+    pub dynamic: bool,
+    /// Checkpoint cadence (iterations).
+    pub checkpoint_interval: usize,
+    /// True when speculative backups were armed.
+    pub speculation: bool,
+    /// Worker-node crashes injected.
+    pub node_crashes: usize,
+    /// Master crashes injected.
+    pub master_crashes: usize,
+    /// Recovery epochs the resilient driver ran (1 = no crash fired).
+    pub epochs: usize,
+    /// Merged recovery counters of the chaotic run.
+    pub recovery: RecoveryCounters,
+    /// Invariant 1: outputs and final model state match fault-free.
+    pub result_identical: bool,
+    /// Invariant 2: per-flow send/recv counts balance on the event bus.
+    pub flow_conserved: bool,
+    /// Invariant 3a: `launched == won + wasted`.
+    pub speculation_reconciled: bool,
+    /// Invariant 3b: restores match crashes match epochs.
+    pub counters_consistent: bool,
+    /// Invariant 4: epoch base times strictly increase.
+    pub clock_monotone: bool,
+}
+
+impl ChaosTrial {
+    /// All invariants hold.
+    pub fn passed(&self) -> bool {
+        self.result_identical
+            && self.flow_conserved
+            && self.speculation_reconciled
+            && self.counters_consistent
+            && self.clock_monotone
+    }
+}
+
+/// The full chaos run: every trial plus coverage aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// Root seed the grid derives from.
+    pub seed: u64,
+    /// Per-trial records, in index order.
+    pub trials: Vec<ChaosTrial>,
+}
+
+impl ChaosReport {
+    /// Trials that injected at least one worker-node crash.
+    pub fn worker_crash_trials(&self) -> usize {
+        self.trials.iter().filter(|t| t.node_crashes > 0).count()
+    }
+
+    /// Trials that injected at least one master crash.
+    pub fn master_crash_trials(&self) -> usize {
+        self.trials.iter().filter(|t| t.master_crashes > 0).count()
+    }
+
+    /// Trials with at least one invariant violated.
+    pub fn failures(&self) -> usize {
+        self.trials.iter().filter(|t| !t.passed()).count()
+    }
+
+    /// Every trial passed every invariant.
+    pub fn all_passed(&self) -> bool {
+        self.failures() == 0
+    }
+
+    /// Aggregate speculation counters across all trials, for the
+    /// `won + wasted == launched` reconciliation line in the report.
+    pub fn speculation_totals(&self) -> (u64, u64, u64) {
+        self.trials.iter().fold((0, 0, 0), |(l, w, x), t| {
+            (
+                l + t.recovery.speculative_launched,
+                w + t.recovery.speculative_won,
+                x + t.recovery.speculative_wasted,
+            )
+        })
+    }
+
+    /// Aggregate `won + wasted == launched` reconciliation across all
+    /// trials.
+    pub fn speculation_reconciles(&self) -> bool {
+        let (launched, won, wasted) = self.speculation_totals();
+        launched == won + wasted
+    }
+
+    /// Deterministic JSON rendering (`serde_json` orders object keys, so
+    /// the same report always serializes to the same bytes).
+    pub fn to_json(&self) -> Value {
+        let (launched, won, wasted) = self.speculation_totals();
+        json!({
+            "seed": self.seed,
+            "trials": self.trials.len(),
+            "worker_crash_trials": self.worker_crash_trials(),
+            "master_crash_trials": self.master_crash_trials(),
+            "failures": self.failures(),
+            "all_passed": self.all_passed(),
+            "speculative_launched": launched,
+            "speculative_won": won,
+            "speculative_wasted": wasted,
+            "speculation_reconciles": self.speculation_reconciles(),
+            "results": self.trials.iter().map(|t| json!({
+                "index": t.index,
+                "nodes": t.nodes,
+                "items": t.items,
+                "keys": t.keys,
+                "iterations": t.iterations,
+                "scheduling": if t.dynamic { "dynamic" } else { "static" },
+                "checkpoint_interval": t.checkpoint_interval,
+                "speculation": t.speculation,
+                "node_crashes": t.node_crashes,
+                "master_crashes": t.master_crashes,
+                "epochs": t.epochs,
+                "checkpoints_written": t.recovery.checkpoints_written,
+                "restores": t.recovery.restores,
+                "speculative_launched": t.recovery.speculative_launched,
+                "speculative_won": t.recovery.speculative_won,
+                "speculative_wasted": t.recovery.speculative_wasted,
+                "result_identical": t.result_identical,
+                "flow_conserved": t.flow_conserved,
+                "speculation_reconciled": t.speculation_reconciled,
+                "counters_consistent": t.counters_consistent,
+                "clock_monotone": t.clock_monotone,
+                "passed": t.passed(),
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+/// The harness's application: an iterative integer job whose map output
+/// depends on the model state of the previous iteration (so a botched
+/// restore corrupts every later iteration) and whose reduce is an
+/// order-insensitive wrapping sum (so recovered runs are bit-identical
+/// to fault-free ones by construction — any mismatch is a runtime bug).
+struct ChaosApp {
+    n: usize,
+    k: usize,
+    /// Round at which `update` reports convergence (0 = run to the cap).
+    converge_round: u64,
+    state: RwLock<(u64, u64)>, // (round, accumulator)
+}
+
+impl ChaosApp {
+    fn new(n: usize, k: usize, converge_round: u64) -> Self {
+        ChaosApp {
+            n,
+            k,
+            converge_round,
+            state: RwLock::new((0, 0x243f_6a88_85a3_08d3)),
+        }
+    }
+
+    fn mix(item: u64, acc: u64) -> u64 {
+        let mut s = item ^ acc.rotate_left(17);
+        splitmix64(&mut s)
+    }
+}
+
+impl SpmdApp for ChaosApp {
+    type Inter = u64;
+    type Output = u64;
+
+    fn num_items(&self) -> usize {
+        self.n
+    }
+
+    fn item_bytes(&self) -> u64 {
+        8
+    }
+
+    fn workload(&self) -> Workload {
+        Workload::uniform(2.0, DataResidency::Staged)
+    }
+
+    fn cpu_map(&self, _node: usize, r: Range<usize>) -> Vec<(Key, u64)> {
+        let acc = self.state.read().1;
+        r.map(|i| ((i % self.k) as Key, Self::mix(i as u64, acc)))
+            .collect()
+    }
+
+    fn gpu_map(&self, node: usize, r: Range<usize>) -> Vec<(Key, u64)> {
+        // Identical to the CPU flavour: blocks migrate between device
+        // classes under speculation and GPU-crash requeues, and results
+        // must not depend on where they land.
+        self.cpu_map(node, r)
+    }
+
+    fn reduce(&self, _d: DeviceClass, _k: Key, values: Vec<u64>) -> u64 {
+        values.into_iter().fold(0u64, u64::wrapping_add)
+    }
+}
+
+impl IterativeApp for ChaosApp {
+    fn update(&self, outputs: &[(Key, u64)]) -> bool {
+        let mut st = self.state.write();
+        let mut acc = st.1;
+        for &(k, v) in outputs {
+            acc = acc
+                .wrapping_mul(0x0000_0100_0000_01b3)
+                .wrapping_add(v ^ k.rotate_left(32));
+        }
+        st.0 += 1;
+        st.1 = acc;
+        self.converge_round != 0 && st.0 >= self.converge_round
+    }
+}
+
+impl CheckpointableApp for ChaosApp {
+    fn save_state(&self) -> Vec<u8> {
+        let st = self.state.read();
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&st.0.to_le_bytes());
+        out.extend_from_slice(&st.1.to_le_bytes());
+        out
+    }
+
+    fn restore_state(&self, bytes: &[u8]) {
+        assert_eq!(bytes.len(), 16, "chaos app state is 16 bytes");
+        let round = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+        let acc = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        *self.state.write() = (round, acc);
+    }
+}
+
+/// Per-flow send/recv balance over the recorded event bus: conservation
+/// means every control-plane and shuffle message that was sent also
+/// arrived (crashes abort at iteration boundaries, never mid-message).
+fn flows_conserved(obs: &Obs) -> bool {
+    let mut balance: BTreeMap<u64, i64> = BTreeMap::new();
+    for ev in obs.bus.events() {
+        let delta = match &*ev.kind {
+            "msg-send" => 1,
+            "msg-recv" => -1,
+            _ => continue,
+        };
+        if let Some(&(_, flow)) = ev.attrs.iter().find(|(name, _)| *name == "flow") {
+            *balance.entry(flow as u64).or_insert(0) += delta;
+        }
+    }
+    balance.values().all(|&b| b == 0)
+}
+
+/// Runs the seeded chaos grid (see the module docs). Panics only on
+/// driver errors (an invalid sampled config is a harness bug); invariant
+/// violations are recorded in the report, not panicked on.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    let mut trials = Vec::with_capacity(cfg.trials);
+    for index in 0..cfg.trials {
+        let mut s = cfg
+            .seed
+            .wrapping_add((index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let draw = |s: &mut u64, m: u64| splitmix64(s) % m;
+        let unit = |s: &mut u64| (splitmix64(s) >> 11) as f64 / (1u64 << 53) as f64;
+
+        let nodes = 2 + draw(&mut s, 2) as usize;
+        let items = 64 + 32 * draw(&mut s, 4) as usize;
+        let keys = 3 + draw(&mut s, 3) as usize;
+        let iterations = 4 + draw(&mut s, 3) as usize;
+        let converge_round = if draw(&mut s, 4) == 0 {
+            iterations as u64 - 1
+        } else {
+            0
+        };
+        let dynamic = draw(&mut s, 2) == 1;
+        let checkpoint_interval = 1 + draw(&mut s, 2) as usize;
+        let speculation = draw(&mut s, 3) == 0;
+
+        let mut config = if dynamic {
+            JobConfig::dynamic(16)
+        } else {
+            JobConfig::static_analytic()
+        }
+        .with_iterations(iterations);
+        if speculation {
+            config = config.with_speculation(1.5 + unit(&mut s));
+        }
+
+        // Fault-free baseline: the reference outputs, model state, and
+        // the duration crash times are scheduled against.
+        let baseline_app = Arc::new(ChaosApp::new(items, keys, converge_round));
+        let baseline = run_iterative(&ClusterSpec::delta(nodes), baseline_app.clone(), config)
+            .expect("chaos baseline run");
+        let span = baseline.metrics.total_seconds;
+
+        // Crash coverage: the first two trials force one worker crash and
+        // one master crash; later trials sample freely.
+        let (want_node, want_master) = match index {
+            0 => (true, false),
+            1 => (false, true),
+            _ => match draw(&mut s, 4) {
+                0 => (true, false),
+                1 => (false, true),
+                2 => (true, true),
+                _ => (false, false),
+            },
+        };
+        let mut plan = FaultPlan::seeded(cfg.seed ^ index as u64);
+        let mut node_crashes = 0;
+        let mut master_crashes = 0;
+        if want_node {
+            // Never crash rank 0's *first* position requirement: any rank
+            // may die — the runtime has no irreplaceable worker. Crash
+            // mid-run so at least one boundary precedes and follows it.
+            let victim = draw(&mut s, nodes as u64) as usize;
+            plan = plan.crash_node(victim, (0.25 + 0.4 * unit(&mut s)) * span);
+            node_crashes += 1;
+        }
+        if want_master {
+            plan = plan.crash_master((0.3 + 0.4 * unit(&mut s)) * span);
+            master_crashes += 1;
+        }
+        if speculation {
+            // A straggler window makes the backup volley meaningful on
+            // some trials; speculation must stay correct either way.
+            let victim = draw(&mut s, nodes as u64) as usize;
+            plan = plan.slow_cpu(victim, 0.0, span, 2.0 + 2.0 * unit(&mut s));
+        }
+
+        let chaotic_config = config.with_checkpoint_interval(checkpoint_interval);
+        let chaotic_app = Arc::new(ChaosApp::new(items, keys, converge_round));
+        let store = Arc::new(MemStore::new());
+        let obs = Obs::recording();
+        let outcome: ResilientOutcome<u64> = run_resilient_observed(
+            &ClusterSpec::delta(nodes).with_faults(plan),
+            chaotic_app.clone(),
+            chaotic_config,
+            store,
+            obs.clone(),
+        )
+        .expect("chaos resilient run");
+
+        let rec = outcome.metrics.recovery;
+        let result_identical = outcome.outputs == baseline.outputs
+            && chaotic_app.save_state() == baseline_app.save_state();
+        let flow_conserved = flows_conserved(&obs);
+        let speculation_reconciled = rec.speculation_reconciles();
+        let counters_consistent = rec.restores == rec.node_crashes + rec.master_failovers
+            && outcome.attempts.len() as u64 == rec.restores + 1;
+        let clock_monotone = outcome
+            .attempts
+            .windows(2)
+            .all(|w| w[1].base_secs > w[0].base_secs)
+            && outcome.attempts.iter().all(|a| a.end_secs >= a.base_secs)
+            && outcome
+                .attempts
+                .last()
+                .is_some_and(|a| a.end_secs == outcome.total_virtual_secs);
+
+        trials.push(ChaosTrial {
+            index,
+            nodes,
+            items,
+            keys,
+            iterations,
+            dynamic,
+            checkpoint_interval,
+            speculation,
+            node_crashes,
+            master_crashes,
+            epochs: outcome.attempts.len(),
+            recovery: rec,
+            result_identical,
+            flow_conserved,
+            speculation_reconciled,
+            counters_consistent,
+            clock_monotone,
+        });
+    }
+    ChaosReport {
+        seed: cfg.seed,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_grid_passes_all_invariants() {
+        let report = run_chaos(&ChaosConfig { trials: 4, seed: 11 });
+        assert_eq!(report.trials.len(), 4);
+        assert!(report.worker_crash_trials() >= 1);
+        assert!(report.master_crash_trials() >= 1);
+        for t in &report.trials {
+            assert!(
+                t.passed(),
+                "trial {} violated an invariant: {t:?}",
+                t.index
+            );
+        }
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let cfg = ChaosConfig { trials: 3, seed: 42 };
+        let a = run_chaos(&cfg).to_json().to_string();
+        let b = run_chaos(&cfg).to_json().to_string();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_report_reconciles_speculation() {
+        let report = run_chaos(&ChaosConfig { trials: 6, seed: 5 });
+        let v = report.to_json();
+        assert_eq!(v["speculation_reconciles"], serde_json::json!(true));
+        let (l, w, x) = report.speculation_totals();
+        assert_eq!(l, w + x);
+    }
+
+    #[test]
+    fn chaos_app_state_round_trips() {
+        let app = ChaosApp::new(10, 2, 0);
+        app.update(&[(0, 7), (1, 9)]);
+        let bytes = app.save_state();
+        let fresh = ChaosApp::new(10, 2, 0);
+        fresh.restore_state(&bytes);
+        assert_eq!(fresh.save_state(), bytes);
+        assert_eq!(app.cpu_map(0, 0..4), fresh.cpu_map(0, 0..4));
+    }
+}

@@ -1,0 +1,375 @@
+//! Iteration-granular checkpointing: the master's durable snapshot of
+//! everything needed to resume an iterative job after a crash.
+//!
+//! After each global reduce (at a configurable interval), the rank-0
+//! worker — acting for the master, which holds the authoritative copy of
+//! the model state — serializes a [`Checkpoint`] through a
+//! [`CheckpointStore`]. The format is a hand-rolled little-endian,
+//! length-prefixed binary layout (`ckpt-NNN.bin` on disk): deterministic
+//! byte-for-byte for identical state, so two runs of the same job write
+//! identical checkpoint files — the property that makes checkpoint
+//! content diffable across seeds and CI runs.
+//!
+//! A checkpoint records the iteration index, the opaque application model
+//! state (centroids, mixture parameters, ... — whatever
+//! [`crate::api::CheckpointableApp::save_state`] emits), the master's
+//! partition map, a calibration snapshot (rank-0's fitted EWMA rates),
+//! the fault plan's RNG cursor (its seed), and the cumulative virtual
+//! clock. Restore hands the model state back to the app and tells the
+//! epoch driver where the clock and iteration counter resume.
+
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of every serialized checkpoint (`PRSC` + format version).
+const MAGIC: [u8; 4] = *b"PRSC";
+/// Current format version.
+const VERSION: u32 = 1;
+
+/// One partition assignment in the master's plan: `(home node rank,
+/// start item, end item)`.
+pub type PartitionSpan = (u32, u64, u64);
+
+/// Everything needed to resume an iterative job from an iteration
+/// boundary.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Checkpoint {
+    /// Completed iterations when this checkpoint was taken (resume starts
+    /// at this iteration).
+    pub iteration: u64,
+    /// Cumulative virtual clock (seconds, across recovery epochs) at the
+    /// checkpointed reduce.
+    pub virtual_secs: f64,
+    /// Opaque application model state
+    /// ([`crate::api::CheckpointableApp::save_state`]).
+    pub app_state: Vec<u8>,
+    /// The master's partition map at checkpoint time.
+    pub partition_map: Vec<PartitionSpan>,
+    /// Calibration snapshot: rank-0's fitted `(cpu_rate, gpu_rate)` in
+    /// flops/s, or zeros when online calibration is off.
+    pub calib_rates: (f64, f64),
+    /// The fault plan's RNG cursor (its seed — the plan's only randomness
+    /// source, so the seed fully determines any derived faults).
+    pub rng_seed: u64,
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.buf.len() {
+            return Err(format!(
+                "truncated checkpoint: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl Checkpoint {
+    /// Serializes to the deterministic binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.app_state.len() + 20 * self.partition_map.len());
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, VERSION);
+        put_u64(&mut out, self.iteration);
+        put_f64(&mut out, self.virtual_secs);
+        put_f64(&mut out, self.calib_rates.0);
+        put_f64(&mut out, self.calib_rates.1);
+        put_u64(&mut out, self.rng_seed);
+        put_u64(&mut out, self.partition_map.len() as u64);
+        for (node, start, end) in &self.partition_map {
+            put_u32(&mut out, *node);
+            put_u64(&mut out, *start);
+            put_u64(&mut out, *end);
+        }
+        put_u64(&mut out, self.app_state.len() as u64);
+        out.extend_from_slice(&self.app_state);
+        out
+    }
+
+    /// Parses the binary format, rejecting wrong magic/version and
+    /// truncated or oversized payloads.
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint, String> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err("not a PRS checkpoint (bad magic)".into());
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {version} (expected {VERSION})"
+            ));
+        }
+        let iteration = r.u64()?;
+        let virtual_secs = r.f64()?;
+        let calib_rates = (r.f64()?, r.f64()?);
+        let rng_seed = r.u64()?;
+        let n_parts = r.u64()? as usize;
+        if n_parts > bytes.len() {
+            return Err(format!("implausible partition count {n_parts}"));
+        }
+        let mut partition_map = Vec::with_capacity(n_parts);
+        for _ in 0..n_parts {
+            let node = r.u32()?;
+            let start = r.u64()?;
+            let end = r.u64()?;
+            partition_map.push((node, start, end));
+        }
+        let state_len = r.u64()? as usize;
+        let app_state = r.take(state_len)?.to_vec();
+        if r.pos != bytes.len() {
+            return Err(format!(
+                "trailing garbage: {} bytes after checkpoint payload",
+                bytes.len() - r.pos
+            ));
+        }
+        Ok(Checkpoint {
+            iteration,
+            virtual_secs,
+            app_state,
+            partition_map,
+            calib_rates,
+            rng_seed,
+        })
+    }
+}
+
+/// Where checkpoints go. Implementations use interior mutability so one
+/// store handle can be shared between the running simulation (writes) and
+/// the epoch driver (reads) without threading `&mut` through the runtime.
+pub trait CheckpointStore: Send + Sync {
+    /// Persists one checkpoint. Sequence numbers are assigned by the
+    /// store in save order.
+    fn save(&self, ckpt: &Checkpoint) -> Result<(), String>;
+    /// The most recent checkpoint, if any.
+    fn latest(&self) -> Result<Option<Checkpoint>, String>;
+    /// Number of checkpoints saved so far.
+    fn count(&self) -> usize;
+}
+
+/// In-memory store: the default for simulations and tests.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    saved: Mutex<Vec<Checkpoint>>,
+}
+
+impl MemStore {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// Every checkpoint saved, in order (test introspection).
+    pub fn all(&self) -> Vec<Checkpoint> {
+        self.saved.lock().clone()
+    }
+}
+
+impl CheckpointStore for MemStore {
+    fn save(&self, ckpt: &Checkpoint) -> Result<(), String> {
+        // Round-trip through the wire format so the in-memory store
+        // exercises exactly the bytes the on-disk store would.
+        let decoded = Checkpoint::decode(&ckpt.encode())?;
+        self.saved.lock().push(decoded);
+        Ok(())
+    }
+
+    fn latest(&self) -> Result<Option<Checkpoint>, String> {
+        Ok(self.saved.lock().last().cloned())
+    }
+
+    fn count(&self) -> usize {
+        self.saved.lock().len()
+    }
+}
+
+/// On-disk store: writes `ckpt-NNN.bin` files (zero-padded sequence
+/// numbers) into a directory, created on first save.
+#[derive(Debug)]
+pub struct DirStore {
+    dir: PathBuf,
+    next: Mutex<u64>,
+}
+
+impl DirStore {
+    /// A store rooted at `dir`. Existing `ckpt-NNN.bin` files are adopted:
+    /// the next save continues the sequence after the highest present.
+    pub fn new(dir: impl AsRef<Path>) -> Self {
+        let dir = dir.as_ref().to_path_buf();
+        let next = Self::existing(&dir).last().map_or(0, |(n, _)| n + 1);
+        DirStore {
+            dir,
+            next: Mutex::new(next),
+        }
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sorted `(sequence, path)` of checkpoint files currently in `dir`.
+    fn existing(dir: &Path) -> Vec<(u64, PathBuf)> {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        let mut found: Vec<(u64, PathBuf)> = entries
+            .filter_map(|e| {
+                let path = e.ok()?.path();
+                let name = path.file_name()?.to_str()?;
+                let seq = name
+                    .strip_prefix("ckpt-")?
+                    .strip_suffix(".bin")?
+                    .parse()
+                    .ok()?;
+                Some((seq, path))
+            })
+            .collect();
+        found.sort();
+        found
+    }
+}
+
+impl CheckpointStore for DirStore {
+    fn save(&self, ckpt: &Checkpoint) -> Result<(), String> {
+        let mut next = self.next.lock();
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("creating {}: {e}", self.dir.display()))?;
+        let path = self.dir.join(format!("ckpt-{:03}.bin", *next));
+        std::fs::write(&path, ckpt.encode()).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        *next += 1;
+        Ok(())
+    }
+
+    fn latest(&self) -> Result<Option<Checkpoint>, String> {
+        let Some((_, path)) = Self::existing(&self.dir).into_iter().next_back() else {
+            return Ok(None);
+        };
+        let bytes =
+            std::fs::read(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Checkpoint::decode(&bytes)
+            .map(Some)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    fn count(&self) -> usize {
+        Self::existing(&self.dir).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            iteration: 7,
+            virtual_secs: 1.25,
+            app_state: vec![1, 2, 3, 4, 5],
+            partition_map: vec![(0, 0, 100), (1, 100, 200)],
+            calib_rates: (1.5e9, 8.0e10),
+            rng_seed: 42,
+        }
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let c = sample();
+        let bytes = c.encode();
+        assert_eq!(Checkpoint::decode(&bytes).unwrap(), c);
+        // Empty payloads round-trip too.
+        let empty = Checkpoint::default();
+        assert_eq!(Checkpoint::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(sample().encode(), sample().encode());
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let c = sample();
+        let bytes = c.encode();
+        assert!(Checkpoint::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Checkpoint::decode(b"nope").is_err());
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(Checkpoint::decode(&wrong_magic).is_err());
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 99;
+        assert!(Checkpoint::decode(&wrong_version).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Checkpoint::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn mem_store_orders_saves() {
+        let store = MemStore::new();
+        assert!(store.latest().unwrap().is_none());
+        let mut c = sample();
+        store.save(&c).unwrap();
+        c.iteration = 8;
+        store.save(&c).unwrap();
+        assert_eq!(store.count(), 2);
+        assert_eq!(store.latest().unwrap().unwrap().iteration, 8);
+        assert_eq!(store.all().len(), 2);
+    }
+
+    #[test]
+    fn dir_store_writes_and_adopts_files() {
+        let dir = std::env::temp_dir().join(format!("prs-ckpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = DirStore::new(&dir);
+            assert!(store.latest().unwrap().is_none());
+            let mut c = sample();
+            store.save(&c).unwrap();
+            c.iteration = 9;
+            store.save(&c).unwrap();
+            assert_eq!(store.count(), 2);
+            assert!(dir.join("ckpt-000.bin").is_file());
+            assert!(dir.join("ckpt-001.bin").is_file());
+        }
+        // A fresh handle adopts the existing sequence.
+        let store = DirStore::new(&dir);
+        assert_eq!(store.count(), 2);
+        assert_eq!(store.latest().unwrap().unwrap().iteration, 9);
+        store.save(&sample()).unwrap();
+        assert!(dir.join("ckpt-002.bin").is_file());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

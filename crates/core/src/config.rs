@@ -98,6 +98,16 @@ pub struct JobConfig {
     /// Re-sends to the same node after a timeout before the partition is
     /// reassigned to the next surviving node.
     pub max_partition_retries: u32,
+    /// Speculative backup tasks: when a map block's straggler lag exceeds
+    /// this multiple of its Equation-(8) predicted time, the sub-task
+    /// scheduler launches a backup copy on the fastest idle device class;
+    /// first completion wins, the loser is cancelled. `None` disables
+    /// speculation entirely (bit-identical to the seed's behaviour).
+    pub speculation_lag_multiplier: Option<f64>,
+    /// Iterations between checkpoints when running under the resilient
+    /// driver (`run_resilient`): rank 0 snapshots the model state after
+    /// every `n`-th global reduce. 0 disables checkpointing.
+    pub checkpoint_interval_iters: usize,
 }
 
 impl Default for JobConfig {
@@ -119,6 +129,8 @@ impl Default for JobConfig {
             calibration: CalibrationMode::Off,
             partition_timeout_secs: None,
             max_partition_retries: 2,
+            speculation_lag_multiplier: None,
+            checkpoint_interval_iters: 0,
         }
     }
 }
@@ -204,6 +216,27 @@ impl JobConfig {
         self.max_partition_retries = retries;
         self
     }
+
+    /// Builder-style speculative execution: launch a backup copy of any
+    /// map block running longer than `multiplier ×` its predicted time
+    /// (must be > 1 — a backup at or below the predicted time would race
+    /// every healthy block).
+    pub fn with_speculation(mut self, multiplier: f64) -> Self {
+        assert!(
+            multiplier.is_finite() && multiplier > 1.0,
+            "speculation multiplier must be > 1"
+        );
+        self.speculation_lag_multiplier = Some(multiplier);
+        self
+    }
+
+    /// Builder-style checkpoint cadence for the resilient driver: snapshot
+    /// after every `n`-th global reduce (`n ≥ 1`).
+    pub fn with_checkpoint_interval(mut self, n: usize) -> Self {
+        assert!(n >= 1, "checkpoint interval must be >= 1");
+        self.checkpoint_interval_iters = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +275,24 @@ mod tests {
             c.calibration,
             CalibrationMode::Online { alpha } if alpha == 0.3
         ));
+        let c = JobConfig::default()
+            .with_speculation(2.5)
+            .with_checkpoint_interval(2);
+        assert_eq!(c.speculation_lag_multiplier, Some(2.5));
+        assert_eq!(c.checkpoint_interval_iters, 2);
+    }
+
+    #[test]
+    fn resilience_knobs_default_off() {
+        let c = JobConfig::default();
+        assert_eq!(c.speculation_lag_multiplier, None);
+        assert_eq!(c.checkpoint_interval_iters, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speculation multiplier must be > 1")]
+    fn speculation_multiplier_validated() {
+        let _ = JobConfig::default().with_speculation(1.0);
     }
 
     #[test]

@@ -77,6 +77,57 @@ pub struct NodeStall {
     pub ack_delay_secs: f64,
 }
 
+/// Kill a whole worker node at a fixed virtual time: every device daemon
+/// and the sub-task scheduler on it vanish. Recovery is epoch-based — the
+/// crash is detected at the next iteration boundary (plus the heartbeat
+/// detection delay), the job rolls back to the last checkpoint, and the
+/// surviving nodes re-run the remaining iterations (see
+/// [`crate::resilient::run_resilient`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeCrash {
+    /// Node rank (at the time the crash fires; earlier crashes shift
+    /// later ranks down as nodes are removed).
+    pub node: usize,
+    /// Crash time (virtual seconds, cumulative across recovery epochs).
+    pub at_secs: f64,
+}
+
+/// Kill the master task scheduler at a fixed virtual time. Failover to a
+/// standby master requires a checkpoint interval > 0 — the standby replays
+/// from the last `ckpt-NNN.bin`, so the cluster topology is unchanged but
+/// the detection + failover delay is charged to the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MasterCrash {
+    /// Crash time (virtual seconds, cumulative across recovery epochs).
+    pub at_secs: f64,
+}
+
+/// Which process a crash fault kills (see [`FaultPlan::earliest_crash`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrashEvent {
+    /// A whole worker node dies at the given virtual time.
+    Node {
+        /// Node rank in the current (post-removal) rank space.
+        node: usize,
+        /// Crash time, virtual seconds.
+        at_secs: f64,
+    },
+    /// The master dies at the given virtual time.
+    Master {
+        /// Crash time, virtual seconds.
+        at_secs: f64,
+    },
+}
+
+impl CrashEvent {
+    /// The crash's virtual time.
+    pub fn at_secs(&self) -> f64 {
+        match self {
+            CrashEvent::Node { at_secs, .. } | CrashEvent::Master { at_secs } => *at_secs,
+        }
+    }
+}
+
 /// Transient network fault on the shuffle/collective path.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinkFault {
@@ -112,11 +163,15 @@ pub struct FaultPlan {
     pub node_stalls: Vec<NodeStall>,
     /// Network jitter / congestion / partition windows.
     pub link_faults: Vec<LinkFault>,
+    /// Whole-node crashes (require the epoch-based resilient driver).
+    pub node_crashes: Vec<NodeCrash>,
+    /// Master crashes (require checkpointing + the resilient driver).
+    pub master_crashes: Vec<MasterCrash>,
 }
 
 /// splitmix64 step — the plan's only randomness source, fully determined
 /// by the seed.
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -140,6 +195,25 @@ impl FaultPlan {
             && self.gpu_slowdowns.is_empty()
             && self.node_stalls.is_empty()
             && self.link_faults.is_empty()
+            && self.node_crashes.is_empty()
+            && self.master_crashes.is_empty()
+    }
+
+    /// True when the plan contains whole-node or master crashes — faults
+    /// only the epoch-based resilient driver can survive.
+    pub fn has_crash_faults(&self) -> bool {
+        !self.node_crashes.is_empty() || !self.master_crashes.is_empty()
+    }
+
+    /// A copy with the crash faults removed — the plan the resilient
+    /// driver hands each attempt's simulation (the driver consumes the
+    /// crash events itself between epochs).
+    pub fn sans_crashes(&self) -> FaultPlan {
+        FaultPlan {
+            node_crashes: Vec::new(),
+            master_crashes: Vec::new(),
+            ..self.clone()
+        }
     }
 
     /// Adds a GPU crash (builder style).
@@ -192,6 +266,22 @@ impl FaultPlan {
             until_secs,
             ack_delay_secs,
         });
+        self
+    }
+
+    /// Adds a whole-node crash: every daemon on `node` dies at `at_secs`.
+    /// Only [`crate::resilient::run_resilient`] accepts plans with crash
+    /// faults; the plain drivers reject them at validation.
+    pub fn crash_node(mut self, node: usize, at_secs: f64) -> Self {
+        self.node_crashes.push(NodeCrash { node, at_secs });
+        self
+    }
+
+    /// Adds a master crash at `at_secs`. Recovery requires a checkpoint
+    /// interval > 0 (the standby master replays the last checkpoint), a
+    /// rule enforced by the resilient driver's validation.
+    pub fn crash_master(mut self, at_secs: f64) -> Self {
+        self.master_crashes.push(MasterCrash { at_secs });
         self
     }
 
@@ -330,6 +420,168 @@ impl FaultPlan {
             .collect()
     }
 
+    /// The earliest pending crash fault, if any. Ties between a node and
+    /// a master crash at the same instant resolve to the node crash (the
+    /// bigger loss), then to the lowest rank — fully deterministic.
+    pub fn earliest_crash(&self) -> Option<CrashEvent> {
+        let mut best: Option<CrashEvent> = None;
+        let better = |cand: &CrashEvent, cur: &CrashEvent| -> bool {
+            if cand.at_secs() != cur.at_secs() {
+                return cand.at_secs() < cur.at_secs();
+            }
+            match (cand, cur) {
+                (CrashEvent::Node { node: a, .. }, CrashEvent::Node { node: b, .. }) => a < b,
+                (CrashEvent::Node { .. }, CrashEvent::Master { .. }) => true,
+                _ => false,
+            }
+        };
+        for c in &self.node_crashes {
+            let cand = CrashEvent::Node {
+                node: c.node,
+                at_secs: c.at_secs,
+            };
+            if best.as_ref().is_none_or(|cur| better(&cand, cur)) {
+                best = Some(cand);
+            }
+        }
+        for c in &self.master_crashes {
+            let cand = CrashEvent::Master { at_secs: c.at_secs };
+            if best.as_ref().is_none_or(|cur| better(&cand, cur)) {
+                best = Some(cand);
+            }
+        }
+        best
+    }
+
+    /// Shifts every fault time back by `base_secs` — the virtual time a
+    /// failed recovery epoch consumed — dropping faults and clipping
+    /// windows that now lie entirely in the past. Fault times in a plan
+    /// are absolute in the cumulative (cross-epoch) virtual timeline; each
+    /// attempt's simulation clock restarts at zero, so the resilient
+    /// driver rebases the plan before every retry.
+    pub fn rebased(&self, base_secs: f64) -> FaultPlan {
+        assert!(base_secs >= 0.0 && base_secs.is_finite());
+        let mut out = FaultPlan::seeded(self.seed);
+        for c in &self.gpu_crashes {
+            if c.at_secs > base_secs {
+                out.gpu_crashes.push(GpuCrash {
+                    at_secs: c.at_secs - base_secs,
+                    ..*c
+                });
+            }
+        }
+        let window = |from: f64, until: f64| -> Option<(f64, f64)> {
+            (until > base_secs).then(|| ((from - base_secs).max(0.0), until - base_secs))
+        };
+        for s in &self.cpu_slowdowns {
+            if let Some((from_secs, until_secs)) = window(s.from_secs, s.until_secs) {
+                out.cpu_slowdowns.push(CpuSlowdown {
+                    from_secs,
+                    until_secs,
+                    ..*s
+                });
+            }
+        }
+        for s in &self.gpu_slowdowns {
+            if let Some((from_secs, until_secs)) = window(s.from_secs, s.until_secs) {
+                out.gpu_slowdowns.push(GpuSlowdown {
+                    from_secs,
+                    until_secs,
+                    ..*s
+                });
+            }
+        }
+        for s in &self.node_stalls {
+            if let Some((from_secs, until_secs)) = window(s.from_secs, s.until_secs) {
+                out.node_stalls.push(NodeStall {
+                    from_secs,
+                    until_secs,
+                    ..*s
+                });
+            }
+        }
+        for f in &self.link_faults {
+            if let Some((from_secs, until_secs)) = window(f.from_secs, f.until_secs) {
+                out.link_faults.push(LinkFault {
+                    from_secs,
+                    until_secs,
+                    ..*f
+                });
+            }
+        }
+        for c in &self.node_crashes {
+            if c.at_secs > base_secs {
+                out.node_crashes.push(NodeCrash {
+                    at_secs: c.at_secs - base_secs,
+                    ..*c
+                });
+            }
+        }
+        for c in &self.master_crashes {
+            if c.at_secs > base_secs {
+                out.master_crashes.push(MasterCrash {
+                    at_secs: c.at_secs - base_secs,
+                });
+            }
+        }
+        out
+    }
+
+    /// Removes the crashed node `rank` from the plan: its remaining faults
+    /// are dropped (the hardware no longer exists) and faults on higher
+    /// ranks shift down by one to match the surviving cluster's new rank
+    /// space. Link-fault wildcards (`None`) are preserved.
+    pub fn without_node(&self, rank: usize) -> FaultPlan {
+        let remap = |n: usize| -> Option<usize> {
+            match n.cmp(&rank) {
+                std::cmp::Ordering::Less => Some(n),
+                std::cmp::Ordering::Equal => None,
+                std::cmp::Ordering::Greater => Some(n - 1),
+            }
+        };
+        let mut out = FaultPlan::seeded(self.seed);
+        for c in &self.gpu_crashes {
+            if let Some(node) = remap(c.node) {
+                out.gpu_crashes.push(GpuCrash { node, ..*c });
+            }
+        }
+        for s in &self.cpu_slowdowns {
+            if let Some(node) = remap(s.node) {
+                out.cpu_slowdowns.push(CpuSlowdown { node, ..*s });
+            }
+        }
+        for s in &self.gpu_slowdowns {
+            if let Some(node) = remap(s.node) {
+                out.gpu_slowdowns.push(GpuSlowdown { node, ..*s });
+            }
+        }
+        for s in &self.node_stalls {
+            if let Some(node) = remap(s.node) {
+                out.node_stalls.push(NodeStall { node, ..*s });
+            }
+        }
+        for f in &self.link_faults {
+            let src = match f.src {
+                Some(s) => remap(s).map(Some),
+                None => Some(None),
+            };
+            let dst = match f.dst {
+                Some(d) => remap(d).map(Some),
+                None => Some(None),
+            };
+            if let (Some(src), Some(dst)) = (src, dst) {
+                out.link_faults.push(LinkFault { src, dst, ..*f });
+            }
+        }
+        for c in &self.node_crashes {
+            if let Some(node) = remap(c.node) {
+                out.node_crashes.push(NodeCrash { node, ..*c });
+            }
+        }
+        out.master_crashes = self.master_crashes.clone();
+        out
+    }
+
     /// Largest node rank referenced anywhere in the plan, for validation.
     pub fn max_node_ref(&self) -> Option<usize> {
         let mut max: Option<usize> = None;
@@ -353,6 +605,9 @@ impl FaultPlan {
             if let Some(d) = f.dst {
                 push(d);
             }
+        }
+        for c in &self.node_crashes {
+            push(c.node);
         }
         max
     }
@@ -404,6 +659,22 @@ impl FaultPlan {
                 return Err(format!(
                     "link bandwidth factor {} must be in (0, 1]",
                     f.bandwidth_factor
+                ));
+            }
+        }
+        for c in &self.node_crashes {
+            if !c.at_secs.is_finite() || c.at_secs < 0.0 {
+                return Err(format!(
+                    "node crash time {} must be finite and >= 0",
+                    c.at_secs
+                ));
+            }
+        }
+        for c in &self.master_crashes {
+            if !c.at_secs.is_finite() || c.at_secs < 0.0 {
+                return Err(format!(
+                    "master crash time {} must be finite and >= 0",
+                    c.at_secs
                 ));
             }
         }
@@ -470,5 +741,102 @@ mod tests {
     fn earliest_crash_wins() {
         let plan = FaultPlan::default().crash_gpu(0, 0, 5.0).crash_gpu(0, 0, 2.0);
         assert_eq!(plan.gpu_crash_at(0, 0), Some(SimTime::from_secs_f64(2.0)));
+    }
+
+    #[test]
+    fn crash_builders_accumulate_and_validate() {
+        let plan = FaultPlan::seeded(11).crash_node(2, 1.25).crash_master(3.0);
+        assert!(!plan.is_empty());
+        assert!(plan.has_crash_faults());
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.max_node_ref(), Some(2));
+        assert_eq!(plan.node_crashes.len(), 1);
+        assert_eq!(plan.master_crashes.len(), 1);
+        assert!(!FaultPlan::seeded(11).crash_gpu(0, 0, 1.0).has_crash_faults());
+    }
+
+    #[test]
+    fn crash_before_t0_is_rejected() {
+        assert!(FaultPlan::default().crash_node(0, -0.5).validate().is_err());
+        assert!(FaultPlan::default().crash_master(-1.0).validate().is_err());
+        assert!(FaultPlan::default()
+            .crash_node(0, f64::NAN)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::default().crash_node(0, 0.0).validate().is_ok());
+        assert!(FaultPlan::default().crash_master(0.0).validate().is_ok());
+    }
+
+    #[test]
+    fn earliest_crash_is_deterministic() {
+        let plan = FaultPlan::default()
+            .crash_master(2.0)
+            .crash_node(1, 2.0)
+            .crash_node(0, 2.0)
+            .crash_node(3, 5.0);
+        // Same instant: node crash beats master crash, lowest rank first.
+        assert_eq!(
+            plan.earliest_crash(),
+            Some(CrashEvent::Node {
+                node: 0,
+                at_secs: 2.0
+            })
+        );
+        assert_eq!(FaultPlan::default().earliest_crash(), None);
+        assert_eq!(
+            FaultPlan::default().crash_master(1.0).earliest_crash(),
+            Some(CrashEvent::Master { at_secs: 1.0 })
+        );
+    }
+
+    #[test]
+    fn rebase_shifts_and_drops() {
+        let plan = FaultPlan::seeded(3)
+            .crash_gpu(0, 0, 1.0)
+            .crash_gpu(1, 0, 4.0)
+            .slow_cpu(0, 1.0, 5.0, 2.0)
+            .stall_node(1, 0.0, 1.5, 0.2)
+            .crash_node(1, 6.0)
+            .crash_master(1.5);
+        let r = plan.rebased(2.0);
+        assert_eq!(r.seed, 3);
+        // Past faults dropped, future ones shifted, spanning windows clipped.
+        assert_eq!(r.gpu_crashes.len(), 1);
+        assert_eq!(r.gpu_crashes[0].at_secs, 2.0);
+        assert_eq!(r.cpu_slowdowns.len(), 1);
+        assert_eq!(r.cpu_slowdowns[0].from_secs, 0.0);
+        assert_eq!(r.cpu_slowdowns[0].until_secs, 3.0);
+        assert!(r.node_stalls.is_empty());
+        assert_eq!(r.node_crashes.len(), 1);
+        assert_eq!(r.node_crashes[0].at_secs, 4.0);
+        assert!(r.master_crashes.is_empty());
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn without_node_drops_and_remaps() {
+        let plan = FaultPlan::seeded(9)
+            .crash_gpu(1, 0, 1.0)
+            .crash_gpu(2, 1, 2.0)
+            .slow_cpu(0, 0.0, 1.0, 2.0)
+            .stall_node(1, 0.0, 1.0, 0.1)
+            .jitter_link(Some(2), None, 0.0, 1.0, 0.01)
+            .jitter_link(Some(1), Some(0), 0.0, 1.0, 0.01)
+            .crash_node(1, 3.0)
+            .crash_node(2, 4.0)
+            .crash_master(5.0);
+        let r = plan.without_node(1);
+        // Node 1's faults vanish; node 2 becomes node 1.
+        assert_eq!(r.gpu_crashes.len(), 1);
+        assert_eq!(r.gpu_crashes[0].node, 1);
+        assert_eq!(r.cpu_slowdowns.len(), 1);
+        assert_eq!(r.cpu_slowdowns[0].node, 0);
+        assert!(r.node_stalls.is_empty());
+        assert_eq!(r.link_faults.len(), 1);
+        assert_eq!(r.link_faults[0].src, Some(1));
+        assert_eq!(r.node_crashes.len(), 1);
+        assert_eq!(r.node_crashes[0].node, 1);
+        assert_eq!(r.master_crashes.len(), 1);
+        assert_eq!(r.max_node_ref(), Some(1));
     }
 }

@@ -3,12 +3,13 @@
 //! iterative driver — paper §III, Figures 1 and 2, end to end.
 
 use crate::api::{DeviceClass, IterativeApp, Key, SpmdApp};
+use crate::checkpoint::{Checkpoint, CheckpointStore, PartitionSpan};
 use crate::cluster::ClusterSpec;
 use crate::config::{CalibrationMode, JobConfig, SchedulingMode};
 use crate::faults::NodeStall;
 use crate::metrics::{JobMetrics, RecoveryCounters, StageTimes};
 use crate::task::{split_fixed, split_range, Task, TaskResult};
-use device::FatNode;
+use device::{CompletionBoard, FatNode};
 use insight::CalibrationProfile;
 use netsim::{shuffle, CollectiveSeq, Network, ShuffleItem};
 use obs::{trace_ctx, DecisionId, DecisionRecord, Obs, TraceCtx};
@@ -57,7 +58,14 @@ pub fn run_job<A: SpmdApp>(
     app: Arc<A>,
     config: JobConfig,
 ) -> Result<JobResult<A::Output>, JobError> {
-    run_with_update(spec, app, config, Arc::new(|_| true), Obs::disabled())
+    run_with_update(
+        spec,
+        app,
+        config,
+        Arc::new(|_| true),
+        Obs::disabled(),
+        RunHooks::default(),
+    )
 }
 
 /// Like [`run_job`], with a live [`Obs`] bundle attached to every layer:
@@ -71,7 +79,7 @@ pub fn run_job_observed<A: SpmdApp>(
     config: JobConfig,
     obs: Obs,
 ) -> Result<JobResult<A::Output>, JobError> {
-    run_with_update(spec, app, config, Arc::new(|_| true), obs)
+    run_with_update(spec, app, config, Arc::new(|_| true), obs, RunHooks::default())
 }
 
 /// Runs an iterative job: map/shuffle/reduce, then [`IterativeApp::update`]
@@ -100,10 +108,12 @@ pub fn run_iterative_observed<A: IterativeApp>(
         config,
         Arc::new(move |outputs| hook.update(outputs)),
         obs,
+        RunHooks::default(),
     )
 }
 
-type UpdateFn<A> = Arc<dyn Fn(&[(Key, <A as SpmdApp>::Output)]) -> bool + Send + Sync>;
+pub(crate) type UpdateFn<A> =
+    Arc<dyn Fn(&[(Key, <A as SpmdApp>::Output)]) -> bool + Send + Sync>;
 
 enum CtrlMsg {
     /// A partition assignment. `id` is unique per *attempt*: a re-sent or
@@ -123,6 +133,238 @@ struct Collected<O> {
     p_used: Vec<Option<f64>>,
     cpu_map_tasks: u64,
     gpu_map_tasks: u64,
+    interrupted: bool,
+}
+
+/// Rank 0's per-iteration decision, broadcast so every node agrees on
+/// whether to continue, stop, or abandon the attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Verdict {
+    /// Not converged: run another iteration.
+    Continue,
+    /// Converged: this iteration's outputs are final.
+    Converged,
+    /// The attempt hit its scheduled crash time: the iteration's update is
+    /// discarded and the resilient driver takes over.
+    Aborted,
+}
+
+/// Checkpoint cadence and sink for one attempt, armed by the resilient
+/// driver. Rank 0's sub-task scheduler writes a [`Checkpoint`] through
+/// `store` after every `interval`-th *cumulative* iteration (host-side
+/// only — writing never advances the virtual clock).
+pub(crate) struct CheckpointHooks {
+    /// Cumulative iterations between checkpoints (>= 1).
+    pub interval: u64,
+    /// Where checkpoints go.
+    pub store: Arc<dyn CheckpointStore>,
+    /// Serializes the application's model state.
+    pub save_state: Arc<dyn Fn() -> Vec<u8> + Send + Sync>,
+    /// Iterations completed before this attempt started (checkpoint
+    /// `iteration` fields are cumulative across recovery epochs).
+    pub base_iteration: u64,
+    /// Cumulative virtual seconds consumed before this attempt started.
+    pub base_secs: f64,
+    /// The master's partition plan, recorded into every checkpoint.
+    pub partition_map: Vec<PartitionSpan>,
+    /// The fault plan's RNG cursor, recorded into every checkpoint.
+    pub rng_seed: u64,
+}
+
+/// Driver-side hooks for one simulation attempt (recovery epoch). The
+/// plain entry points run with `RunHooks::default()`; the resilient
+/// driver arms the epoch's first scheduled crash time and the checkpoint
+/// sink.
+#[derive(Default)]
+pub(crate) struct RunHooks {
+    /// Abort the attempt at the first iteration boundary at or after this
+    /// virtual time (attempt-local seconds) — how a node/master crash
+    /// manifests inside one epoch's simulation.
+    pub abort_at: Option<f64>,
+    /// Checkpointing, when armed.
+    pub checkpoint: Option<CheckpointHooks>,
+}
+
+/// A recovery (or resilience-bookkeeping) action taken by the runtime.
+///
+/// Every path funnels through [`record_recovery`] so the
+/// [`RecoveryCounters`] and the event bus can never drift apart — the
+/// `prs top` recovery blame is only as good as this single choke point.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RecoveryAction {
+    /// A partition assignment re-sent to the same node after a timeout.
+    Retry {
+        /// Attempt id of the timed-out assignment.
+        partition: u64,
+        /// The unresponsive node.
+        target: usize,
+        /// Retry number (1-based).
+        attempt: u32,
+    },
+    /// A partition moved to the next node after the retry budget ran out.
+    Reassign {
+        /// Attempt id of the abandoned assignment.
+        partition: u64,
+        /// The node that missed its deadline.
+        from: usize,
+        /// The node receiving the partition next.
+        to: usize,
+    },
+    /// First death report from a GPU's daemons: the card itself died.
+    GpuCrash {
+        /// GPU index within the node.
+        gpu: usize,
+    },
+    /// One GPU stream daemon died (fires per daemon, with the kernel time
+    /// its in-flight launch lost).
+    GpuDaemonDown {
+        /// GPU index within the node.
+        gpu: usize,
+        /// Virtual seconds of kernel work lost.
+        lost_secs: f64,
+    },
+    /// A task re-queued from a dead GPU onto surviving devices.
+    BlockRequeued {
+        /// GPU index the task was rescued from.
+        gpu: usize,
+    },
+    /// A speculative backup launched against a straggling map block.
+    SpecLaunch {
+        /// The racing task id.
+        task: u64,
+    },
+    /// A speculative backup finished before its primary.
+    SpecWin {
+        /// The racing task id.
+        task: u64,
+    },
+    /// A speculative backup lost the race or was cancelled in the queue.
+    SpecWasted {
+        /// The racing task id.
+        task: u64,
+    },
+    /// A checkpoint serialized after a global reduce (bookkeeping, not
+    /// recovery — [`RecoveryCounters::is_clean`] ignores it).
+    CheckpointWritten {
+        /// Cumulative iteration the checkpoint captures.
+        iteration: u64,
+    },
+}
+
+/// The single choke point pairing every recovery counter bump with its
+/// event-bus emission (same kind strings the insight layer's blame
+/// attribution matches on).
+pub(crate) fn record_recovery(
+    now: SimTime,
+    recovery: &Mutex<RecoveryCounters>,
+    obs: &Obs,
+    lane: &str,
+    action: RecoveryAction,
+) {
+    {
+        let mut r = recovery.lock();
+        match action {
+            RecoveryAction::Retry { .. } => r.retries += 1,
+            RecoveryAction::Reassign { .. } => r.reassignments += 1,
+            RecoveryAction::GpuCrash { .. } => r.gpu_daemon_crashes += 1,
+            RecoveryAction::GpuDaemonDown { lost_secs, .. } => {
+                r.seconds_lost_to_faults += lost_secs;
+            }
+            RecoveryAction::BlockRequeued { .. } => r.blocks_requeued += 1,
+            RecoveryAction::SpecLaunch { .. } => r.speculative_launched += 1,
+            RecoveryAction::SpecWin { .. } => r.speculative_won += 1,
+            RecoveryAction::SpecWasted { .. } => r.speculative_wasted += 1,
+            RecoveryAction::CheckpointWritten { .. } => r.checkpoints_written += 1,
+        }
+    }
+    match action {
+        RecoveryAction::Retry {
+            partition,
+            target,
+            attempt,
+        } => {
+            if let Some(d) = obs.bus.event(lane, "retry", now) {
+                d.partition(partition as usize)
+                    .attr("target", target as f64)
+                    .attr("attempt", f64::from(attempt))
+                    .commit();
+            }
+        }
+        RecoveryAction::Reassign { partition, from, to } => {
+            if let Some(d) = obs.bus.event(lane, "reassign", now) {
+                d.partition(partition as usize)
+                    .attr("from", from as f64)
+                    .attr("to", to as f64)
+                    .commit();
+            }
+        }
+        RecoveryAction::GpuCrash { gpu } => {
+            if let Some(d) = obs.bus.event(lane, "gpu-crash", now) {
+                d.attr("gpu", gpu as f64).commit();
+            }
+        }
+        RecoveryAction::GpuDaemonDown { gpu, lost_secs } => {
+            if let Some(d) = obs.bus.event(lane, "gpu-daemon-down", now) {
+                d.attr("gpu", gpu as f64).attr("lost_s", lost_secs).commit();
+            }
+        }
+        RecoveryAction::BlockRequeued { gpu } => {
+            if let Some(d) = obs.bus.event(lane, "block-requeued", now) {
+                d.attr("gpu", gpu as f64).commit();
+            }
+        }
+        RecoveryAction::SpecLaunch { task } => {
+            if let Some(d) = obs.bus.event(lane, "spec-launch", now) {
+                d.attr("task", task as f64).commit();
+            }
+        }
+        RecoveryAction::SpecWin { task } => {
+            if let Some(d) = obs.bus.event(lane, "spec-win", now) {
+                d.attr("task", task as f64).commit();
+            }
+        }
+        RecoveryAction::SpecWasted { task } => {
+            if let Some(d) = obs.bus.event(lane, "spec-wasted", now) {
+                d.attr("task", task as f64).commit();
+            }
+        }
+        RecoveryAction::CheckpointWritten { iteration } => {
+            if let Some(d) = obs.bus.event(lane, "checkpoint", now) {
+                d.attr("iteration", iteration as f64).commit();
+            }
+        }
+    }
+}
+
+/// The master's partition plan: each node's contiguous share of the input
+/// (heterogeneity-weighted when configured), cut into
+/// `partitions_per_node` partitions. Pure function of the cluster and
+/// config — shared by the master loop and the resilient driver's
+/// checkpoint metadata so the recorded plan always matches the real one.
+pub(crate) fn partition_plan(
+    profiles: &[DeviceProfile],
+    workload: &Workload,
+    total_items: usize,
+    config: &JobConfig,
+) -> Vec<(usize, Range<usize>)> {
+    let weights = if config.hetero_aware_partitioning {
+        partition_across_nodes(profiles, workload, total_items as u64)
+    } else {
+        let n = profiles.len() as u64;
+        let base = total_items as u64 / n;
+        let extra = total_items as u64 % n;
+        (0..n).map(|i| base + u64::from(i < extra)).collect()
+    };
+    let mut plan: Vec<(usize, Range<usize>)> = Vec::new();
+    let mut start = 0usize;
+    for (rank, &items) in weights.iter().enumerate() {
+        let node_range = start..start + items as usize;
+        start = node_range.end;
+        for part in split_range(node_range, config.partitions_per_node) {
+            plan.push((rank, part));
+        }
+    }
+    plan
 }
 
 fn validate<A: SpmdApp>(spec: &ClusterSpec, app: &A, config: &JobConfig) -> Result<(), JobError> {
@@ -210,8 +452,22 @@ fn validate<A: SpmdApp>(spec: &ClusterSpec, app: &A, config: &JobConfig) -> Resu
             ));
         }
     }
+    if let Some(m) = config.speculation_lag_multiplier {
+        if !m.is_finite() || m <= 1.0 {
+            return Err(JobError::InvalidConfig(format!(
+                "speculation_lag_multiplier {m} must be finite and > 1"
+            )));
+        }
+    }
     if let Err(msg) = spec.faults.validate() {
         return Err(JobError::InvalidConfig(format!("fault plan: {msg}")));
+    }
+    if spec.faults.has_crash_faults() {
+        return Err(JobError::InvalidConfig(
+            "node/master crash faults require the epoch-based resilient driver \
+             (run_resilient); the plain drivers cannot survive them"
+                .into(),
+        ));
     }
     if let Some(max) = spec.faults.max_node_ref() {
         if max >= spec.len() {
@@ -224,14 +480,16 @@ fn validate<A: SpmdApp>(spec: &ClusterSpec, app: &A, config: &JobConfig) -> Resu
     Ok(())
 }
 
-fn run_with_update<A: SpmdApp>(
+pub(crate) fn run_with_update<A: SpmdApp>(
     spec: &ClusterSpec,
     app: Arc<A>,
     config: JobConfig,
     update: UpdateFn<A>,
     obs: Obs,
+    hooks: RunHooks,
 ) -> Result<JobResult<A::Output>, JobError> {
     validate(spec, app.as_ref(), &config)?;
+    let hooks = Arc::new(hooks);
     let n = spec.len();
     let mut sim = Sim::new();
 
@@ -284,6 +542,7 @@ fn run_with_update<A: SpmdApp>(
         p_used: vec![None; n],
         cpu_map_tasks: 0,
         gpu_map_tasks: 0,
+        interrupted: false,
     }));
 
     // Master: the first-level task scheduler. Every partition assignment
@@ -301,24 +560,7 @@ fn run_with_update<A: SpmdApp>(
         let recovery = recovery.clone();
         let obs = obs.clone();
         sim.spawn("master", move |ctx| {
-            let total_items = app.num_items();
-            let weights = if config.hetero_aware_partitioning {
-                partition_across_nodes(&profiles, &app.workload(), total_items as u64)
-            } else {
-                let n = profiles.len() as u64;
-                let base = total_items as u64 / n;
-                let extra = total_items as u64 % n;
-                (0..n).map(|i| base + u64::from(i < extra)).collect()
-            };
-            let mut plan: Vec<(usize, Range<usize>)> = Vec::new();
-            let mut start = 0usize;
-            for (rank, &items) in weights.iter().enumerate() {
-                let node_range = start..start + items as usize;
-                start = node_range.end;
-                for part in split_range(node_range, config.partitions_per_node) {
-                    plan.push((rank, part));
-                }
-            }
+            let plan = partition_plan(&profiles, &app.workload(), app.num_items(), &config);
             let n = ctrl.len();
             let timeout = config.partition_timeout_secs.map(SimTime::from_secs_f64);
             let mut confirmed: Vec<Vec<u64>> = vec![Vec::new(); n];
@@ -385,31 +627,37 @@ fn run_with_update<A: SpmdApp>(
                     if wait_forever {
                         break; // ack channel closed: simulation is ending
                     }
-                    let mut r = recovery.lock();
-                    r.seconds_lost_to_faults += timeout.expect("timeout set").as_secs_f64();
+                    recovery.lock().seconds_lost_to_faults +=
+                        timeout.expect("timeout set").as_secs_f64();
                     if attempts < config.max_partition_retries {
                         attempts += 1;
-                        r.retries += 1;
-                        drop(r);
-                        if let Some(d) = obs.bus.event("master", "retry", ctx.now()) {
-                            d.partition(id as usize)
-                                .attr("target", target as f64)
-                                .attr("attempt", f64::from(attempts))
-                                .commit();
-                        }
+                        record_recovery(
+                            ctx.now(),
+                            &recovery,
+                            &obs,
+                            "master",
+                            RecoveryAction::Retry {
+                                partition: id,
+                                target,
+                                attempt: attempts,
+                            },
+                        );
                     } else {
                         attempts = 0;
                         hops += 1;
-                        r.reassignments += 1;
-                        drop(r);
                         let from = target;
                         target = (target + 1) % n;
-                        if let Some(d) = obs.bus.event("master", "reassign", ctx.now()) {
-                            d.partition(id as usize)
-                                .attr("from", from as f64)
-                                .attr("to", target as f64)
-                                .commit();
-                        }
+                        record_recovery(
+                            ctx.now(),
+                            &recovery,
+                            &obs,
+                            "master",
+                            RecoveryAction::Reassign {
+                                partition: id,
+                                from,
+                                to: target,
+                            },
+                        );
                     }
                 }
             }
@@ -440,6 +688,9 @@ fn run_with_update<A: SpmdApp>(
         let results: Channel<TaskResult<A::Inter, A::Output>> =
             Channel::new(&format!("n{rank}-results"));
         let ready: Channel<()> = Channel::new(&format!("n{rank}-ready"));
+        // First-completion-wins scoreboard arbitrating speculative backup
+        // copies against their primaries (host-side only; see `race`).
+        let board = Arc::new(CompletionBoard::new());
 
         let staged = app.workload().residency == DataResidency::Staged;
 
@@ -451,8 +702,9 @@ fn run_with_update<A: SpmdApp>(
                 let app = app.clone();
                 let q = cpu_q.clone();
                 let results = results.clone();
+                let board = board.clone();
                 sim.spawn(&format!("n{rank}-cpu{core}"), move |ctx| {
-                    cpu_poller(ctx, &node, app.as_ref(), &q, &results);
+                    cpu_poller(ctx, &node, app.as_ref(), &q, &results, &board);
                 });
             }
         }
@@ -469,10 +721,11 @@ fn run_with_update<A: SpmdApp>(
                     let q = gpu_q.clone();
                     let results = results.clone();
                     let ready = ready.clone();
+                    let board = board.clone();
                     sim.spawn(&format!("n{rank}-gpu{g}-s{stream}"), move |ctx| {
                         gpu_stream_worker(
                             ctx, &node, &gpu, g, app.as_ref(), &q, &results, &ready, config,
-                            staged,
+                            staged, &board,
                         );
                     });
                 }
@@ -489,10 +742,11 @@ fn run_with_update<A: SpmdApp>(
         let collect = collect.clone();
         let recovery = recovery.clone();
         let obs = obs.clone();
+        let hooks = hooks.clone();
         sim.spawn(&format!("n{rank}-worker"), move |ctx| {
             worker_body(
                 ctx, rank, &node, comm, ctrl_ch, acks_ch, stalls, cpu_q, gpu_q, results, ready,
-                app, config, update, collect, recovery, obs,
+                app, config, update, collect, recovery, obs, board, hooks,
             );
         });
     }
@@ -538,6 +792,7 @@ fn run_with_update<A: SpmdApp>(
         gpu_map_tasks: collected.gpu_map_tasks,
         timeline: timeline.map(|t| t.intervals()).unwrap_or_default(),
         recovery: *recovery.lock(),
+        interrupted: collected.interrupted,
     };
     if obs.metrics.is_enabled() {
         fill_registry(&obs, &nodes, &metrics);
@@ -600,6 +855,37 @@ fn fill_registry(obs: &Obs, nodes: &[Arc<FatNode>], metrics: &JobMetrics) {
         &[("action", "block_requeued")],
         rec.blocks_requeued as f64,
     );
+    m.counter_add(
+        "prs_recovery_total",
+        &[("action", "speculative_launched")],
+        rec.speculative_launched as f64,
+    );
+    m.counter_add(
+        "prs_recovery_total",
+        &[("action", "speculative_won")],
+        rec.speculative_won as f64,
+    );
+    m.counter_add(
+        "prs_recovery_total",
+        &[("action", "speculative_wasted")],
+        rec.speculative_wasted as f64,
+    );
+    m.counter_add(
+        "prs_recovery_total",
+        &[("action", "node_crash")],
+        rec.node_crashes as f64,
+    );
+    m.counter_add(
+        "prs_recovery_total",
+        &[("action", "master_failover")],
+        rec.master_failovers as f64,
+    );
+    m.counter_add(
+        "prs_recovery_total",
+        &[("action", "checkpoint_written")],
+        rec.checkpoints_written as f64,
+    );
+    m.counter_add("prs_recovery_total", &[("action", "restore")], rec.restores as f64);
     m.gauge_set("prs_seconds_lost_to_faults", &[], rec.seconds_lost_to_faults);
     m.gauge_set("prs_total_seconds", &[], metrics.total_seconds);
     m.gauge_set("prs_setup_seconds", &[], metrics.setup_seconds);
@@ -615,10 +901,22 @@ fn cpu_poller<A: SpmdApp>(
     app: &A,
     q: &Channel<Task<A::Inter>>,
     results: &Channel<TaskResult<A::Inter, A::Output>>,
+    board: &CompletionBoard,
 ) {
     while let Some(task) = q.recv(ctx) {
         match task {
-            Task::Map { range, .. } => {
+            Task::Map {
+                id,
+                range,
+                speculative,
+            } => {
+                // A queued copy whose race is already decided is skipped
+                // without touching the device (checking the board costs no
+                // virtual time).
+                if board.is_claimed(id) {
+                    results.send(ctx, TaskResult::Cancelled { id, speculative });
+                    continue;
+                }
                 let work = app.map_work(range.len());
                 let pairs = node
                     .cpu
@@ -626,8 +924,10 @@ fn cpu_poller<A: SpmdApp>(
                 results.send(
                     ctx,
                     TaskResult::Map {
+                        id,
                         device: DeviceClass::Cpu,
                         pairs,
+                        speculative,
                     },
                 );
             }
@@ -654,6 +954,7 @@ fn gpu_stream_worker<A: SpmdApp>(
     ready: &Channel<()>,
     config: JobConfig,
     staged: bool,
+    board: &CompletionBoard,
 ) {
     // The funneled design: one context for the daemon's whole life,
     // created during job setup (the worker waits for readiness before the
@@ -682,7 +983,15 @@ fn gpu_stream_worker<A: SpmdApp>(
             let _per_task = gpu.create_context(ctx);
         }
         match task {
-            Task::Map { range, .. } => {
+            Task::Map {
+                id,
+                range,
+                speculative,
+            } => {
+                if board.is_claimed(id) {
+                    results.send(ctx, TaskResult::Cancelled { id, speculative });
+                    continue;
+                }
                 if staged {
                     gpu.transfer_h2d(ctx, range.len() as u64 * app.item_bytes());
                 }
@@ -691,8 +1000,10 @@ fn gpu_stream_worker<A: SpmdApp>(
                     Ok(pairs) => results.send(
                         ctx,
                         TaskResult::Map {
+                            id,
                             device: DeviceClass::Gpu,
                             pairs,
+                            speculative,
                         },
                     ),
                     Err(dead) => {
@@ -700,7 +1011,11 @@ fn gpu_stream_worker<A: SpmdApp>(
                             ctx,
                             TaskResult::GpuDown {
                                 gpu: gpu_index,
-                                task: Some(Task::Map { range }),
+                                task: Some(Task::Map {
+                                    id,
+                                    range,
+                                    speculative,
+                                }),
                                 lost: dead.lost.as_secs_f64(),
                             },
                         );
@@ -759,28 +1074,35 @@ fn gpu_down<A: SpmdApp>(
 ) {
     // First report from this GPU's daemons: the card itself died.
     let first_down = alive[gpu] == config.gpu_streams;
-    {
-        let mut r = recovery.lock();
-        if first_down {
-            r.gpu_daemon_crashes += 1;
-        }
-        r.seconds_lost_to_faults += lost;
-    }
-    if let Some(d) = obs.bus.event(sched_lane, "gpu-daemon-down", ctx.now()) {
-        d.attr("gpu", gpu as f64).attr("lost_s", lost).commit();
-    }
+    record_recovery(
+        ctx.now(),
+        recovery,
+        obs,
+        sched_lane,
+        RecoveryAction::GpuDaemonDown {
+            gpu,
+            lost_secs: lost,
+        },
+    );
     if first_down {
-        if let Some(d) = obs.bus.event(sched_lane, "gpu-crash", ctx.now()) {
-            d.attr("gpu", gpu as f64).commit();
-        }
+        record_recovery(
+            ctx.now(),
+            recovery,
+            obs,
+            sched_lane,
+            RecoveryAction::GpuCrash { gpu },
+        );
     }
     alive[gpu] = alive[gpu].saturating_sub(1);
     let gpu_only = matches!(config.scheduling, SchedulingMode::GpuOnly);
     if let Some(t) = task {
-        recovery.lock().blocks_requeued += 1;
-        if let Some(d) = obs.bus.event(sched_lane, "block-requeued", ctx.now()) {
-            d.attr("gpu", gpu as f64).commit();
-        }
+        record_recovery(
+            ctx.now(),
+            recovery,
+            obs,
+            sched_lane,
+            RecoveryAction::BlockRequeued { gpu },
+        );
         if gpu_only {
             gpu_q.send(ctx, t);
         } else {
@@ -791,12 +1113,68 @@ fn gpu_down<A: SpmdApp>(
     if !shared && !gpu_only && alive.iter().all(|&s| s == 0) {
         // recv_deadline at `now` is a non-blocking drain of the backlog.
         while let RecvOutcome::Msg(t) = gpu_q.recv_deadline(ctx, ctx.now()) {
-            recovery.lock().blocks_requeued += 1;
-            if let Some(d) = obs.bus.event(sched_lane, "block-requeued", ctx.now()) {
-                d.attr("gpu", gpu as f64).commit();
-            }
+            record_recovery(
+                ctx.now(),
+                recovery,
+                obs,
+                sched_lane,
+                RecoveryAction::BlockRequeued { gpu },
+            );
             cpu_q.send(ctx, t);
         }
+    }
+}
+
+/// The analytic prediction backing both the decision audit and the
+/// speculation deadline: the Equation (1)–(11) regime that fires for this
+/// node, the CPU fraction actually used, and the roofline-predicted
+/// per-device map seconds for `bytes_f` bytes of input.
+///
+/// Degenerate device populations get pseudo-regimes: `CpuOnly` when no
+/// GPU side exists (CPU-only mode, a GPU-less profile, or every GPU
+/// dead) and `GpuOnly` when the CPU side is pinned off. Dynamic mode has
+/// no a-priori `p` (it emerges from polling), so the analytic Equation
+/// (8) fraction serves as the reference point.
+pub(crate) fn predict_split(
+    profile: &DeviceProfile,
+    workload: &Workload,
+    config: &JobConfig,
+    gpus_usable: usize,
+    p_eff: f64,
+    bytes_f: f64,
+) -> (f64, String, f64, f64) {
+    let uses_gpu = !matches!(config.scheduling, SchedulingMode::CpuOnly);
+    let gpu_side = uses_gpu && !profile.gpus.is_empty() && gpus_usable > 0;
+    if workload.ai_cpu <= 0.0 || workload.ai_gpu <= 0.0 {
+        // The roofline model needs positive arithmetic intensity; report
+        // the split without predictions rather than asserting.
+        let p = if p_eff.is_finite() { p_eff } else { 0.5 };
+        (p, "Unmodeled".to_string(), 0.0, 0.0)
+    } else if !gpu_side {
+        let flops = profile.cpu_roofline().attainable_flops(workload.ai_cpu);
+        (
+            1.0,
+            "CpuOnly".to_string(),
+            device_time(bytes_f, workload.ai_cpu, flops),
+            0.0,
+        )
+    } else if matches!(config.scheduling, SchedulingMode::GpuOnly) {
+        let d = split_multi_gpu(profile, workload, gpus_usable);
+        (
+            0.0,
+            "GpuOnly".to_string(),
+            0.0,
+            device_time(bytes_f, workload.ai_gpu, d.gpu_flops),
+        )
+    } else {
+        let d = split_multi_gpu(profile, workload, gpus_usable);
+        let p = if p_eff.is_finite() { p_eff } else { d.cpu_fraction };
+        (
+            p,
+            format!("{:?}", d.regime),
+            device_time(p * bytes_f, workload.ai_cpu, d.cpu_flops),
+            device_time((1.0 - p) * bytes_f, workload.ai_gpu, d.gpu_flops),
+        )
     }
 }
 
@@ -830,7 +1208,6 @@ fn audit_decision(
     }
     let uses_gpu = !matches!(config.scheduling, SchedulingMode::CpuOnly);
     let has_gpu_hw = !profile.gpus.is_empty();
-    let gpu_side = uses_gpu && has_gpu_hw && gpus_usable > 0;
     let bytes_f = bytes as f64;
     let mode = match config.scheduling {
         SchedulingMode::Static { .. } => "static",
@@ -846,39 +1223,8 @@ fn audit_decision(
         _ if calibrated => "calibrated",
         _ => "initial",
     };
-    let (p, regime, pred_cpu, pred_gpu) = if workload.ai_cpu <= 0.0 || workload.ai_gpu <= 0.0 {
-        // The roofline model needs positive arithmetic intensity; record
-        // the decision without predictions rather than asserting.
-        let p = if p_eff.is_finite() { p_eff } else { 0.5 };
-        (p, "Unmodeled".to_string(), 0.0, 0.0)
-    } else if !gpu_side {
-        let flops = profile.cpu_roofline().attainable_flops(workload.ai_cpu);
-        (
-            1.0,
-            "CpuOnly".to_string(),
-            device_time(bytes_f, workload.ai_cpu, flops),
-            0.0,
-        )
-    } else if matches!(config.scheduling, SchedulingMode::GpuOnly) {
-        let d = split_multi_gpu(profile, workload, gpus_usable);
-        (
-            0.0,
-            "GpuOnly".to_string(),
-            0.0,
-            device_time(bytes_f, workload.ai_gpu, d.gpu_flops),
-        )
-    } else {
-        let d = split_multi_gpu(profile, workload, gpus_usable);
-        // Dynamic mode's `p_eff` is NaN (the split emerges from polling);
-        // audit the analytic fraction as the model's reference point.
-        let p = if p_eff.is_finite() { p_eff } else { d.cpu_fraction };
-        (
-            p,
-            format!("{:?}", d.regime),
-            device_time(p * bytes_f, workload.ai_cpu, d.cpu_flops),
-            device_time((1.0 - p) * bytes_f, workload.ai_gpu, d.gpu_flops),
-        )
-    };
+    let (p, regime, pred_cpu, pred_gpu) =
+        predict_split(profile, workload, config, gpus_usable, p_eff, bytes_f);
     obs.audit.begin(DecisionRecord {
         node: rank,
         iteration: iter,
@@ -945,6 +1291,8 @@ fn worker_body<A: SpmdApp>(
     collect: Arc<Mutex<Collected<A::Output>>>,
     recovery: Arc<Mutex<RecoveryCounters>>,
     obs: Obs,
+    board: Arc<CompletionBoard>,
+    hooks: Arc<RunHooks>,
 ) {
     let seq = CollectiveSeq::new();
     let coll = comm.collectives(&seq);
@@ -1064,6 +1412,9 @@ fn worker_body<A: SpmdApp>(
 
     // ---- Iterations. ----
     let mut final_outputs: Option<Vec<(Key, A::Output)>> = None;
+    // Node-unique map-task ids, monotone across iterations so the
+    // completion board never sees an id reused.
+    let mut next_task_id: u64 = 0;
     for iter in 0..config.max_iterations {
         let t0 = ctx.now();
         // Every message this iteration sends (shuffle, collectives)
@@ -1154,12 +1505,29 @@ fn worker_body<A: SpmdApp>(
             }
         };
         let mut n_tasks = 0u64;
+        // With speculation armed, every in-flight primary is remembered
+        // (id → block and which device class ran it) so the backup volley
+        // can re-dispatch the stragglers on the opposite class.
+        let speculating = config.speculation_lag_multiplier.is_some();
+        let mut outstanding: BTreeMap<u64, (Range<usize>, bool)> = BTreeMap::new();
         match config.scheduling {
             SchedulingMode::Dynamic { block_items } => {
                 for part in &partitions {
                     for block in split_fixed(part.clone(), block_items) {
+                        let id = next_task_id;
+                        next_task_id += 1;
+                        if speculating {
+                            outstanding.insert(id, (block.clone(), true));
+                        }
                         ctx.hold(dispatch);
-                        cpu_q.send(ctx, Task::Map { range: block });
+                        cpu_q.send(
+                            ctx,
+                            Task::Map {
+                                id,
+                                range: block,
+                                speculative: false,
+                            },
+                        );
                         if metrics_on {
                             sample_queues("shared", cpu_q.len());
                         }
@@ -1176,8 +1544,20 @@ fn worker_body<A: SpmdApp>(
                     let gpu_range = part.start + cpu_items..part.end;
                     if !cpu_range.is_empty() {
                         for block in split_range(cpu_range, cpu_blocks) {
+                            let id = next_task_id;
+                            next_task_id += 1;
+                            if speculating {
+                                outstanding.insert(id, (block.clone(), true));
+                            }
                             ctx.hold(dispatch);
-                            cpu_q.send(ctx, Task::Map { range: block });
+                            cpu_q.send(
+                                ctx,
+                                Task::Map {
+                                    id,
+                                    range: block,
+                                    speculative: false,
+                                },
+                            );
                             if metrics_on {
                                 sample_queues("cpu", cpu_q.len());
                             }
@@ -1186,8 +1566,20 @@ fn worker_body<A: SpmdApp>(
                     }
                     if !gpu_range.is_empty() {
                         for block in split_range(gpu_range, config.gpu_blocks_per_partition) {
+                            let id = next_task_id;
+                            next_task_id += 1;
+                            if speculating {
+                                outstanding.insert(id, (block.clone(), false));
+                            }
                             ctx.hold(dispatch);
-                            gpu_q.send(ctx, Task::Map { range: block });
+                            gpu_q.send(
+                                ctx,
+                                Task::Map {
+                                    id,
+                                    range: block,
+                                    speculative: false,
+                                },
+                            );
                             if metrics_on {
                                 sample_queues("gpu", gpu_q.len());
                             }
@@ -1198,31 +1590,135 @@ fn worker_body<A: SpmdApp>(
             }
         }
 
+        // Speculation deadline: `multiplier ×` the Equation-(8) predicted
+        // map time for this node's share. Blocks still outstanding at the
+        // deadline get one backup volley on the opposite device class;
+        // first completion wins on the board, the loser is wasted.
+        let spec_deadline: Option<SimTime> =
+            config.speculation_lag_multiplier.and_then(|mult| {
+                let prof = calib.as_ref().map_or(&node.profile, |c| c.profile());
+                let (_, _, pred_cpu, pred_gpu) =
+                    predict_split(prof, &workload, &config, gpu_usable, p_eff, my_bytes as f64);
+                let predicted = pred_cpu.max(pred_gpu);
+                (predicted > 0.0).then(|| t0 + SimTime::from_secs_f64(mult * predicted))
+            });
+        let mut volley_pending = spec_deadline.is_some();
+
         let mut cpu_pairs: Vec<(Key, A::Inter)> = Vec::new();
         let mut gpu_pairs: Vec<(Key, A::Inter)> = Vec::new();
         // Last map result per device class: the observed per-device map
         // completion times for the decision audit.
         let mut last_cpu_end: Option<SimTime> = None;
         let mut last_gpu_end: Option<SimTime> = None;
-        let mut done = 0u64;
-        while done < n_tasks {
-            match results.recv(ctx).expect("results channel open") {
-                TaskResult::Map { device, pairs } => {
-                    done += 1;
-                    let mut c = collect.lock();
-                    match device {
-                        DeviceClass::Cpu => {
-                            c.cpu_map_tasks += 1;
-                            drop(c);
-                            cpu_pairs.extend(pairs);
-                            last_cpu_end = Some(ctx.now());
+        // Every dispatched copy — primary or backup — reports exactly one
+        // `Map` or `Cancelled`, so draining to `expected` resolves every
+        // race before the combiner runs.
+        let mut seen = 0u64;
+        let mut expected = n_tasks;
+        while seen < expected {
+            let outcome = if volley_pending && !outstanding.is_empty() {
+                let deadline = spec_deadline.expect("speculation deadline set");
+                match results.recv_deadline(ctx, deadline) {
+                    RecvOutcome::Msg(r) => Some(r),
+                    RecvOutcome::Closed => None,
+                    RecvOutcome::TimedOut => {
+                        volley_pending = false;
+                        for (&id, (range, on_cpu)) in outstanding.iter() {
+                            let backup_q = match config.scheduling {
+                                SchedulingMode::GpuOnly => &gpu_q,
+                                SchedulingMode::CpuOnly | SchedulingMode::Dynamic { .. } => {
+                                    &cpu_q
+                                }
+                                SchedulingMode::Static { .. } => {
+                                    if *on_cpu && gpu_usable > 0 {
+                                        &gpu_q
+                                    } else {
+                                        &cpu_q
+                                    }
+                                }
+                            };
+                            ctx.hold(dispatch);
+                            backup_q.send(
+                                ctx,
+                                Task::Map {
+                                    id,
+                                    range: range.clone(),
+                                    speculative: true,
+                                },
+                            );
+                            expected += 1;
+                            record_recovery(
+                                ctx.now(),
+                                &recovery,
+                                &obs,
+                                &sched_lane,
+                                RecoveryAction::SpecLaunch { task: id },
+                            );
                         }
-                        DeviceClass::Gpu => {
-                            c.gpu_map_tasks += 1;
-                            drop(c);
-                            gpu_pairs.extend(pairs);
-                            last_gpu_end = Some(ctx.now());
+                        continue;
+                    }
+                }
+            } else {
+                results.recv(ctx)
+            };
+            match outcome.expect("results channel open") {
+                TaskResult::Map {
+                    id,
+                    device,
+                    pairs,
+                    speculative,
+                } => {
+                    seen += 1;
+                    if board.claim(id) {
+                        outstanding.remove(&id);
+                        let mut c = collect.lock();
+                        match device {
+                            DeviceClass::Cpu => {
+                                c.cpu_map_tasks += 1;
+                                drop(c);
+                                cpu_pairs.extend(pairs);
+                                last_cpu_end = Some(ctx.now());
+                            }
+                            DeviceClass::Gpu => {
+                                c.gpu_map_tasks += 1;
+                                drop(c);
+                                gpu_pairs.extend(pairs);
+                                last_gpu_end = Some(ctx.now());
+                            }
                         }
+                        if speculative {
+                            record_recovery(
+                                ctx.now(),
+                                &recovery,
+                                &obs,
+                                &sched_lane,
+                                RecoveryAction::SpecWin { task: id },
+                            );
+                        }
+                    } else if speculative {
+                        // The backup lost the race: its pairs are dropped
+                        // (the primary's copy is already in).
+                        record_recovery(
+                            ctx.now(),
+                            &recovery,
+                            &obs,
+                            &sched_lane,
+                            RecoveryAction::SpecWasted { task: id },
+                        );
+                    }
+                    // A losing *primary* needs no counter: its backup
+                    // already recorded the win.
+                }
+                TaskResult::Cancelled { id, speculative } => {
+                    seen += 1;
+                    if speculative {
+                        record_recovery(
+                            ctx.now(),
+                            &recovery,
+                            &obs,
+                            &sched_lane,
+                            RecoveryAction::SpecWasted { task: id },
+                        );
                     }
                 }
                 TaskResult::GpuDown { gpu, task, lost } => {
@@ -1337,6 +1833,9 @@ fn worker_body<A: SpmdApp>(
                     );
                 }
                 TaskResult::Map { .. } => unreachable!("map stage already drained"),
+                TaskResult::Cancelled { .. } => {
+                    unreachable!("every map race is resolved before reduce dispatch")
+                }
             }
         }
         outputs.sort_by_key(|(k, _)| *k);
@@ -1347,12 +1846,75 @@ fn worker_body<A: SpmdApp>(
         let gathered = coll.allgather(ctx, out_bytes.max(1), outputs);
         let mut global: Vec<(Key, A::Output)> = gathered.into_iter().flatten().collect();
         global.sort_by_key(|(k, _)| *k);
-        // One node applies the model update; the convergence verdict is
-        // broadcast so replicated app state is written exactly once per
-        // iteration.
-        let verdict = if rank == 0 { Some(update(&global)) } else { None };
-        let converged = coll.bcast(ctx, 0, 1, verdict);
+        // One node decides the iteration's fate, broadcast so replicated
+        // app state is written exactly once per iteration. A scheduled
+        // crash aborts BEFORE the model update runs: the interrupted
+        // iteration leaves no trace in the application state, so restoring
+        // the last checkpoint is exact. Otherwise rank 0 applies the
+        // update and, on the configured cadence, serializes a checkpoint
+        // (host-side only — writing costs no virtual time).
+        let verdict = if rank == 0 {
+            let v = if hooks
+                .abort_at
+                .is_some_and(|t| ctx.now().as_secs_f64() >= t)
+            {
+                Verdict::Aborted
+            } else if update(&global) {
+                Verdict::Converged
+            } else {
+                Verdict::Continue
+            };
+            if v != Verdict::Aborted {
+                if let Some(ck) = &hooks.checkpoint {
+                    let iteration = ck.base_iteration + iter as u64 + 1;
+                    if iteration.is_multiple_of(ck.interval) {
+                        let prof = calib.as_ref().map_or(&node.profile, |c| c.profile());
+                        let cpu_rate = if workload.ai_cpu > 0.0 {
+                            prof.cpu_roofline().attainable_flops(workload.ai_cpu)
+                        } else {
+                            0.0
+                        };
+                        let gpu_rate =
+                            if gpu_usable > 0 && workload.ai_gpu > 0.0 && !prof.gpus.is_empty() {
+                                split_multi_gpu(prof, &workload, gpu_usable).gpu_flops
+                            } else {
+                                0.0
+                            };
+                        let snapshot = Checkpoint {
+                            iteration,
+                            virtual_secs: ck.base_secs + ctx.now().as_secs_f64(),
+                            app_state: (ck.save_state)(),
+                            partition_map: ck.partition_map.clone(),
+                            calib_rates: (cpu_rate, gpu_rate),
+                            rng_seed: ck.rng_seed,
+                        };
+                        ck.store.save(&snapshot).expect("checkpoint store write");
+                        record_recovery(
+                            ctx.now(),
+                            &recovery,
+                            &obs,
+                            &sched_lane,
+                            RecoveryAction::CheckpointWritten { iteration },
+                        );
+                    }
+                }
+            }
+            Some(v)
+        } else {
+            None
+        };
+        let verdict = coll.bcast(ctx, 0, 1, verdict);
         let t_update = ctx.now();
+
+        // An aborted attempt stops here: the iteration is not recorded
+        // (its update never happened) and the resilient driver resumes
+        // from the last checkpoint.
+        if verdict == Verdict::Aborted {
+            if rank == 0 {
+                collect.lock().interrupted = true;
+            }
+            break;
+        }
 
         {
             let mut c = collect.lock();
@@ -1380,7 +1942,7 @@ fn worker_body<A: SpmdApp>(
             }
         }
 
-        if converged || iter + 1 == config.max_iterations {
+        if verdict == Verdict::Converged || iter + 1 == config.max_iterations {
             final_outputs = Some(global);
             break;
         }

@@ -12,7 +12,14 @@
 //!   schedulers, CPU/GPU device daemons, shuffle, reduce, iterations.
 //! - [`metrics`] — per-stage timing and device counters.
 //! - [`faults`] — deterministic fault injection (GPU crashes, stragglers,
-//!   network disruptions) and the scheduler's recovery machinery.
+//!   network disruptions, whole-node and master crashes) and the
+//!   scheduler's recovery machinery.
+//! - [`checkpoint`] — iteration checkpoints: a deterministic binary codec
+//!   plus in-memory and on-disk stores.
+//! - [`resilient`] — the epoch-based driver that survives node and master
+//!   crashes by restoring the last checkpoint on the surviving nodes.
+//! - [`chaos`] — a seeded chaos harness sampling fault plans across
+//!   cluster shapes and asserting recovery invariants.
 //!
 //! ```
 //! use prs_core::{run_job, ClusterSpec, DeviceClass, JobConfig, Key, SpmdApp};
@@ -54,21 +61,30 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod chaos;
+pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod faults;
 pub mod job;
 pub mod metrics;
+pub mod resilient;
 mod task;
 
-pub use api::{DeviceClass, IterativeApp, Key, SpmdApp};
+pub use api::{CheckpointableApp, DeviceClass, IterativeApp, Key, SpmdApp};
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport, ChaosTrial};
+pub use checkpoint::{Checkpoint, CheckpointStore, DirStore, MemStore};
 pub use cluster::ClusterSpec;
 pub use config::{CalibrationMode, JobConfig, SchedulingMode};
-pub use faults::{CpuSlowdown, FaultPlan, GpuCrash, GpuSlowdown, LinkFault, NodeStall};
+pub use faults::{
+    CpuSlowdown, CrashEvent, FaultPlan, GpuCrash, GpuSlowdown, LinkFault, MasterCrash, NodeCrash,
+    NodeStall,
+};
 pub use job::{
     run_iterative, run_iterative_observed, run_job, run_job_observed, JobError, JobResult,
 };
 pub use metrics::{JobMetrics, RecoveryCounters, StageTimes};
+pub use resilient::{run_resilient, run_resilient_observed, AttemptSummary, ResilientOutcome};
 pub use obs::Obs;
 pub use obs;
 

@@ -51,19 +51,69 @@ pub struct RecoveryCounters {
     pub blocks_requeued: u64,
     /// GPU daemons observed dead (at most one per engaged GPU).
     pub gpu_daemon_crashes: u64,
-    /// Virtual wall-clock charged to faults: timeout waits at the master
-    /// plus kernel time lost in crashed launches.
+    /// Virtual wall-clock charged to faults: timeout waits at the master,
+    /// kernel time lost in crashed launches, and epochs discarded by
+    /// checkpoint rollback.
     pub seconds_lost_to_faults: f64,
+    /// Speculative backup map tasks launched against stragglers.
+    pub speculative_launched: u64,
+    /// Backups that finished before their primary (the race was worth it).
+    pub speculative_won: u64,
+    /// Backups that lost the race or were cancelled in the queue. Always
+    /// `speculative_launched == speculative_won + speculative_wasted` once
+    /// a run completes.
+    pub speculative_wasted: u64,
+    /// Whole-node crashes survived via checkpoint restore.
+    pub node_crashes: u64,
+    /// Master crashes survived via standby failover + checkpoint replay.
+    pub master_failovers: u64,
+    /// Checkpoints serialized by the master after global reduces.
+    pub checkpoints_written: u64,
+    /// Recovery epochs that restored state from a checkpoint (or from the
+    /// initial model state when no checkpoint existed yet).
+    pub restores: u64,
 }
 
 impl RecoveryCounters {
-    /// True when the run needed no recovery at all.
+    /// True when the run needed no recovery at all. Checkpoints written on
+    /// a healthy run are not recovery actions and do not count.
     pub fn is_clean(&self) -> bool {
         self.retries == 0
             && self.reassignments == 0
             && self.blocks_requeued == 0
             && self.gpu_daemon_crashes == 0
             && self.seconds_lost_to_faults == 0.0
+            && self.speculative_launched == 0
+            && self.speculative_won == 0
+            && self.speculative_wasted == 0
+            && self.node_crashes == 0
+            && self.master_failovers == 0
+            && self.restores == 0
+    }
+
+    /// True when every speculative backup has been resolved as either won
+    /// or wasted — the reconciliation invariant the chaos harness pins.
+    pub fn speculation_reconciles(&self) -> bool {
+        self.speculative_launched == self.speculative_won + self.speculative_wasted
+    }
+
+    /// Field-wise sum, used by the resilient driver to merge the counters
+    /// of successive recovery epochs.
+    pub fn merged(&self, other: &RecoveryCounters) -> RecoveryCounters {
+        RecoveryCounters {
+            retries: self.retries + other.retries,
+            reassignments: self.reassignments + other.reassignments,
+            blocks_requeued: self.blocks_requeued + other.blocks_requeued,
+            gpu_daemon_crashes: self.gpu_daemon_crashes + other.gpu_daemon_crashes,
+            seconds_lost_to_faults: self.seconds_lost_to_faults + other.seconds_lost_to_faults,
+            speculative_launched: self.speculative_launched + other.speculative_launched,
+            speculative_won: self.speculative_won + other.speculative_won,
+            speculative_wasted: self.speculative_wasted + other.speculative_wasted,
+            node_crashes: self.node_crashes + other.node_crashes,
+            master_failovers: self.master_failovers + other.master_failovers,
+            checkpoints_written: self.checkpoints_written + other.checkpoints_written,
+            restores: self.restores + other.restores,
+        }
     }
 }
 
@@ -100,6 +150,11 @@ pub struct JobMetrics {
     /// Fault-recovery actions taken during the run (all zero on a healthy
     /// cluster).
     pub recovery: RecoveryCounters,
+    /// True when the attempt was cut short by a scheduled process crash
+    /// (node or master loss): the final iteration's update was not applied
+    /// and `outputs` are empty. The resilient driver resumes such runs
+    /// from the last checkpoint.
+    pub interrupted: bool,
 }
 
 impl JobMetrics {
@@ -198,5 +253,55 @@ mod tests {
             ..Default::default()
         };
         assert!(!r.is_clean());
+        let r = RecoveryCounters {
+            speculative_launched: 1,
+            ..Default::default()
+        };
+        assert!(!r.is_clean());
+        // Checkpoints alone are bookkeeping, not recovery.
+        let r = RecoveryCounters {
+            checkpoints_written: 4,
+            ..Default::default()
+        };
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn speculation_reconciliation() {
+        let mut r = RecoveryCounters {
+            speculative_launched: 3,
+            speculative_won: 1,
+            speculative_wasted: 2,
+            ..Default::default()
+        };
+        assert!(r.speculation_reconciles());
+        r.speculative_wasted = 1;
+        assert!(!r.speculation_reconciles());
+    }
+
+    #[test]
+    fn merged_sums_fieldwise() {
+        let a = RecoveryCounters {
+            retries: 1,
+            speculative_launched: 2,
+            node_crashes: 1,
+            seconds_lost_to_faults: 0.5,
+            ..Default::default()
+        };
+        let b = RecoveryCounters {
+            retries: 2,
+            speculative_launched: 1,
+            master_failovers: 1,
+            checkpoints_written: 3,
+            seconds_lost_to_faults: 0.25,
+            ..Default::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.retries, 3);
+        assert_eq!(m.speculative_launched, 3);
+        assert_eq!(m.node_crashes, 1);
+        assert_eq!(m.master_failovers, 1);
+        assert_eq!(m.checkpoints_written, 3);
+        assert!((m.seconds_lost_to_faults - 0.75).abs() < 1e-12);
     }
 }

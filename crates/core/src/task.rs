@@ -8,8 +8,13 @@ use std::ops::Range;
 pub(crate) enum Task<I> {
     /// Map a block of input records.
     Map {
+        /// Node-unique task id, shared by a primary and its speculative
+        /// backup so the completion board can arbitrate the race.
+        id: u64,
         /// Global record range.
         range: Range<usize>,
+        /// True for a speculative backup copy of a straggling primary.
+        speculative: bool,
     },
     /// Reduce all values of one key.
     Reduce {
@@ -24,10 +29,14 @@ pub(crate) enum Task<I> {
 pub(crate) enum TaskResult<I, O> {
     /// Map output: which device produced it and the emitted pairs.
     Map {
+        /// Task id (matches the dispatched [`Task::Map`]).
+        id: u64,
         /// Executing device class.
         device: DeviceClass,
         /// Emitted intermediate pairs.
         pairs: Vec<(Key, I)>,
+        /// True when this result came from a speculative backup copy.
+        speculative: bool,
     },
     /// Reduce output for one key.
     Reduce {
@@ -46,6 +55,14 @@ pub(crate) enum TaskResult<I, O> {
         task: Option<Task<I>>,
         /// Virtual seconds of kernel work lost to the crash.
         lost: f64,
+    },
+    /// A queued map copy was skipped because its id was already claimed
+    /// on the completion board (the other copy of the race won first).
+    Cancelled {
+        /// Task id of the skipped copy.
+        id: u64,
+        /// True when the skipped copy was the speculative backup.
+        speculative: bool,
     },
 }
 

@@ -17,6 +17,8 @@
 //!   [`roofline::DeviceProfile`].
 //! - [`faults`] — slowdown windows and GPU crash arming for
 //!   fault-injection experiments.
+//! - [`race`] — the first-completion-wins scoreboard arbitrating
+//!   speculative backup tasks against their straggling primaries.
 //!
 //! Real computation executes on host threads inside `launch`/`run_task`
 //! bodies; only its *duration* is simulated, so experiment outputs are
@@ -30,11 +32,13 @@ pub mod faults;
 pub mod gpu;
 pub mod memory;
 pub mod node;
+pub mod race;
 pub mod timeline;
 
 pub use cost::{OverheadModel, WorkProfile};
 pub use cpu::CpuPool;
 pub use faults::{GpuCrashed, SlowdownWindow};
+pub use race::CompletionBoard;
 pub use gpu::{Gpu, GpuContext, Stream};
 pub use memory::{MemorySpace, OutOfMemory, Region};
 pub use node::FatNode;

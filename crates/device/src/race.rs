@@ -1,0 +1,78 @@
+//! First-completion-wins arbitration for speculatively duplicated tasks.
+//!
+//! When the sub-task scheduler races a backup copy of a straggling block
+//! against its primary, both device daemons eventually report a result
+//! for the same task id. The [`CompletionBoard`] is the shared scoreboard
+//! that decides the race: the first reporter `claim`s the id and its
+//! output is kept; the loser's is discarded. Daemons also consult the
+//! board *before* executing a queued task — a copy whose id is already
+//! claimed is cancelled without burning device time, which is how the
+//! "loser is cancelled" half of the speculation contract stays cheap.
+//!
+//! The board carries no virtual-time cost: claims and lookups are host
+//! operations on a lock, so arming speculation never perturbs the clock
+//! of runs where no backup fires.
+
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+
+/// Shared first-completion scoreboard for one node's task race.
+#[derive(Debug, Default)]
+pub struct CompletionBoard {
+    claimed: Mutex<BTreeSet<u64>>,
+}
+
+impl CompletionBoard {
+    /// An empty board.
+    pub fn new() -> Self {
+        CompletionBoard::default()
+    }
+
+    /// Claims `id` for the calling reporter. Returns `true` exactly once
+    /// per id — for the first claimant (the race winner); every later
+    /// claim of the same id returns `false`.
+    pub fn claim(&self, id: u64) -> bool {
+        self.claimed.lock().insert(id)
+    }
+
+    /// True when `id` has already been claimed — a queued duplicate of it
+    /// should be cancelled instead of executed.
+    pub fn is_claimed(&self, id: u64) -> bool {
+        self.claimed.lock().contains(&id)
+    }
+
+    /// Number of claimed ids (unique completed tasks).
+    pub fn len(&self) -> usize {
+        self.claimed.lock().len()
+    }
+
+    /// True when nothing has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.claimed.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_claim_wins() {
+        let board = CompletionBoard::new();
+        assert!(!board.is_claimed(7));
+        assert!(board.claim(7));
+        assert!(!board.claim(7), "second claimant must lose");
+        assert!(board.is_claimed(7));
+        assert_eq!(board.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_independent() {
+        let board = CompletionBoard::new();
+        assert!(board.claim(1));
+        assert!(board.claim(2));
+        assert!(!board.claim(1));
+        assert_eq!(board.len(), 2);
+        assert!(!board.is_empty());
+    }
+}

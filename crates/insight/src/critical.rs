@@ -16,14 +16,22 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Barrier-ordered stages of one iteration, in execution order.
 pub const STAGES: [&str; 4] = ["map", "shuffle", "reduce", "update"];
 
-/// Event kinds that mark fault handling in flight.
-pub const RECOVERY_KINDS: [&str; 6] = [
+/// Event kinds that mark fault handling in flight. Speculation and
+/// crash-recovery kinds count here too — `checkpoint` does not (writing
+/// one is bookkeeping on a healthy run, not a recovery action).
+pub const RECOVERY_KINDS: [&str; 12] = [
     "gpu-crash",
     "gpu-daemon-down",
     "block-requeued",
     "crashed-kernel",
     "retry",
     "reassign",
+    "spec-launch",
+    "spec-win",
+    "spec-wasted",
+    "node-crash",
+    "master-failover",
+    "restore",
 ];
 
 /// A node's map window is a straggler when it exceeds the cluster median

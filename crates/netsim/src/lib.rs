@@ -10,6 +10,8 @@
 //! - [`mod@shuffle`] — the MapReduce all-to-all bucket exchange.
 //! - [`faults`] — transient link-disruption windows (jitter, congestion,
 //!   partition) for fault-injection experiments.
+//! - [`heartbeat`] — deterministic process-loss detection and master
+//!   failover timing for the epoch-based recovery driver.
 //!
 //! Nodes are simulation processes in one address space; payloads move by
 //! pointer, while *timing* follows declared wire sizes — exactly what a
@@ -20,12 +22,14 @@
 pub mod collectives;
 pub mod comm;
 pub mod faults;
+pub mod heartbeat;
 pub mod params;
 pub mod shuffle;
 
 pub use collectives::{CollectiveSeq, Collectives};
 pub use comm::{Communicator, Network};
 pub use faults::LinkDisruption;
+pub use heartbeat::HeartbeatMonitor;
 pub use params::NetworkParams;
 pub use shuffle::{bucket_owner, shuffle, ShuffleItem};
 

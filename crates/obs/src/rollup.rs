@@ -124,6 +124,29 @@ pub struct Window {
     pub decisions: usize,
     /// Events starting in this window.
     pub events: usize,
+    /// Recovery-path events (retries, reassignments, crashes, restores,
+    /// speculation launches/outcomes) starting in this window.
+    pub recovery: usize,
+}
+
+/// True for event kinds emitted by the recovery machinery — the same
+/// family `prs analyze` blames on the resilience lane.
+fn is_recovery_kind(kind: &str) -> bool {
+    matches!(
+        kind,
+        "retry"
+            | "reassign"
+            | "gpu-crash"
+            | "gpu-daemon-down"
+            | "block-requeued"
+            | "spec-launch"
+            | "spec-win"
+            | "spec-wasted"
+            | "node-crash"
+            | "master-failover"
+            | "restore"
+            | "checkpoint"
+    )
 }
 
 /// The full rollup: config echo plus one [`Window`] per slot.
@@ -193,6 +216,7 @@ pub fn rollup(events: &[RollupEvent], decisions: &[DecisionRecord], cfg: &Rollup
             mispredict: 0.0,
             decisions: 0,
             events: 0,
+            recovery: 0,
         })
         .collect();
 
@@ -216,6 +240,9 @@ pub fn rollup(events: &[RollupEvent], decisions: &[DecisionRecord], cfg: &Rollup
     for e in events {
         if let Some(k) = win_of(e.t) {
             windows[k].events += 1;
+            if is_recovery_kind(&e.kind) {
+                windows[k].recovery += 1;
+            }
         }
         if e.dur.is_some() && is_device_lane(&e.lane) && is_device_busy_kind(&e.kind) {
             device_lanes.insert(&e.lane, ());
@@ -351,6 +378,7 @@ impl Rollup {
             num("mispredict", win.mispredict);
             num("decisions", win.decisions as f64);
             num("events", win.events as f64);
+            num("recovery", win.recovery as f64);
             out.push_str(&Value::Object(m).to_json_string());
             out.push('\n');
         }
@@ -392,6 +420,11 @@ impl Rollup {
                 "prs_rollup_straggler_lag_seconds_max",
                 &[],
                 fold(|w| w.straggler_lag_secs, 0.0, f64::max),
+            );
+            m.gauge_set(
+                "prs_rollup_recovery_events_total",
+                &[],
+                fold(|w| w.recovery as f64, 0.0, |a, b| a + b),
             );
             let (errs, n) = self
                 .windows
@@ -510,6 +543,23 @@ mod tests {
         assert_eq!(r.windows[1].queue_depth_peak, 2.0);
         assert_eq!(r.windows[0].events, 3);
         assert_eq!(r.windows[1].events, 1);
+    }
+
+    #[test]
+    fn recovery_events_counted_per_window() {
+        let events = vec![
+            ev("node0-sched", "retry", 0.2, None),
+            ev("resilience", "node-crash", 0.4, None),
+            ev("node1-sched", "spec-launch", 1.3, None),
+            ev("node0-cpu-c0", "cpu-task", 0.0, Some(2.0)), // not a recovery kind
+        ];
+        let r = rollup(&events, &[], &RollupConfig { window_secs: 1.0 });
+        assert_eq!(r.windows[0].recovery, 2);
+        assert_eq!(r.windows[1].recovery, 1);
+        let m = MetricsRegistry::recording();
+        r.register_metrics(&m);
+        assert_eq!(m.gauge("prs_rollup_recovery_events_total", &[]), Some(3.0));
+        assert!(r.to_jsonl().contains("\"recovery\""));
     }
 
     #[test]

@@ -5,12 +5,13 @@
 //! and the same seed replays to the same metrics).
 
 use prs_core::{
-    run_iterative, ClusterSpec, DeviceClass, FaultPlan, IterativeApp, JobConfig, Key, SpmdApp,
+    run_iterative, run_resilient, CheckpointStore, CheckpointableApp, ClusterSpec, DeviceClass,
+    FaultPlan, IterativeApp, JobConfig, Key, MemStore, SpmdApp,
 };
 use roofline::model::DataResidency;
 use roofline::schedule::Workload;
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Deterministic value histogram: device- and partitioning-independent
 /// integer outputs, so any divergence under faults is a real bug.
@@ -201,6 +202,165 @@ fn dynamic_mode_survives_gpu_crash() {
     assert_eq!(faulty.outputs, clean.outputs);
     assert_eq!(faulty.metrics.recovery.gpu_daemon_crashes, 1);
     assert!(faulty.metrics.compute_seconds >= clean.metrics.compute_seconds);
+}
+
+/// An iterative app whose map output depends on the model state carried
+/// from the previous iteration: a botched checkpoint restore corrupts
+/// every later iteration, so final-output equality pins the entire
+/// recovery path, not just the last reduce. The reduce is an
+/// order-insensitive wrapping sum, so recovered runs must match the
+/// fault-free run bit for bit.
+struct ChainApp {
+    n: usize,
+    k: u64,
+    state: RwLock<u64>,
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl SpmdApp for ChainApp {
+    type Inter = u64;
+    type Output = u64;
+    fn num_items(&self) -> usize {
+        self.n
+    }
+    fn item_bytes(&self) -> u64 {
+        64
+    }
+    fn workload(&self) -> Workload {
+        Workload::uniform(50.0, DataResidency::Staged)
+    }
+    fn cpu_map(&self, _node: usize, range: Range<usize>) -> Vec<(Key, u64)> {
+        let acc = *self.state.read().unwrap();
+        range.map(|i| (i as u64 % self.k, mix(i as u64 ^ acc))).collect()
+    }
+    fn gpu_map(&self, node: usize, range: Range<usize>) -> Vec<(Key, u64)> {
+        self.cpu_map(node, range)
+    }
+    fn reduce(&self, _d: DeviceClass, _k: Key, v: Vec<u64>) -> u64 {
+        v.iter().fold(0u64, |a, b| a.wrapping_add(*b))
+    }
+    fn combine(&self, _k: Key, v: Vec<u64>) -> Vec<u64> {
+        vec![v.iter().fold(0u64, |a, b| a.wrapping_add(*b))]
+    }
+}
+
+impl IterativeApp for ChainApp {
+    fn update(&self, outputs: &[(Key, u64)]) -> bool {
+        let mut s = self.state.write().unwrap();
+        for (k, v) in outputs {
+            *s = mix(*s ^ k.wrapping_add(v.rotate_left(7)));
+        }
+        false // run to the configured iteration cap
+    }
+}
+
+impl CheckpointableApp for ChainApp {
+    fn save_state(&self) -> Vec<u8> {
+        self.state.read().unwrap().to_le_bytes().to_vec()
+    }
+    fn restore_state(&self, bytes: &[u8]) {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(bytes);
+        *self.state.write().unwrap() = u64::from_le_bytes(buf);
+    }
+}
+
+fn chain(n: usize, k: u64) -> Arc<ChainApp> {
+    Arc::new(ChainApp { n, k, state: RwLock::new(0x9e37_79b9_7f4a_7c15) })
+}
+
+/// A whole worker node dies mid-run: the resilient driver restores the
+/// last checkpoint, drops the dead node, and finishes on the survivors
+/// with final outputs and model state bit-identical to the fault-free
+/// run.
+#[test]
+fn worker_crash_resumes_from_checkpoint_bit_identical() {
+    let config = JobConfig::static_analytic().with_iterations(4).with_checkpoint_interval(1);
+    let clean_app = chain(60_000, 8);
+    let clean = run_iterative(&ClusterSpec::delta(3), clean_app.clone(), config).unwrap();
+    let clean_state = clean_app.save_state();
+
+    // Node 2 dies inside iteration 3, after the iteration-2 checkpoint
+    // exists (setup can dominate the makespan, so place the crash from
+    // the stage clocks rather than a fraction of the total).
+    let it = &clean.metrics.iterations;
+    let crash_at =
+        clean.metrics.setup_seconds + it[0].total() + it[1].total() + 0.5 * it[2].total();
+    let spec =
+        ClusterSpec::delta(3).with_faults(FaultPlan::seeded(6).crash_node(2, crash_at));
+    let app = chain(60_000, 8);
+    let store: Arc<dyn CheckpointStore> = Arc::new(MemStore::new());
+    let outcome = run_resilient(&spec, app.clone(), config, store).unwrap();
+
+    assert_eq!(
+        outcome.outputs, clean.outputs,
+        "recovered outputs must be bit-identical to the fault-free run"
+    );
+    assert_eq!(
+        app.save_state(),
+        clean_state,
+        "final model state must be bit-identical to the fault-free run"
+    );
+    let r = &outcome.metrics.recovery;
+    assert_eq!(r.node_crashes, 1, "{r:?}");
+    assert_eq!(r.master_failovers, 0, "{r:?}");
+    assert_eq!(r.restores, 1, "{r:?}");
+    assert!(r.checkpoints_written > 0, "{r:?}");
+    assert!(r.seconds_lost_to_faults > 0.0, "{r:?}");
+    assert_eq!(outcome.attempts.len(), 2, "one crash -> two epochs");
+    assert!(outcome.attempts[0].interrupted);
+    assert_eq!(outcome.attempts[0].nodes, 3);
+    assert!(!outcome.attempts[1].interrupted);
+    assert_eq!(outcome.attempts[1].nodes, 2, "the dead node must be dropped");
+    assert!(
+        outcome.attempts[1].base_iteration > 0,
+        "the second epoch must resume from a checkpoint, not from scratch"
+    );
+    assert!(outcome.total_virtual_secs > clean.metrics.total_seconds);
+}
+
+/// The master dies mid-run: the standby replays the checkpoint log, pays
+/// the failover delay, and the rerun on the full cluster converges to the
+/// fault-free result bit for bit.
+#[test]
+fn master_crash_resumes_from_checkpoint_bit_identical() {
+    let config = JobConfig::static_analytic().with_iterations(4).with_checkpoint_interval(1);
+    let clean = run_iterative(&ClusterSpec::delta(2), chain(60_000, 8), config).unwrap();
+
+    let it = &clean.metrics.iterations;
+    let crash_at =
+        clean.metrics.setup_seconds + it[0].total() + it[1].total() + 0.5 * it[2].total();
+    let spec = ClusterSpec::delta(2).with_faults(FaultPlan::seeded(7).crash_master(crash_at));
+    let app = chain(60_000, 8);
+    let store: Arc<dyn CheckpointStore> = Arc::new(MemStore::new());
+    let outcome = run_resilient(&spec, app, config, store).unwrap();
+
+    assert_eq!(outcome.outputs, clean.outputs);
+    let r = &outcome.metrics.recovery;
+    assert_eq!(r.master_failovers, 1, "{r:?}");
+    assert_eq!(r.node_crashes, 0, "{r:?}");
+    assert_eq!(r.restores, 1, "{r:?}");
+    assert_eq!(outcome.attempts.len(), 2);
+    // No worker died: both epochs run on the full cluster.
+    assert!(outcome.attempts.iter().all(|a| a.nodes == 2));
+    // Epoch clocks are monotone and cumulative time includes the failover.
+    assert!(outcome.attempts[1].base_secs > outcome.attempts[0].end_secs);
+    assert_eq!(outcome.total_virtual_secs, outcome.attempts[1].end_secs);
+}
+
+/// Master crash recovery without checkpointing is rejected up front: the
+/// standby has no log to replay.
+#[test]
+fn master_crash_without_checkpointing_is_invalid_config() {
+    let spec = ClusterSpec::delta(2).with_faults(FaultPlan::seeded(8).crash_master(0.01));
+    let store: Arc<dyn CheckpointStore> = Arc::new(MemStore::new());
+    let err = run_resilient(&spec, chain(10_000, 4), JobConfig::static_analytic(), store);
+    assert!(err.is_err(), "missing checkpoint interval must be rejected");
 }
 
 /// A slowdown window (straggling devices, not dead ones) needs no

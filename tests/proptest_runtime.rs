@@ -5,13 +5,14 @@
 
 use prs_bench::SyntheticApp;
 use prs_core::{
-    run_iterative, run_job, ClusterSpec, DeviceClass, FaultPlan, JobConfig, Key, SpmdApp,
+    run_iterative, run_job, run_resilient, CheckpointStore, CheckpointableApp, ClusterSpec,
+    DeviceClass, FaultPlan, IterativeApp, JobConfig, Key, MemStore, SpmdApp,
 };
 use proptest::prelude::*;
 use roofline::model::DataResidency;
 use roofline::schedule::Workload;
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Deterministic value histogram used as the correctness oracle.
 struct HistApp {
@@ -104,6 +105,127 @@ fn arb_fault_plan(nodes: usize) -> impl Strategy<Value = FaultPlan> {
             }
             plan
         })
+}
+
+/// A state-chained iterative app for the crash-recovery property: map
+/// outputs depend on the model state folded from all previous
+/// iterations, so a recovery that restores the wrong checkpoint (or
+/// replays an update twice) diverges and stays diverged. The reduce is
+/// an order-insensitive wrapping sum, so the recovered run must be
+/// bit-identical to the fault-free one.
+struct ChainApp {
+    n: usize,
+    k: u64,
+    state: RwLock<u64>,
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl SpmdApp for ChainApp {
+    type Inter = u64;
+    type Output = u64;
+    fn num_items(&self) -> usize {
+        self.n
+    }
+    fn item_bytes(&self) -> u64 {
+        64
+    }
+    fn workload(&self) -> Workload {
+        Workload::uniform(40.0, DataResidency::Staged)
+    }
+    fn cpu_map(&self, _node: usize, range: Range<usize>) -> Vec<(Key, u64)> {
+        let acc = *self.state.read().unwrap();
+        range.map(|i| (i as u64 % self.k, mix(i as u64 ^ acc))).collect()
+    }
+    fn gpu_map(&self, node: usize, range: Range<usize>) -> Vec<(Key, u64)> {
+        self.cpu_map(node, range)
+    }
+    fn reduce(&self, _d: DeviceClass, _k: Key, v: Vec<u64>) -> u64 {
+        v.iter().fold(0u64, |a, b| a.wrapping_add(*b))
+    }
+    fn combine(&self, _k: Key, v: Vec<u64>) -> Vec<u64> {
+        vec![v.iter().fold(0u64, |a, b| a.wrapping_add(*b))]
+    }
+}
+
+impl IterativeApp for ChainApp {
+    fn update(&self, outputs: &[(Key, u64)]) -> bool {
+        let mut s = self.state.write().unwrap();
+        for (k, v) in outputs {
+            *s = mix(*s ^ k.wrapping_add(v.rotate_left(7)));
+        }
+        false
+    }
+}
+
+impl CheckpointableApp for ChainApp {
+    fn save_state(&self) -> Vec<u8> {
+        self.state.read().unwrap().to_le_bytes().to_vec()
+    }
+    fn restore_state(&self, bytes: &[u8]) {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(bytes);
+        *self.state.write().unwrap() = u64::from_le_bytes(buf);
+    }
+}
+
+fn chain(n: usize, k: u64) -> Arc<ChainApp> {
+    Arc::new(ChainApp { n, k, state: RwLock::new(0x9e37_79b9_7f4a_7c15) })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The checkpoint/restore contract: *any* seeded recoverable crash
+    /// plan — node crash, master crash, or both, anywhere in the run —
+    /// yields final outputs and model state bit-identical to the
+    /// fault-free run, and the recovery counters reconcile with the
+    /// epoch history.
+    #[test]
+    fn any_recoverable_crash_plan_yields_fault_free_results(
+        seed in 0u64..1_000,
+        (nodes, victim) in (2usize..4, 0usize..3),
+        (n, k) in (500usize..3_000, 2u64..10),
+        (iterations, interval) in (3usize..6, 1usize..3),
+        kind in 0u8..3, // 0 = node crash, 1 = master crash, 2 = both
+        (f_node, f_master) in (0.1..0.9f64, 0.1..0.9f64),
+    ) {
+        let config = JobConfig::static_analytic()
+            .with_iterations(iterations)
+            .with_checkpoint_interval(interval);
+        let clean_app = chain(n, k);
+        let clean = run_iterative(&ClusterSpec::delta(nodes), clean_app.clone(), config).unwrap();
+        let span = clean.metrics.total_seconds;
+
+        let mut plan = FaultPlan::seeded(seed);
+        if kind == 0 || kind == 2 {
+            plan = plan.crash_node(victim % nodes, f_node * span);
+        }
+        if kind == 1 || kind == 2 {
+            plan = plan.crash_master(f_master * span);
+        }
+        let app = chain(n, k);
+        let store: Arc<dyn CheckpointStore> = Arc::new(MemStore::new());
+        let outcome =
+            run_resilient(&ClusterSpec::delta(nodes).with_faults(plan), app.clone(), config, store)
+                .unwrap();
+
+        prop_assert_eq!(&outcome.outputs, &clean.outputs);
+        prop_assert_eq!(app.save_state(), clean_app.save_state());
+        let r = &outcome.metrics.recovery;
+        prop_assert_eq!(r.restores, r.node_crashes + r.master_failovers);
+        prop_assert_eq!(outcome.attempts.len() as u64, r.restores + 1);
+        // Epoch clocks are monotone and account for every attempt.
+        for w in outcome.attempts.windows(2) {
+            prop_assert!(w[1].base_secs > w[0].base_secs);
+            prop_assert!(w[0].end_secs >= w[0].base_secs);
+        }
+        prop_assert!(outcome.total_virtual_secs >= span - 1e-12);
+    }
 }
 
 proptest! {
