@@ -6,7 +6,7 @@
 
 #![warn(missing_docs)]
 
-use prs_core::{CalibrationMode, JobConfig, SchedulingMode};
+use prs_core::{CalibrationMode, EngineMode, JobConfig, SchedulingMode};
 use roofline::model::DataResidency;
 use roofline::profiles::DeviceProfile;
 use std::collections::BTreeMap;
@@ -168,7 +168,8 @@ pub fn parse_profile(s: &str) -> Result<DeviceProfile, String> {
     match s {
         "delta" => Ok(DeviceProfile::delta_node()),
         "bigred2" => Ok(DeviceProfile::bigred2_node()),
-        other => Err(format!("unknown profile '{other}' (try: delta, bigred2)")),
+        "micro" => Ok(DeviceProfile::micro_node()),
+        other => Err(format!("unknown profile '{other}' (try: delta, bigred2, micro)")),
     }
 }
 
@@ -222,6 +223,7 @@ pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
     let known = [
         "app", "nodes", "profile", "profile-file", "mode", "iterations", "points", "dims",
         "clusters", "seed", "gpus", "streams", "blocks-per-core", "trace", "obs", "calibrate",
+        "engine",
     ];
     for k in kv.keys() {
         if !known.contains(&k.as_str()) {
@@ -251,6 +253,11 @@ pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
     }
     if let Some(cal) = kv.get("calibrate") {
         opts.config.calibration = parse_calibration(cal)?;
+    }
+    if let Some(engine) = kv.get("engine") {
+        opts.config.engine = engine
+            .parse::<EngineMode>()
+            .map_err(|e| format!("bad value for --engine: {e}"))?;
     }
     opts.config.max_iterations = get_parsed(&kv, "iterations", opts.config.max_iterations)?;
     opts.config.gpus_per_node = get_parsed(&kv, "gpus", opts.config.gpus_per_node)?;
@@ -381,6 +388,17 @@ mod tests {
     }
 
     #[test]
+    fn engine_grammar() {
+        let opts = parse_run(&argv("--app cmeans --engine parallel")).unwrap();
+        assert_eq!(opts.config.engine, EngineMode::Parallel);
+        let opts = parse_run(&argv("--engine legacy")).unwrap();
+        assert_eq!(opts.config.engine, EngineMode::LegacyHeap);
+        let plain = parse_run(&argv("--app cmeans")).unwrap();
+        assert_eq!(plain.config.engine, EngineMode::Calendar);
+        assert!(parse_run(&argv("--engine warp")).is_err());
+    }
+
+    #[test]
     fn app_names_round_trip() {
         for name in AppKind::names() {
             assert!(AppKind::parse(name).is_ok(), "{name}");
@@ -392,6 +410,7 @@ mod tests {
     fn profiles_resolve() {
         assert_eq!(parse_profile("delta").unwrap().name, "Delta");
         assert_eq!(parse_profile("bigred2").unwrap().name, "BigRed2");
+        assert_eq!(parse_profile("micro").unwrap().name, "Micro");
         assert!(parse_profile("titan").is_err());
     }
 

@@ -77,14 +77,17 @@ USAGE:
                           time; --snapshot <t> renders one deterministic
                           frame, --window <s> sets the gauge window,
                           --frames <n> the replay frame count
-  prs bench --all         run the fixed benchmark suite and write
+  prs bench --all         run the fixed benchmark suite (including the
+                          1000-node engine-throughput scenarios) and write
                           BENCH_prs.json (--check compares virtual
-                          makespans against the committed baseline,
+                          makespans, simulated-events/sec, and the engine
+                          speedup floor against the committed baseline,
                           --out <file> overrides the output path)
   prs chaos [options]     sample seeded fault plans (node/master crashes,
                           stragglers, speculation) and assert the recovery
                           invariants; writes chaos_report.json
                           (--trials <n> (32), --seed <n> (7),
+                          --engine <legacy|calendar|parallel> (calendar),
                           --out <file>, --json)
   prs calibrate [options] fit a hardware profile from an --obs trace
   prs profiles            list the built-in fat-node hardware profiles
@@ -93,7 +96,11 @@ USAGE:
 RUN OPTIONS (defaults in parentheses):
   --app <{apps}>   (cmeans)
   --nodes <n>                 cluster size (2)
-  --profile <delta|bigred2>   node hardware (delta)
+  --profile <delta|bigred2|micro>   node hardware (delta)
+  --engine <legacy|calendar|parallel>   simulation engine (calendar);
+                              all modes are bit-identical in outcome,
+                              parallel shards per-node event queues
+                              (see docs/engine.md)
   --profile-file <toml>       node hardware from a `prs calibrate` TOML
   --mode <static|static:<p>|dynamic:<block>|gpu|cpu>   (static)
   --calibrate <off|online|online:<alpha>>   online roofline recalibration:
@@ -137,6 +144,7 @@ fn cmd_profiles() -> i32 {
     for p in [
         parse_profile("delta").unwrap(),
         parse_profile("bigred2").unwrap(),
+        parse_profile("micro").unwrap(),
     ] {
         say!("{}:", p.name.to_lowercase());
         say!(
@@ -863,6 +871,22 @@ fn bench_suite() -> Vec<(&'static str, RunOptions)> {
     // host-only and must stay off the virtual clock.
     let mut cmeans_ckpt = cmeans_static.clone();
     cmeans_ckpt.config = cmeans_ckpt.config.with_checkpoint_interval(1);
+    // The cluster-scale scenario: 1000 micro nodes under the parallel
+    // engine, one iteration. Sized so every node gets a few map blocks;
+    // what the entry really measures is engine throughput (sim events per
+    // wall second) at the paper's target scale.
+    let cmeans_1000 = RunOptions {
+        app: AppKind::Cmeans,
+        nodes: 1000,
+        profile: "micro".to_string(),
+        points: 20_000,
+        dims: 8,
+        config: prs_core::JobConfig::static_analytic()
+            .with_iterations(1)
+            .with_streams(1)
+            .with_engine(prs_core::EngineMode::Parallel),
+        ..Default::default()
+    };
     vec![
         ("cmeans_static_2node", cmeans_static),
         ("cmeans_dynamic_4node", cmeans_dynamic),
@@ -870,7 +894,67 @@ fn bench_suite() -> Vec<(&'static str, RunOptions)> {
         ("gemv_2node", gemv_gpu),
         ("wordcount_2node", wordcount),
         ("cmeans_2node_ckpt", cmeans_ckpt),
+        ("cmeans_1000node", cmeans_1000),
     ]
+}
+
+/// One `prs bench` result row. `events_per_sec` and `speedup_vs_legacy`
+/// are only present on the engine-throughput entries; virtual quantities
+/// are bit-reproducible, wall-derived ones are gated loosely.
+/// `legacy_eps` records the same-run legacy hold-path throughput — the
+/// machine-speed calibration the `--check` envelope divides out, so the
+/// events/sec gate measures the engine, not the host it ran on.
+struct BenchRow {
+    name: &'static str,
+    median_ns: u128,
+    iters: usize,
+    virtual_makespan: f64,
+    events_per_sec: Option<f64>,
+    speedup_vs_legacy: Option<f64>,
+    legacy_eps: Option<f64>,
+}
+
+/// The synthetic engine-throughput entry: the 1000-node / 2M-event timer
+/// stress under the calendar queue, with the speedup ratio against the
+/// seed engine's only timer mechanism (process `hold()` through the
+/// legacy heap — two context switches and a per-block string per event).
+/// Both sides take the best of three runs: co-tenant load only ever
+/// slows a run down, so peak throughput is the noise-robust statistic
+/// for a wall-clock gate.
+fn engine_synthetic_row() -> BenchRow {
+    use simtime::stress::{run_hold_baseline, run_stress, StressSpec};
+    const REPS: usize = 3;
+    let spec = StressSpec::thousand_node();
+    let mut events_per_sec = 0.0f64;
+    let mut best_wall = std::time::Duration::MAX;
+    let mut end_time = simtime::SimTime::ZERO;
+    for _ in 0..REPS {
+        let t0 = std::time::Instant::now();
+        let (events, end) = run_stress(simtime::EngineMode::Calendar, spec);
+        let wall = t0.elapsed();
+        events_per_sec = events_per_sec.max(events as f64 / wall.as_secs_f64().max(1e-9));
+        best_wall = best_wall.min(wall);
+        end_time = end;
+    }
+
+    // Small baseline run: ~20k events is enough for a stable per-event
+    // cost when every event costs tens of microseconds.
+    let mut base_eps = 0.0f64;
+    for _ in 0..REPS {
+        let t1 = std::time::Instant::now();
+        let base_events = run_hold_baseline(simtime::EngineMode::LegacyHeap, 500, 40);
+        base_eps = base_eps.max(base_events as f64 / t1.elapsed().as_secs_f64().max(1e-9));
+    }
+
+    BenchRow {
+        name: "engine_1000node_synthetic",
+        median_ns: best_wall.as_nanos(),
+        iters: REPS,
+        virtual_makespan: end_time.as_secs_f64(),
+        events_per_sec: Some(events_per_sec),
+        speedup_vs_legacy: Some(events_per_sec / base_eps.max(1e-9)),
+        legacy_eps: Some(base_eps),
+    }
 }
 
 /// `prs bench --all [--check] [--out <file>]`: run the fixed suite,
@@ -905,7 +989,7 @@ fn cmd_bench(args: &[String]) -> i32 {
         }
     };
     const ITERS: usize = 5;
-    let mut entries = Vec::new();
+    let mut entries: Vec<BenchRow> = Vec::new();
     for (name, opts) in bench_suite() {
         let profile = match resolve_profile(&opts) {
             Ok(p) => p,
@@ -919,32 +1003,74 @@ fn cmd_bench(args: &[String]) -> i32 {
             profile,
             netsim::NetworkParams::infiniband_qdr(),
         );
-        let mut wall_ns: Vec<u128> = Vec::with_capacity(ITERS);
+        // The 1000-node scenario spawns thousands of OS threads per run;
+        // three iterations bound the suite's wall time while still giving
+        // the throughput gate a best-of-N to shrug off co-tenant noise.
+        let iters = if opts.nodes >= 100 { 3 } else { ITERS };
+        let mut wall_ns: Vec<u128> = Vec::with_capacity(iters);
         let mut makespan = 0.0f64;
-        for _ in 0..ITERS {
+        let mut sim_events = 0u64;
+        let mut best_wall_s = f64::MAX;
+        for _ in 0..iters {
             let t0 = std::time::Instant::now();
             let outcome = if name.ends_with("_ckpt") {
                 run_checkpointed_bench(&opts, &spec)
             } else {
-                dispatch(&opts, &spec, Obs::disabled()).map(|(m, _, _)| m.total_seconds)
+                dispatch(&opts, &spec, Obs::disabled())
+                    .map(|(m, _, _)| (m.total_seconds, m.sim_events))
             };
             match outcome {
-                Ok(m) => makespan = m,
+                Ok((m, ev)) => {
+                    makespan = m;
+                    sim_events = ev;
+                }
                 Err(e) => {
                     eprintln!("error in bench '{name}': {e}");
                     return 1;
                 }
             }
-            wall_ns.push(t0.elapsed().as_nanos());
+            let wall = t0.elapsed();
+            best_wall_s = best_wall_s.min(wall.as_secs_f64());
+            wall_ns.push(wall.as_nanos());
         }
         wall_ns.sort_unstable();
-        let median_ns = wall_ns[ITERS / 2];
-        say!(
-            "{name:<24} median {:>10.3} ms wall, {makespan:.6} s virtual",
-            median_ns as f64 / 1e6
-        );
-        entries.push((name, median_ns, makespan));
+        let median_ns = wall_ns[iters / 2];
+        // Engine throughput only means something once the run is big
+        // enough to swamp setup; report it for the cluster-scale entry,
+        // from the fastest iteration (noise only ever slows a run).
+        let events_per_sec =
+            (opts.nodes >= 100).then(|| sim_events as f64 / best_wall_s.max(1e-9));
+        match events_per_sec {
+            Some(eps) => say!(
+                "{name:<24} median {:>10.3} ms wall, {makespan:.6} s virtual, {:.0} ev/s ({sim_events} events)",
+                median_ns as f64 / 1e6,
+                eps
+            ),
+            None => say!(
+                "{name:<24} median {:>10.3} ms wall, {makespan:.6} s virtual",
+                median_ns as f64 / 1e6
+            ),
+        }
+        entries.push(BenchRow {
+            name,
+            median_ns,
+            iters,
+            virtual_makespan: makespan,
+            events_per_sec,
+            speedup_vs_legacy: None,
+            legacy_eps: None,
+        });
     }
+    let row = engine_synthetic_row();
+    say!(
+        "{:<24} median {:>10.3} ms wall, {:.6} s virtual, {:.0} ev/s ({:.1}x vs legacy hold path)",
+        row.name,
+        row.median_ns as f64 / 1e6,
+        row.virtual_makespan,
+        row.events_per_sec.unwrap_or(0.0),
+        row.speedup_vs_legacy.unwrap_or(0.0)
+    );
+    entries.push(row);
     if check {
         match std::fs::read_to_string(&out_path) {
             Ok(text) => {
@@ -953,20 +1079,38 @@ fn cmd_bench(args: &[String]) -> i32 {
                     return 1;
                 };
                 let mut regressed = false;
-                for (name, _, fresh) in &entries {
-                    let baseline = doc["entries"]
-                        .as_array()
-                        .and_then(|a| {
+                // Machine-speed calibration for the wall-derived gates:
+                // the legacy hold path is measured fresh in this process,
+                // so the ratio of committed-to-measured legacy throughput
+                // says how much faster/slower this host is than the one
+                // that wrote the baseline. Envelopes scale by it; on the
+                // baseline host itself the scale is ~1 and the check is
+                // the plain 10% envelope.
+                let machine_scale = entries
+                    .iter()
+                    .find_map(|r| r.legacy_eps)
+                    .and_then(|measured| {
+                        let committed = doc["entries"].as_array().and_then(|a| {
                             a.iter()
-                                .find(|e| e["bench"].as_str() == Some(name))
-                                .and_then(|e| e["virtual_makespan"].as_f64())
-                        });
+                                .find_map(|e| e["legacy_hold_events_per_sec"].as_f64())
+                        })?;
+                        Some(measured / committed.max(1e-9))
+                    })
+                    .unwrap_or(1.0);
+                for row in &entries {
+                    let name = row.name;
+                    let fresh = row.virtual_makespan;
+                    let baseline_entry = doc["entries"]
+                        .as_array()
+                        .and_then(|a| a.iter().find(|e| e["bench"].as_str() == Some(name)));
+                    let baseline =
+                        baseline_entry.and_then(|e| e["virtual_makespan"].as_f64());
                     // Checkpoint-enabled scenarios get a tighter envelope:
                     // store writes are host-only, so their virtual makespan
                     // must track the baseline closely.
                     let tolerance = if name.ends_with("_ckpt") { 1.05 } else { 1.10 };
                     match baseline {
-                        Some(b) if *fresh > b * tolerance => {
+                        Some(b) if fresh > b * tolerance => {
                             eprintln!(
                                 "REGRESSION {name}: virtual makespan {fresh:.6}s vs baseline \
                                  {b:.6}s (+{:.1}%, tolerance {:.0}%)",
@@ -980,6 +1124,42 @@ fn cmd_bench(args: &[String]) -> i32 {
                         }
                         None => {
                             say!("check {name:<24} no baseline entry (new bench)");
+                        }
+                    }
+                    // Engine-throughput gates: the synthetic must hold the
+                    // >= 10x speedup over the legacy hold path, and entries
+                    // with a recorded events/sec must stay within 10% of
+                    // their committed baseline (regressions only — faster
+                    // is always fine).
+                    if let Some(speedup) = row.speedup_vs_legacy {
+                        if speedup < 10.0 {
+                            eprintln!(
+                                "REGRESSION {name}: engine speedup {speedup:.1}x vs legacy \
+                                 hold path is below the 10x floor"
+                            );
+                            regressed = true;
+                        } else {
+                            say!("check {name:<24} {speedup:.1}x vs legacy: ok (>= 10x)");
+                        }
+                    }
+                    if let (Some(eps), Some(base_eps)) = (
+                        row.events_per_sec,
+                        baseline_entry.and_then(|e| e["events_per_sec"].as_f64()),
+                    ) {
+                        let expected = base_eps * machine_scale;
+                        if eps < expected / 1.10 {
+                            eprintln!(
+                                "REGRESSION {name}: {eps:.0} events/s vs baseline \
+                                 {base_eps:.0} (machine-scaled to {expected:.0}, \
+                                 -{:.1}%, tolerance 10%)",
+                                (1.0 - eps / expected) * 100.0
+                            );
+                            regressed = true;
+                        } else {
+                            say!(
+                                "check {name:<24} {eps:.0} ev/s vs {expected:.0} \
+                                 machine-scaled baseline: ok"
+                            );
                         }
                     }
                 }
@@ -996,13 +1176,25 @@ fn cmd_bench(args: &[String]) -> i32 {
     }
     let json_entries: Vec<serde_json::Value> = entries
         .iter()
-        .map(|(name, median_ns, makespan)| {
-            serde_json::json!({
-                "bench": *name,
-                "median_ns": *median_ns as f64,
-                "iters": ITERS as f64,
-                "virtual_makespan": *makespan,
-            })
+        .map(|row| {
+            let mut e = serde_json::json!({
+                "bench": row.name,
+                "median_ns": row.median_ns as f64,
+                "iters": row.iters as f64,
+                "virtual_makespan": row.virtual_makespan,
+            });
+            if let serde_json::Value::Object(map) = &mut e {
+                if let Some(eps) = row.events_per_sec {
+                    map.insert("events_per_sec".into(), serde_json::json!(eps));
+                }
+                if let Some(s) = row.speedup_vs_legacy {
+                    map.insert("speedup_vs_legacy".into(), serde_json::json!(s));
+                }
+                if let Some(l) = row.legacy_eps {
+                    map.insert("legacy_hold_events_per_sec".into(), serde_json::json!(l));
+                }
+            }
+            e
         })
         .collect();
     let doc = serde_json::json!({
@@ -1020,13 +1212,13 @@ fn cmd_bench(args: &[String]) -> i32 {
 /// One checkpoint-enabled bench iteration: C-means through the resilient
 /// driver with a fresh in-memory store and no faults. Returns the virtual
 /// makespan.
-fn run_checkpointed_bench(opts: &RunOptions, spec: &ClusterSpec) -> Result<f64, String> {
+fn run_checkpointed_bench(opts: &RunOptions, spec: &ClusterSpec) -> Result<(f64, u64), String> {
     let k = opts.clusters.max(1);
     let pts = Arc::new(clustering_workload(opts.points, opts.dims, k, opts.seed).points);
     let app = Arc::new(CMeans::new(pts, k, 2.0, 1e-3, opts.seed));
     let store: Arc<dyn prs_core::CheckpointStore> = Arc::new(prs_core::MemStore::new());
     prs_core::run_resilient(spec, app, opts.config, store)
-        .map(|outcome| outcome.total_virtual_secs)
+        .map(|outcome| (outcome.total_virtual_secs, outcome.metrics.sim_events))
         .map_err(|e| e.to_string())
 }
 
@@ -1057,6 +1249,11 @@ fn cmd_chaos(args: &[String]) -> i32 {
                     cfg.seed = v
                         .parse::<u64>()
                         .map_err(|_| format!("--seed expects an integer, got '{v}'"))?;
+                }
+                "engine" => {
+                    cfg.engine = v
+                        .parse::<simtime::EngineMode>()
+                        .map_err(|e| format!("bad value for --engine: {e}"))?;
                 }
                 "out" => out_path = v.clone(),
                 other => return Err(format!("unknown option --{other}")),
@@ -1176,6 +1373,7 @@ fn cmd_run(args: &[String]) -> i32 {
             "cpu_fraction": result.cpu_fraction,
             "cpu_map_tasks": result.cpu_map_tasks,
             "gpu_map_tasks": result.gpu_map_tasks,
+            "sim_events": result.sim_events,
             "extra": extra,
         });
         say!("{}", serde_json::to_string_pretty(&doc).unwrap());

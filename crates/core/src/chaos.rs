@@ -43,11 +43,20 @@ pub struct ChaosConfig {
     pub trials: usize,
     /// Root seed; every trial's plan derives from it deterministically.
     pub seed: u64,
+    /// Simulation engine the trials run under. Deliberately *excluded*
+    /// from [`ChaosReport::to_json`]: the determinism contract says the
+    /// report is a pure function of `(trials, seed)` whatever the engine,
+    /// so reports from different engines must stay byte-identical.
+    pub engine: simtime::EngineMode,
 }
 
 impl Default for ChaosConfig {
     fn default() -> Self {
-        ChaosConfig { trials: 32, seed: 7 }
+        ChaosConfig {
+            trials: 32,
+            seed: 7,
+            engine: simtime::EngineMode::Calendar,
+        }
     }
 }
 
@@ -337,7 +346,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         } else {
             JobConfig::static_analytic()
         }
-        .with_iterations(iterations);
+        .with_iterations(iterations)
+        .with_engine(cfg.engine);
         if speculation {
             config = config.with_speculation(1.5 + unit(&mut s));
         }
@@ -445,7 +455,7 @@ mod tests {
 
     #[test]
     fn small_grid_passes_all_invariants() {
-        let report = run_chaos(&ChaosConfig { trials: 4, seed: 11 });
+        let report = run_chaos(&ChaosConfig { trials: 4, seed: 11, ..Default::default() });
         assert_eq!(report.trials.len(), 4);
         assert!(report.worker_crash_trials() >= 1);
         assert!(report.master_crash_trials() >= 1);
@@ -460,7 +470,7 @@ mod tests {
 
     #[test]
     fn report_is_deterministic() {
-        let cfg = ChaosConfig { trials: 3, seed: 42 };
+        let cfg = ChaosConfig { trials: 3, seed: 42, ..Default::default() };
         let a = run_chaos(&cfg).to_json().to_string();
         let b = run_chaos(&cfg).to_json().to_string();
         assert_eq!(a, b);
@@ -468,7 +478,7 @@ mod tests {
 
     #[test]
     fn json_report_reconciles_speculation() {
-        let report = run_chaos(&ChaosConfig { trials: 6, seed: 5 });
+        let report = run_chaos(&ChaosConfig { trials: 6, seed: 5, ..Default::default() });
         let v = report.to_json();
         assert_eq!(v["speculation_reconciles"], serde_json::json!(true));
         let (l, w, x) = report.speculation_totals();

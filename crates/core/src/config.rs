@@ -3,6 +3,7 @@
 
 use crate::api::DeviceClass;
 use serde::{Deserialize, Serialize};
+use simtime::EngineMode;
 
 /// How the sub-task scheduler divides a partition between devices
 /// (paper §III.B.2's two options, plus degenerate single-device modes
@@ -108,6 +109,11 @@ pub struct JobConfig {
     /// driver (`run_resilient`): rank 0 snapshots the model state after
     /// every `n`-th global reduce. 0 disables checkpointing.
     pub checkpoint_interval_iters: usize,
+    /// Simulation engine the job runs on (see `docs/engine.md`). All modes
+    /// produce bit-identical virtual clocks, event orders, and exporter
+    /// artifacts; `Parallel` additionally shards per-node event queues and
+    /// steps them within the network's α-latency lookahead window.
+    pub engine: EngineMode,
 }
 
 impl Default for JobConfig {
@@ -131,6 +137,7 @@ impl Default for JobConfig {
             max_partition_retries: 2,
             speculation_lag_multiplier: None,
             checkpoint_interval_iters: 0,
+            engine: EngineMode::Calendar,
         }
     }
 }
@@ -237,6 +244,14 @@ impl JobConfig {
         self.checkpoint_interval_iters = n;
         self
     }
+
+    /// Builder-style simulation engine selection. Every mode is
+    /// bit-identical in outcome; this only changes how the event queue is
+    /// organized and stepped (see [`EngineMode`]).
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +295,13 @@ mod tests {
             .with_checkpoint_interval(2);
         assert_eq!(c.speculation_lag_multiplier, Some(2.5));
         assert_eq!(c.checkpoint_interval_iters, 2);
+        let c = JobConfig::default().with_engine(EngineMode::Parallel);
+        assert_eq!(c.engine, EngineMode::Parallel);
+    }
+
+    #[test]
+    fn engine_defaults_to_calendar() {
+        assert_eq!(JobConfig::default().engine, EngineMode::Calendar);
     }
 
     #[test]

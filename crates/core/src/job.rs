@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 use roofline::model::DataResidency;
 use roofline::profiles::DeviceProfile;
 use roofline::schedule::{device_time, partition_across_nodes, split_multi_gpu, Workload};
-use simtime::{Channel, RecvOutcome, Sim, SimCtx, SimError, SimTime};
+use simtime::{Channel, EngineConfig, RecvOutcome, Sim, SimCtx, SimError, SimTime};
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::Arc;
@@ -491,7 +491,15 @@ pub(crate) fn run_with_update<A: SpmdApp>(
     validate(spec, app.as_ref(), &config)?;
     let hooks = Arc::new(hooks);
     let n = spec.len();
-    let mut sim = Sim::new();
+    // Shard layout for the parallel engine: the master (plus any
+    // engine-thread timers) on shard 0, each node's processes on shard
+    // `1 + rank`. Lookahead is the network's α latency — a batching knob
+    // only; sequential and parallel runs are bit-identical regardless.
+    let mut sim = Sim::with_config(EngineConfig {
+        mode: config.engine,
+        shards: n + 1,
+        lookahead: spec.network.conservative_lookahead(),
+    });
 
     let nodes: Vec<Arc<FatNode>> = spec
         .nodes
@@ -703,7 +711,7 @@ pub(crate) fn run_with_update<A: SpmdApp>(
                 let q = cpu_q.clone();
                 let results = results.clone();
                 let board = board.clone();
-                sim.spawn(&format!("n{rank}-cpu{core}"), move |ctx| {
+                sim.spawn_on(1 + rank, &format!("n{rank}-cpu{core}"), move |ctx| {
                     cpu_poller(ctx, &node, app.as_ref(), &q, &results, &board);
                 });
             }
@@ -722,7 +730,7 @@ pub(crate) fn run_with_update<A: SpmdApp>(
                     let results = results.clone();
                     let ready = ready.clone();
                     let board = board.clone();
-                    sim.spawn(&format!("n{rank}-gpu{g}-s{stream}"), move |ctx| {
+                    sim.spawn_on(1 + rank, &format!("n{rank}-gpu{g}-s{stream}"), move |ctx| {
                         gpu_stream_worker(
                             ctx, &node, &gpu, g, app.as_ref(), &q, &results, &ready, config,
                             staged, &board,
@@ -743,7 +751,7 @@ pub(crate) fn run_with_update<A: SpmdApp>(
         let recovery = recovery.clone();
         let obs = obs.clone();
         let hooks = hooks.clone();
-        sim.spawn(&format!("n{rank}-worker"), move |ctx| {
+        sim.spawn_on(1 + rank, &format!("n{rank}-worker"), move |ctx| {
             worker_body(
                 ctx, rank, &node, comm, ctrl_ch, acks_ch, stalls, cpu_q, gpu_q, results, ready,
                 app, config, update, collect, recovery, obs, board, hooks,
@@ -778,6 +786,7 @@ pub(crate) fn run_with_update<A: SpmdApp>(
 
     let metrics = JobMetrics {
         total_seconds: report.end_time.as_secs_f64(),
+        sim_events: report.events_processed,
         setup_seconds,
         compute_seconds,
         iterations,

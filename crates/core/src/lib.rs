@@ -76,6 +76,7 @@ pub use chaos::{run_chaos, ChaosConfig, ChaosReport, ChaosTrial};
 pub use checkpoint::{Checkpoint, CheckpointStore, DirStore, MemStore};
 pub use cluster::ClusterSpec;
 pub use config::{CalibrationMode, JobConfig, SchedulingMode};
+pub use simtime::{EngineConfig, EngineMode};
 pub use faults::{
     CpuSlowdown, CrashEvent, FaultPlan, GpuCrash, GpuSlowdown, LinkFault, MasterCrash, NodeCrash,
     NodeStall,

@@ -132,6 +132,7 @@ pub fn run_resilient_observed<A: CheckpointableApp>(
     let mut base_secs: f64 = 0.0;
     let mut merged = crate::metrics::RecoveryCounters::default();
     let mut attempts: Vec<AttemptSummary> = Vec::new();
+    let mut sim_events: u64 = 0;
 
     // Each interrupted epoch consumes at least one crash from the finite
     // plan, so at most `crashes + 1` attempts run; overrunning the budget
@@ -179,6 +180,7 @@ pub fn run_resilient_observed<A: CheckpointableApp>(
 
         let end_local = result.metrics.total_seconds;
         merged = merged.merged(&result.metrics.recovery);
+        sim_events += result.metrics.sim_events;
         let interrupted = result.metrics.interrupted;
         attempts.push(AttemptSummary {
             epoch,
@@ -195,6 +197,7 @@ pub fn run_resilient_observed<A: CheckpointableApp>(
             let mut metrics = result.metrics;
             metrics.recovery = merged;
             metrics.total_seconds = total_virtual_secs;
+            metrics.sim_events = sim_events;
             return Ok(ResilientOutcome {
                 outputs: result.outputs,
                 metrics,

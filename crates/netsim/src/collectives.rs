@@ -257,36 +257,20 @@ impl Collectives<'_> {
         self.scatter(ctx, 0, bytes_each, reduced)
     }
 
-    /// Ring allgather: every rank contributes `value` (wire size
-    /// `bytes_each`) and receives the full vector indexed by rank.
+    /// Allgather: every rank contributes `value` (wire size `bytes_each`)
+    /// and receives the full vector indexed by rank. Gather-to-0 then
+    /// binomial broadcast of the assembled vector — O(n) messages and
+    /// O(log n) latency rounds, where the textbook ring's O(n²) messages
+    /// dominate engine time on 1000-rank jobs.
     pub fn allgather<T: Clone + Send + 'static>(
         &self,
         ctx: &SimCtx,
         bytes_each: u64,
         value: T,
     ) -> Vec<T> {
-        let op = self.seq.next();
         let n = self.comm.size();
-        let rank = self.comm.rank();
-        let mut slots: Vec<Option<T>> = vec![None; n];
-        slots[rank] = Some(value);
-        if n == 1 {
-            return slots.into_iter().map(|s| s.unwrap()).collect();
-        }
-        let right = (rank + 1) % n;
-        let left = (rank + n - 1) % n;
-        for step in 0..n - 1 {
-            let send_idx = (rank + n - step) % n;
-            let to_send = slots[send_idx]
-                .clone()
-                .expect("ring invariant: block to forward is present");
-            self.comm
-                .send(ctx, right, tag(op, step as u64), bytes_each, to_send);
-            let recv_idx = (rank + n - step - 1) % n;
-            let got = self.comm.recv::<T>(ctx, left, tag(op, step as u64));
-            slots[recv_idx] = Some(got);
-        }
-        slots.into_iter().map(|s| s.unwrap()).collect()
+        let gathered = self.gather(ctx, 0, bytes_each, value);
+        self.bcast(ctx, 0, bytes_each * n as u64, gathered)
     }
 }
 

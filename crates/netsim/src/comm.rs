@@ -181,6 +181,12 @@ impl Network {
         self.params
     }
 
+    /// Conservative engine lookahead implied by this fabric (see
+    /// [`NetworkParams::conservative_lookahead`]).
+    pub fn lookahead(&self) -> simtime::SimTime {
+        self.params.conservative_lookahead()
+    }
+
     /// Creates the endpoint for `rank`. Each rank's communicator must be
     /// used from exactly one simulation process.
     pub fn communicator(self: &Arc<Self>, rank: usize) -> Communicator {
@@ -369,6 +375,36 @@ impl Communicator {
             if m.src == src && m.tag == tag {
                 self.note_recv(ctx, &m);
                 return (downcast_payload(m.payload, src, tag), m.bytes);
+            }
+            self.pending.lock().push(m);
+        }
+    }
+
+    /// Blocks until a message with `tag` arrives from *any* rank; returns
+    /// `(src, payload)`. Matching order is deterministic: earliest-queued
+    /// first, which under the engine's `(time, seq)` pop contract is
+    /// identical across runs and engine modes. Used by the sparse shuffle,
+    /// where the receiver knows how many batches are coming but not from
+    /// whom.
+    pub fn recv_any<T: Send + 'static>(&self, ctx: &SimCtx, tag: u64) -> (usize, T) {
+        {
+            let mut pending = self.pending.lock();
+            if let Some(pos) = pending.iter().position(|m| m.tag == tag) {
+                let m = pending.remove(pos);
+                drop(pending);
+                self.note_recv(ctx, &m);
+                let src = m.src;
+                return (src, downcast_payload(m.payload, src, tag));
+            }
+        }
+        loop {
+            let m = self.net.inboxes[self.rank]
+                .recv(ctx)
+                .expect("network inbox closed while receiving");
+            if m.tag == tag {
+                let src = m.src;
+                self.note_recv(ctx, &m);
+                return (src, downcast_payload(m.payload, src, tag));
             }
             self.pending.lock().push(m);
         }

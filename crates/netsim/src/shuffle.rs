@@ -33,9 +33,14 @@ pub fn bucket_owner(bucket: u64, ranks: usize) -> usize {
 /// (ascending), with stable source order (by source rank, then send
 /// order) inside each bucket.
 ///
-/// Every rank must call `shuffle` collectively. Each rank sends exactly
-/// one message to every other rank (possibly empty), so the exchange is
-/// deterministic.
+/// Every rank must call `shuffle` collectively. The exchange is *sparse*:
+/// a cheap reduce-scatter of per-destination batch counts first tells each
+/// rank how many non-empty batches are headed its way, and only non-empty
+/// batches travel. With k buckets on n ranks that is O(n·min(k, n))
+/// messages instead of the dense all-to-all's O(n²) — the difference
+/// between minutes and seconds of engine time at 1000 ranks. Results are
+/// deterministic regardless: received batches are re-sorted by source
+/// rank before grouping.
 pub fn shuffle<T: Send + 'static>(
     comm: &Communicator,
     seq: &CollectiveSeq,
@@ -55,26 +60,38 @@ pub fn shuffle<T: Send + 'static>(
         outgoing[dst].push(item);
     }
 
+    // Metadata exchange: each rank contributes a 0/1 vector of which
+    // destinations it will actually message; the element-wise sum tells
+    // every rank its incoming batch count. One u64 per rank on the wire —
+    // the size-exchange phase real shuffles piggyback on their control
+    // plane.
+    let senders: Vec<u64> = (0..n)
+        .map(|dst| u64::from(dst != me && !outgoing[dst].is_empty()))
+        .collect();
+    let incoming = comm
+        .collectives(seq)
+        .reduce_scatter(ctx, 8, senders, |a, b| a + b);
+
     let mut mine: Vec<ShuffleItem<T>> = Vec::new();
 
-    // Send to every other rank (deterministic order), keep own locally.
+    // Send only non-empty batches (deterministic order), keep own locally.
     for offset in 0..n {
         let dst = (me + offset) % n;
         let batch = std::mem::take(&mut outgoing[dst]);
         if dst == me {
             mine.extend(batch);
-        } else {
+        } else if !batch.is_empty() {
             let bytes: u64 = batch.iter().map(|i| i.bytes).sum();
             comm.send(ctx, dst, SHUFFLE_TAG_BASE | op, bytes, batch);
         }
     }
 
-    // Receive one batch from every other rank, in rank order for
-    // determinism.
-    let mut received: Vec<(usize, Vec<ShuffleItem<T>>)> = Vec::with_capacity(n);
+    // Receive exactly the announced number of batches, from whichever
+    // ranks sent them.
+    let mut received: Vec<(usize, Vec<ShuffleItem<T>>)> = Vec::with_capacity(incoming as usize + 1);
     received.push((me, mine));
-    for src in (0..n).filter(|&s| s != me) {
-        let batch = comm.recv::<Vec<ShuffleItem<T>>>(ctx, src, SHUFFLE_TAG_BASE | op);
+    for _ in 0..incoming {
+        let (src, batch) = comm.recv_any::<Vec<ShuffleItem<T>>>(ctx, SHUFFLE_TAG_BASE | op);
         received.push((src, batch));
     }
     received.sort_by_key(|(src, _)| *src);

@@ -135,6 +135,34 @@ impl DeviceProfile {
         }
     }
 
+    /// A deliberately small fat node for cluster-scale simulations: 2 CPU
+    /// cores and one modest GPU, so a 1000-node run spawns ~4 simulated
+    /// processes per node instead of the dozens a Delta node needs. Used
+    /// by the `cmeans_1000node` bench scenario; the ratios (not the
+    /// absolute rates) are what matter at that scale.
+    pub fn micro_node() -> Self {
+        DeviceProfile {
+            name: "Micro".to_string(),
+            cpu: CpuSpec {
+                model: "micro-cpu".to_string(),
+                cores: 2,
+                peak_flops: 20e9,
+                dram_bw: 10e9,
+                mem_bytes: 8 << 30,
+            },
+            gpus: vec![GpuSpec {
+                model: "micro-gpu".to_string(),
+                cores: 128,
+                peak_flops: 200e9,
+                dram_bw: 40e9,
+                pcie_peak_bw: 8e9,
+                pcie_eff_bw: 0.92e9,
+                mem_bytes: 2 << 30,
+                hw_queues: 1,
+            }],
+        }
+    }
+
     /// A CPU-only node (used by the Mahout/MPI-CPU baselines).
     pub fn cpu_only(name: &str, cores: u32, peak_flops: f64, dram_bw: f64) -> Self {
         DeviceProfile {
@@ -215,6 +243,16 @@ mod tests {
         // Figure 3's ordering A_cr < A_gr for staged data.
         let d = DeviceProfile::delta_node();
         assert!(d.cpu_ridge() < d.gpu_ridge(DataResidency::Staged));
+    }
+
+    #[test]
+    fn micro_node_is_small_and_well_formed() {
+        let m = DeviceProfile::micro_node();
+        assert_eq!(m.cpu.cores, 2);
+        assert_eq!(m.gpus.len(), 1);
+        // The roofline machinery must still be usable on it.
+        assert!(m.cpu_ridge() > 0.0);
+        assert!(m.gpu_ridge(DataResidency::Staged) > m.gpu_ridge(DataResidency::Resident));
     }
 
     #[test]

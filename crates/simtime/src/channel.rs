@@ -4,7 +4,7 @@
 //! queues, request/reply protocols, and the network layer.
 
 use crate::engine::SimCtx;
-use crate::kernel::Pid;
+use crate::kernel::{BlockReason, Pid};
 use crate::time::SimTime;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -144,7 +144,11 @@ impl<T: Send + 'static> Channel<T> {
                 g.next_ticket += 1;
                 g.waiters.push_back((ctx.pid(), ticket));
             }
-            ctx.set_block_reason(format!("recv on '{}'", self.name));
+            let pid = ctx.pid();
+            ctx.with_kernel(|ks| {
+                let label = ks.intern(&self.name);
+                ks.procs[pid].block_reason = BlockReason::Recv(label);
+            });
             ctx.yield_to_engine();
         }
     }
@@ -195,10 +199,11 @@ impl<T: Send + 'static> Channel<T> {
                     });
                 });
             }
-            ctx.set_block_reason(format!(
-                "recv on '{}' (deadline {deadline})",
-                self.name
-            ));
+            let pid = ctx.pid();
+            ctx.with_kernel(|ks| {
+                let label = ks.intern(&self.name);
+                ks.procs[pid].block_reason = BlockReason::RecvDeadline(label, deadline);
+            });
             ctx.yield_to_engine();
         }
     }

@@ -2,15 +2,114 @@
 //! and the in-process context handle ([`SimCtx`]).
 
 use crate::gate::Gate;
-use crate::kernel::{EventKind, KState, Kernel, Pid, ProcEntry, ProcState, TraceEvent};
+use crate::kernel::{
+    BlockReason, EventPayload, KState, Kernel, Pid, ProcEntry, ProcState, Queues, Shard,
+    TraceEvent,
+};
 use crate::time::SimTime;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Payload used to unwind parked process threads when the simulation ends.
 struct Shutdown;
+
+/// Stack size for simulation process threads. Processes are shallow
+/// (closure + a few library frames), and 1000-node runs spawn thousands of
+/// them, so the default 8 MiB OS stacks are traded for 1 MiB.
+const PROC_STACK_BYTES: usize = 1 << 20;
+
+/// Which event-queue implementation the engine runs on. Every mode pops
+/// events in identical ascending `(time, seq)` order, so virtual clocks,
+/// event orders, and every derived artifact are bit-identical across modes
+/// (enforced by the differential determinism suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EngineMode {
+    /// The original global binary heap — O(log n) per event; kept as the
+    /// differential-testing reference.
+    LegacyHeap,
+    /// Calendar queue — amortized O(1) per event at million-event
+    /// populations. The default.
+    #[default]
+    Calendar,
+    /// Per-shard calendar queues advanced inside conservative α-lookahead
+    /// windows and merged deterministically at window boundaries. Opt-in.
+    Parallel,
+}
+
+impl EngineMode {
+    /// Stable lower-case name, used by CLI flags and bench artifacts.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EngineMode::LegacyHeap => "legacy",
+            EngineMode::Calendar => "calendar",
+            EngineMode::Parallel => "parallel",
+        }
+    }
+
+    /// Every mode, for differential test matrices.
+    pub const ALL: [EngineMode; 3] = [
+        EngineMode::LegacyHeap,
+        EngineMode::Calendar,
+        EngineMode::Parallel,
+    ];
+}
+
+impl std::fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for EngineMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "legacy" | "heap" => Ok(EngineMode::LegacyHeap),
+            "calendar" => Ok(EngineMode::Calendar),
+            "parallel" => Ok(EngineMode::Parallel),
+            other => Err(format!(
+                "unknown engine mode '{other}' (expected legacy|calendar|parallel)"
+            )),
+        }
+    }
+}
+
+/// Engine construction parameters (see [`Sim::with_config`]).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Queue implementation.
+    pub mode: EngineMode,
+    /// Shard count for [`EngineMode::Parallel`]; typically one per
+    /// simulated node. Ignored by the sequential modes.
+    pub shards: usize,
+    /// Conservative lookahead window for [`EngineMode::Parallel`] — the
+    /// minimum cross-shard signalling latency (e.g. the network α). Zero is
+    /// always safe: windows then batch only equal-timestamp events.
+    pub lookahead: SimTime,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: EngineMode::default(),
+            shards: 1,
+            lookahead: SimTime::ZERO,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config for the given mode with default sharding.
+    pub fn for_mode(mode: EngineMode) -> Self {
+        EngineConfig {
+            mode,
+            ..Default::default()
+        }
+    }
+}
 
 /// Why a simulation run failed.
 #[derive(Debug)]
@@ -96,7 +195,8 @@ type ThreadRegistry = Arc<Mutex<Vec<JoinHandle<()>>>>;
 /// virtual time with [`SimCtx::hold`] and synchronize through
 /// [`crate::Resource`] and [`crate::Channel`]. Exactly one process (or the
 /// engine) executes at any real-time instant, so runs are deterministic:
-/// events at equal virtual times fire in scheduling order.
+/// events at equal virtual times fire in scheduling order — under every
+/// [`EngineMode`], including the sharded parallel stepper.
 ///
 /// ```
 /// use simtime::{Sim, SimTime};
@@ -121,10 +221,20 @@ impl Default for Sim {
 }
 
 impl Sim {
-    /// Creates an empty simulation at t = 0.
+    /// Creates an empty simulation at t = 0 on the default engine.
     pub fn new() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
+
+    /// Creates an empty simulation with an explicit engine configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        let queue = match config.mode {
+            EngineMode::LegacyHeap => Queues::new_legacy(),
+            EngineMode::Calendar => Queues::new_calendar(),
+            EngineMode::Parallel => Queues::new_sharded(config.shards, config.lookahead),
+        };
         Sim {
-            kernel: Kernel::new(),
+            kernel: Kernel::new(queue),
             threads: Arc::new(Mutex::new(Vec::new())),
         }
     }
@@ -141,12 +251,50 @@ impl Sim {
     }
 
     /// Spawns a root process that will begin executing at the current
-    /// virtual time once [`Sim::run`] is called.
+    /// virtual time once [`Sim::run`] is called. Lands on shard 0.
     pub fn spawn<F>(&mut self, name: &str, f: F) -> ProcHandle
     where
         F: FnOnce(&SimCtx) + Send + 'static,
     {
-        spawn_process(&self.kernel, &self.threads, name, f)
+        self.spawn_on(0, name, f)
+    }
+
+    /// Spawns a root process whose events land on the given shard. Shards
+    /// are a placement hint for [`EngineMode::Parallel`] (typically one per
+    /// simulated node); they never affect event ordering.
+    pub fn spawn_on<F>(&mut self, shard: usize, name: &str, f: F) -> ProcHandle
+    where
+        F: FnOnce(&SimCtx) + Send + 'static,
+    {
+        spawn_process(&self.kernel, &self.threads, shard as Shard, name, f)
+    }
+
+    /// Schedules a lightweight timer `after` the current virtual time.
+    ///
+    /// Timers run on the engine thread with no process handoff — no OS
+    /// thread, no context switches — so million-timer workloads pay only
+    /// queue cost. The callback may reschedule via [`Timers::schedule`].
+    pub fn schedule<F>(&self, after: SimTime, f: F)
+    where
+        F: FnOnce(&mut Timers) + Send + 'static,
+    {
+        self.schedule_timer_on(0, after, f)
+    }
+
+    /// [`Sim::schedule`] with an explicit shard placement hint.
+    pub fn schedule_timer_on<F>(&self, shard: usize, after: SimTime, f: F)
+    where
+        F: FnOnce(&mut Timers) + Send + 'static,
+    {
+        let mut ks = self.kernel.state.lock();
+        let at = ks.now + after;
+        let saved = ks.cur_shard;
+        ks.cur_shard = shard as Shard;
+        ks.schedule_action(at, move |ks| {
+            let mut t = Timers { ks };
+            f(&mut t);
+        });
+        ks.cur_shard = saved;
     }
 
     /// Runs the event loop to completion and returns a report, or the first
@@ -169,18 +317,14 @@ impl Sim {
                         return Err(SimError::EventLimitExceeded { limit });
                     }
                 }
-                match ks.heap.pop() {
-                    Some(ev) => {
-                        ks.now = ev.time;
-                        ks.events_processed += 1;
-                        Some(ev)
-                    }
+                match ks.pop_event() {
+                    Some((_, payload)) => Some(payload),
                     None => {
                         if ks.live == 0 {
                             return Ok(SimReport {
                                 end_time: ks.now,
                                 events_processed: ks.events_processed,
-                                trace: ks.trace.take().unwrap_or_default(),
+                                trace: ks.take_trace(),
                             });
                         }
                         None
@@ -188,7 +332,7 @@ impl Sim {
                 }
             };
 
-            let Some(ev) = next else {
+            let Some(payload) = next else {
                 let ks = self.kernel.state.lock();
                 return Err(SimError::Deadlock {
                     now: ks.now,
@@ -196,8 +340,8 @@ impl Sim {
                 });
             };
 
-            match ev.kind {
-                EventKind::Wake(pid) => {
+            match payload {
+                EventPayload::Wake(pid) => {
                     let gate = {
                         let mut ks = self.kernel.state.lock();
                         let entry = &mut ks.procs[pid];
@@ -211,8 +355,9 @@ impl Sim {
                     gate.open();
                     self.kernel.engine_gate.wait();
                 }
-                EventKind::Action(f) => {
+                EventPayload::Action(slot) => {
                     let mut ks = self.kernel.state.lock();
+                    let f = ks.take_action(slot);
                     f(&mut ks);
                 }
             }
@@ -243,9 +388,36 @@ impl Sim {
     }
 }
 
+/// Handle passed to [`Sim::schedule`] timer callbacks: read the clock and
+/// chain further timers, all from the engine thread.
+pub struct Timers<'a> {
+    ks: &'a mut KState,
+}
+
+impl Timers<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.ks.now
+    }
+
+    /// Schedules a follow-up timer `after` the current virtual time, on the
+    /// same shard as the timer currently firing.
+    pub fn schedule<F>(&mut self, after: SimTime, f: F)
+    where
+        F: FnOnce(&mut Timers) + Send + 'static,
+    {
+        let at = self.ks.now + after;
+        self.ks.schedule_action(at, move |ks| {
+            let mut t = Timers { ks };
+            f(&mut t);
+        });
+    }
+}
+
 fn spawn_process<F>(
     kernel: &Arc<Kernel>,
     threads: &ThreadRegistry,
+    shard: Shard,
     name: &str,
     f: F,
 ) -> ProcHandle
@@ -256,11 +428,14 @@ where
     let pid = {
         let mut ks = kernel.state.lock();
         let pid = ks.procs.len();
+        let label = ks.intern(name);
         ks.procs.push(ProcEntry {
             name: name.to_string(),
+            label,
+            shard,
             gate: gate.clone(),
             state: ProcState::Blocked,
-            block_reason: "not started".to_string(),
+            block_reason: BlockReason::NotStarted,
             join_waiters: Vec::new(),
         });
         ks.live += 1;
@@ -273,11 +448,13 @@ where
         kernel: kernel.clone(),
         threads: threads.clone(),
         pid,
+        shard,
         gate: gate.clone(),
     };
     let kernel2 = kernel.clone();
     let thread = std::thread::Builder::new()
         .name(format!("sim:{name}"))
+        .stack_size(PROC_STACK_BYTES)
         .spawn(move || {
             ctx.gate.wait();
             if ctx.kernel.state.lock().shutdown {
@@ -344,6 +521,7 @@ pub struct SimCtx {
     kernel: Arc<Kernel>,
     threads: ThreadRegistry,
     pid: Pid,
+    shard: Shard,
     gate: Arc<Gate>,
 }
 
@@ -360,17 +538,26 @@ impl SimCtx {
             let mut ks = self.kernel.state.lock();
             let at = ks.now + dt;
             ks.schedule_wake(at, self.pid);
-            ks.procs[self.pid].block_reason = format!("hold until {at}");
+            ks.procs[self.pid].block_reason = BlockReason::HoldUntil(at);
         }
         self.yield_to_engine();
     }
 
-    /// Spawns a child process starting at the current virtual time.
+    /// Spawns a child process starting at the current virtual time, on the
+    /// parent's shard.
     pub fn spawn<F>(&self, name: &str, f: F) -> ProcHandle
     where
         F: FnOnce(&SimCtx) + Send + 'static,
     {
-        spawn_process(&self.kernel, &self.threads, name, f)
+        spawn_process(&self.kernel, &self.threads, self.shard, name, f)
+    }
+
+    /// Spawns a child process on an explicit shard (see [`Sim::spawn_on`]).
+    pub fn spawn_on<F>(&self, shard: usize, name: &str, f: F) -> ProcHandle
+    where
+        F: FnOnce(&SimCtx) + Send + 'static,
+    {
+        spawn_process(&self.kernel, &self.threads, shard as Shard, name, f)
     }
 
     /// Blocks until the process behind `handle` finishes. Returns
@@ -382,7 +569,8 @@ impl SimCtx {
                 return;
             }
             ks.procs[handle.pid].join_waiters.push(self.pid);
-            ks.procs[self.pid].block_reason = format!("join '{}'", handle.name());
+            let target = ks.procs[handle.pid].label;
+            ks.procs[self.pid].block_reason = BlockReason::Join(target);
         }
         self.yield_to_engine();
     }
@@ -408,10 +596,6 @@ impl SimCtx {
     pub(crate) fn with_kernel<R>(&self, f: impl FnOnce(&mut KState) -> R) -> R {
         let mut ks = self.kernel.state.lock();
         f(&mut ks)
-    }
-
-    pub(crate) fn set_block_reason(&self, reason: String) {
-        self.kernel.state.lock().procs[self.pid].block_reason = reason;
     }
 
     /// Parks this process and hands control back to the engine. The caller

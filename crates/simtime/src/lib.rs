@@ -43,12 +43,17 @@ mod channel;
 mod engine;
 mod gate;
 mod kernel;
+pub mod queue;
 mod resource;
+pub mod stress;
 mod time;
 
 pub use channel::{Channel, RecvOutcome};
-pub use engine::{ProcHandle, Sim, SimCtx, SimError, SimReport};
+pub use engine::{
+    EngineConfig, EngineMode, ProcHandle, Sim, SimCtx, SimError, SimReport, Timers,
+};
 pub use kernel::TraceEvent;
+pub use queue::CalendarQueue;
 pub use resource::Resource;
 pub use time::SimTime;
 

@@ -3,7 +3,7 @@
 //! GPU compute engines, copy engines, CPU cores, and network links.
 
 use crate::engine::SimCtx;
-use crate::kernel::Pid;
+use crate::kernel::{BlockReason, Pid};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -76,7 +76,11 @@ impl Resource {
             }
         };
         if must_wait {
-            ctx.set_block_reason(format!("acquire {amount} of '{}'", self.name));
+            let pid = ctx.pid();
+            ctx.with_kernel(|ks| {
+                let label = ks.intern(&self.name);
+                ks.procs[pid].block_reason = BlockReason::Acquire(amount, label);
+            });
             // The corresponding `release` deducts our units and schedules our
             // wake; on resume the grant has already been made.
             ctx.yield_to_engine();

@@ -202,23 +202,40 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    /// Choice between boxed alternatives (`prop_oneof!`), uniform or
+    /// weighted per arm.
     pub struct Union<T> {
-        arms: Vec<BoxedStrategy<T>>,
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
     }
 
     impl<T> Union<T> {
         pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            Self::new_weighted(arms.into_iter().map(|a| (1, a)).collect())
+        }
+
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
             assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
-            Self { arms }
+            assert!(
+                arms.iter().all(|&(w, _)| w > 0),
+                "prop_oneof! weights must be positive"
+            );
+            let total_weight = arms.iter().map(|&(w, _)| w as u64).sum();
+            Self { arms, total_weight }
         }
     }
 
     impl<T> Strategy for Union<T> {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> T {
-            let i = rng.below(self.arms.len() as u64) as usize;
-            self.arms[i].generate(rng)
+            let mut pick = rng.below(self.total_weight);
+            for (w, arm) in &self.arms {
+                if pick < *w as u64 {
+                    return arm.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("pick is below the summed weights")
         }
     }
 
@@ -501,9 +518,17 @@ macro_rules! proptest {
     };
 }
 
-/// Uniform choice among strategies yielding the same value type.
+/// Choice among strategies yielding the same value type — uniform
+/// (`prop_oneof![a, b]`) or weighted (`prop_oneof![3 => a, 1 => b]`),
+/// matching the upstream macro's two forms.
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:literal => $arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $( ($weight, ::std::boxed::Box::new($arm)
+                as $crate::strategy::BoxedStrategy<_>) ),+
+        ])
+    };
     ($($arm:expr),+ $(,)?) => {
         $crate::strategy::Union::new(vec![
             $( ::std::boxed::Box::new($arm) as $crate::strategy::BoxedStrategy<_> ),+

@@ -1,0 +1,263 @@
+//! Differential determinism suite for the engine rework.
+//!
+//! The engine contract (docs/engine.md) says the three queue disciplines —
+//! legacy heap, calendar, sharded-parallel — are *observationally
+//! indistinguishable*: same virtual clocks (to the bit), same event
+//! orders, same exporter artifacts, for every scenario the runtime can
+//! produce. This suite runs the existing fault/chaos/tracing scenarios
+//! under all of [`EngineMode::ALL`] and diffs everything a user could
+//! ever diff:
+//!
+//! 1. the final virtual makespan, compared by `f64::to_bits`;
+//! 2. the engine event count (`JobMetrics::sim_events`);
+//! 3. the application outputs;
+//! 4. the rendered `events.jsonl`, `metrics.prom`, and `decisions.jsonl`
+//!    observability artifacts, byte for byte;
+//! 5. the chaos harness's `chaos_report.json`, byte for byte;
+//! 6. repeated runs under one mode (no hidden global state).
+
+use obs::Obs;
+use prs_core::{
+    run_chaos, run_iterative_observed, ChaosConfig, ClusterSpec, DeviceClass, EngineMode,
+    FaultPlan, IterativeApp, JobConfig, Key, SpmdApp,
+};
+use roofline::model::DataResidency;
+use roofline::schedule::Workload;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Deterministic value histogram (same shape as the fault-scenario
+/// suite): device- and partitioning-independent outputs, so any
+/// divergence between engines is a real ordering bug, not float noise.
+struct HistApp {
+    n: usize,
+    k: u64,
+    ai: f64,
+    residency: DataResidency,
+}
+
+impl SpmdApp for HistApp {
+    type Inter = u64;
+    type Output = u64;
+    fn num_items(&self) -> usize {
+        self.n
+    }
+    fn item_bytes(&self) -> u64 {
+        64
+    }
+    fn workload(&self) -> Workload {
+        Workload::uniform(self.ai, self.residency)
+    }
+    fn cpu_map(&self, _node: usize, range: Range<usize>) -> Vec<(Key, u64)> {
+        range.map(|i| ((i as u64 * 2654435761) % self.k, 1)).collect()
+    }
+    fn gpu_map(&self, node: usize, range: Range<usize>) -> Vec<(Key, u64)> {
+        self.cpu_map(node, range)
+    }
+    fn reduce(&self, _d: DeviceClass, _k: Key, v: Vec<u64>) -> u64 {
+        v.iter().sum()
+    }
+    fn combine(&self, _k: Key, v: Vec<u64>) -> Vec<u64> {
+        vec![v.iter().sum()]
+    }
+}
+
+impl IterativeApp for HistApp {
+    fn update(&self, _outputs: &[(Key, u64)]) -> bool {
+        false
+    }
+}
+
+fn hist() -> Arc<HistApp> {
+    Arc::new(HistApp {
+        n: 120_000,
+        k: 10,
+        ai: 100.0,
+        residency: DataResidency::Staged,
+    })
+}
+
+/// The seeded scenarios of the fault/tracing suites, plus a clean run, as
+/// `(name, spec, config)` tuples so every property sweeps all of them.
+fn scenarios() -> Vec<(&'static str, ClusterSpec, JobConfig)> {
+    vec![
+        (
+            "clean",
+            ClusterSpec::delta(3),
+            JobConfig::static_analytic().with_iterations(2),
+        ),
+        (
+            "gpu-crash",
+            ClusterSpec::delta(2).with_faults(FaultPlan::seeded(1).crash_gpu(0, 0, 0.05)),
+            JobConfig::static_analytic().with_iterations(2),
+        ),
+        (
+            "straggler-reassign",
+            ClusterSpec::delta(2)
+                .with_faults(FaultPlan::seeded(2).stall_node(1, 0.0, 10.0, 5.0)),
+            JobConfig::static_analytic().with_partition_timeout(0.1, 1),
+        ),
+        (
+            "partition-and-jitter",
+            ClusterSpec::delta(3).with_faults(
+                FaultPlan::seeded(3)
+                    .jitter_link(Some(0), None, 0.0, 1.0, 0.002)
+                    .partition_link(Some(1), Some(2), 0.0, 0.05)
+                    .with_random_jitter(3, 4, 1.0, 0.001),
+            ),
+            JobConfig::static_analytic().with_iterations(2),
+        ),
+        (
+            "combined-faults",
+            ClusterSpec::delta(2).with_faults(
+                FaultPlan::seeded(42)
+                    .crash_gpu(1, 0, 0.05)
+                    .slow_cpu(0, 0.0, 0.5, 2.0)
+                    .with_random_jitter(2, 3, 1.0, 0.001),
+            ),
+            JobConfig::static_analytic()
+                .with_iterations(2)
+                .with_partition_timeout(0.2, 2),
+        ),
+        (
+            "dynamic-gpu-crash",
+            ClusterSpec::delta(2).with_faults(FaultPlan::seeded(4).crash_gpu(0, 0, 0.05)),
+            JobConfig::dynamic(2_000).with_iterations(2),
+        ),
+    ]
+}
+
+/// Everything observable from one run: clock bits, event count, outputs,
+/// and the three rendered exporter artifacts.
+struct RunArtifacts {
+    makespan_bits: u64,
+    sim_events: u64,
+    outputs: Vec<(Key, u64)>,
+    events_jsonl: String,
+    metrics_prom: String,
+    decisions_jsonl: String,
+}
+
+fn run_under(spec: &ClusterSpec, config: JobConfig, mode: EngineMode) -> RunArtifacts {
+    let obs = Obs::recording();
+    let result = run_iterative_observed(spec, hist(), config.with_engine(mode), obs.clone())
+        .expect("scenario must complete under every engine");
+    RunArtifacts {
+        makespan_bits: result.metrics.total_seconds.to_bits(),
+        sim_events: result.metrics.sim_events,
+        outputs: result.outputs,
+        events_jsonl: obs.bus.to_jsonl(),
+        metrics_prom: obs.metrics.to_prometheus(),
+        decisions_jsonl: obs.audit.to_jsonl(),
+    }
+}
+
+fn assert_identical(name: &str, mode: EngineMode, got: &RunArtifacts, want: &RunArtifacts) {
+    assert_eq!(
+        got.makespan_bits, want.makespan_bits,
+        "[{name}/{mode}] virtual makespan diverged: {} vs {}",
+        f64::from_bits(got.makespan_bits),
+        f64::from_bits(want.makespan_bits),
+    );
+    assert_eq!(got.sim_events, want.sim_events, "[{name}/{mode}] event count diverged");
+    assert_eq!(got.outputs, want.outputs, "[{name}/{mode}] outputs diverged");
+    assert_eq!(
+        got.events_jsonl, want.events_jsonl,
+        "[{name}/{mode}] events.jsonl is not byte-identical"
+    );
+    assert_eq!(
+        got.metrics_prom, want.metrics_prom,
+        "[{name}/{mode}] metrics.prom is not byte-identical"
+    );
+    assert_eq!(
+        got.decisions_jsonl, want.decisions_jsonl,
+        "[{name}/{mode}] decisions.jsonl is not byte-identical"
+    );
+}
+
+/// The core differential property: every scenario, every engine, every
+/// artifact — bit-identical to the legacy heap reference.
+#[test]
+fn all_scenarios_bit_identical_across_engines() {
+    for (name, spec, config) in scenarios() {
+        let reference = run_under(&spec, config, EngineMode::LegacyHeap);
+        assert!(
+            reference.sim_events > 0,
+            "[{name}] reference run processed no events"
+        );
+        for mode in [EngineMode::Calendar, EngineMode::Parallel] {
+            let got = run_under(&spec, config, mode);
+            assert_identical(name, mode, &got, &reference);
+        }
+    }
+}
+
+/// Repeat-run stability: the parallel engine run twice (fresh threads,
+/// fresh shard queues) renders identical artifacts — no hidden
+/// scheduling nondeterminism leaks through the lookahead windows.
+#[test]
+fn parallel_engine_is_stable_across_repeated_runs() {
+    let (name, spec, config) = scenarios().remove(4); // combined-faults
+    let a = run_under(&spec, config, EngineMode::Parallel);
+    let b = run_under(&spec, config, EngineMode::Parallel);
+    assert_identical(name, EngineMode::Parallel, &b, &a);
+}
+
+/// Regression for the tie-break hazard the rework fixed: events landing
+/// on the *same virtual instant* from *different nodes* (shards) fire in
+/// stable scheduling order — the `(time, seq)` key — under every engine.
+/// Before the rework, same-time events popped in heap-sift accident
+/// order, which varied with queue layout; this ordering assertion fails
+/// under any such discipline.
+#[test]
+fn same_instant_cross_node_events_fire_in_scheduling_order() {
+    use simtime::{EngineConfig, Sim, SimTime};
+    const NODES: usize = 8;
+    for mode in EngineMode::ALL {
+        let mut sim = Sim::with_config(EngineConfig {
+            mode,
+            shards: NODES,
+            lookahead: SimTime::from_micros(1.0),
+        });
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        for node in 0..NODES {
+            let order = order.clone();
+            // Spawned in ascending node order, every process wakes at the
+            // identical instant t = 1s.
+            sim.spawn_on(node, &format!("n{node}"), move |ctx| {
+                ctx.hold(SimTime::from_secs(1));
+                order.lock().unwrap().push(node);
+            });
+        }
+        sim.run().expect("tie-break scenario cannot deadlock");
+        assert_eq!(
+            *order.lock().unwrap(),
+            (0..NODES).collect::<Vec<_>>(),
+            "[{mode}] same-instant cross-node wakes must fire in (time, seq) order"
+        );
+    }
+}
+
+/// The chaos harness's rendered report is a pure function of
+/// `(trials, seed)` — the engine that executed the trials must not leak
+/// into `chaos_report.json`.
+#[test]
+fn chaos_report_byte_identical_across_engines() {
+    let report = |engine: EngineMode| {
+        run_chaos(&ChaosConfig {
+            trials: 6,
+            seed: 7,
+            engine,
+        })
+        .to_json()
+        .to_string()
+    };
+    let reference = report(EngineMode::LegacyHeap);
+    for mode in [EngineMode::Calendar, EngineMode::Parallel] {
+        assert_eq!(
+            report(mode),
+            reference,
+            "chaos_report.json diverged under the {mode} engine"
+        );
+    }
+}

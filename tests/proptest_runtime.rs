@@ -337,3 +337,115 @@ proptest! {
         prop_assert!(t4 <= t1 * 1.05, "4 nodes ({t4}) slower than 1 ({t1})");
     }
 }
+
+/// One step of the calendar-queue model test: schedule at a drawn time,
+/// pop the minimum, or cancel a live entry picked by hint.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    Schedule(f64),
+    Pop,
+    Cancel(usize),
+}
+
+/// Times drawn across wildly mixed scales — sub-microsecond clusters,
+/// ordinary seconds, and far-future stamps — so interleavings force
+/// bucket-width re-tunes, day-number rollovers, and the overflow list.
+fn arb_queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            5 => prop_oneof![0.0..1e-6f64, 0.0..100.0f64, 1e6..1e12f64]
+                .prop_map(QueueOp::Schedule),
+            3 => Just(QueueOp::Pop),
+            1 => proptest::prelude::any::<usize>().prop_map(QueueOp::Cancel),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The calendar queue agrees with a reference model (min-by-(time,
+    /// seq) over a plain vector, the semantics of the engine's original
+    /// `BinaryHeap`) under arbitrary interleavings of schedule, pop, and
+    /// cancel. Every comparison is exact: times by bit pattern, order by
+    /// the full `(time, seq)` key.
+    #[test]
+    fn calendar_queue_matches_reference_model(ops in arb_queue_ops()) {
+        use simtime::{CalendarQueue, SimTime};
+        let mut q = CalendarQueue::new();
+        let mut model: Vec<(f64, u64)> = Vec::new();
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                QueueOp::Schedule(t) => {
+                    q.schedule(SimTime::from_secs_f64(t), seq, seq);
+                    model.push((t, seq));
+                    seq += 1;
+                }
+                QueueOp::Pop => {
+                    let min = model
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+                        .map(|(i, _)| i);
+                    match min {
+                        Some(i) => {
+                            let (wt, ws) = model.remove(i);
+                            let (gt, gs, payload) = q.pop().expect("model has entries");
+                            prop_assert_eq!(gs, ws, "pop returned the wrong entry");
+                            prop_assert_eq!(payload, ws);
+                            prop_assert_eq!(gt.as_secs_f64().to_bits(), wt.to_bits());
+                        }
+                        None => prop_assert!(q.pop().is_none()),
+                    }
+                }
+                QueueOp::Cancel(hint) => {
+                    if model.is_empty() {
+                        prop_assert!(q.cancel(hint as u64).is_none());
+                    } else {
+                        let i = hint % model.len();
+                        let (wt, ws) = model.remove(i);
+                        let (gt, _) = q.cancel(ws).expect("live seq must cancel");
+                        prop_assert_eq!(gt.as_secs_f64().to_bits(), wt.to_bits());
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+        // Drain: the remainder pops in exact ascending (time, seq) order.
+        model.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (wt, ws) in model {
+            let (gt, gs, _) = q.pop().expect("entry remains");
+            prop_assert_eq!(gs, ws);
+            prop_assert_eq!(gt.as_secs_f64().to_bits(), wt.to_bits());
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// FIFO stability: among equal timestamps, entries pop in scheduling
+    /// (seq) order, however many distinct stamps, resizes, and pops
+    /// interleave — the property the engine's cross-node determinism
+    /// contract rests on.
+    #[test]
+    fn calendar_queue_equal_times_pop_fifo(
+        stamps in proptest::collection::vec(0u8..8, 1..400),
+    ) {
+        use simtime::{CalendarQueue, SimTime};
+        let mut q = CalendarQueue::new();
+        for (i, s) in stamps.iter().enumerate() {
+            q.schedule(SimTime::from_secs(u64::from(*s)), i as u64, i as u64);
+        }
+        let mut last: Option<(f64, u64)> = None;
+        let mut popped = 0usize;
+        while let Some((t, s, _)) = q.pop() {
+            let key = (t.as_secs_f64(), s);
+            if let Some(prev) = last {
+                prop_assert!(key > prev, "order violated: {:?} after {:?}", key, prev);
+            }
+            last = Some(key);
+            popped += 1;
+        }
+        prop_assert_eq!(popped, stamps.len());
+    }
+}
