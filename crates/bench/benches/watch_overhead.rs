@@ -1,0 +1,111 @@
+//! Watchdog overhead bench: the cost of running the full detector →
+//! SLO → incident pipeline over a recorded two-node trace, versus the
+//! run that produced it.
+//!
+//! The numbers land in `target/experiments/BENCH_watch.json`:
+//!
+//! - *analysis wall seconds* — one `watch::watch` pass over the trace
+//!   (the watchdog is an offline/subscriber consumer, so this is the
+//!   entire cost of health monitoring);
+//! - *overhead fraction* — analysis time relative to the simulation
+//!   that generated the events;
+//! - *virtual-time overhead* — must be exactly zero: the watchdog only
+//!   reads the bus, so attaching it cannot advance the virtual clock.
+
+use criterion::{criterion_group, Criterion};
+use obs::rollup::RollupEvent;
+use prs_bench::{write_json, SyntheticApp};
+use prs_core::{run_iterative, run_iterative_observed, ClusterSpec, JobConfig, Obs};
+use roofline::model::DataResidency;
+use roofline::schedule::Workload;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn app() -> Arc<SyntheticApp> {
+    Arc::new(SyntheticApp {
+        n: 200_000,
+        item_bytes: 64,
+        workload: Workload::uniform(200.0, DataResidency::Staged),
+        keys: 16,
+        value_bytes: 16,
+    })
+}
+
+fn config() -> JobConfig {
+    JobConfig::static_analytic().with_iterations(3)
+}
+
+fn recorded_trace() -> (Vec<RollupEvent>, Vec<obs::DecisionRecord>) {
+    let obs = Obs::recording();
+    run_iterative_observed(&ClusterSpec::delta(2), app(), config(), obs.clone()).unwrap();
+    let events = obs.bus.events().iter().map(Into::into).collect();
+    (events, obs.audit.records())
+}
+
+fn bench_watch(c: &mut Criterion) {
+    let (events, decisions) = recorded_trace();
+    let rules = watch::WatchConfig::default();
+    let mut g = c.benchmark_group("watch/two_node_3_iter");
+    g.sample_size(10);
+    g.bench_function("analyze", |b| {
+        b.iter(|| black_box(watch::watch(&events, &decisions, &rules)));
+    });
+    g.finish();
+}
+
+/// Mean wall-clock seconds of `f` over `n` timed runs (after one warmup).
+fn mean_secs<R>(n: u32, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..n {
+        black_box(f());
+    }
+    start.elapsed().as_secs_f64() / f64::from(n)
+}
+
+fn emit_json() {
+    let spec = ClusterSpec::delta(2);
+    let runs = 10;
+    let run_wall = mean_secs(runs, || {
+        run_iterative_observed(&spec, app(), config(), Obs::recording()).unwrap()
+    });
+    let (events, decisions) = recorded_trace();
+    let rules = watch::WatchConfig::default();
+    let analyze_wall = mean_secs(runs, || watch::watch(&events, &decisions, &rules));
+
+    // Attaching a subscriber must not perturb the virtual clock: same
+    // bits as the unobserved run.
+    let bare = run_iterative(&spec, app(), config()).unwrap();
+    let obs = Obs::recording();
+    let mut sub = obs.bus.subscribe();
+    let seen = run_iterative_observed(&spec, app(), config(), obs.clone()).unwrap();
+    let polled: Vec<RollupEvent> = sub.poll().iter().map(Into::into).collect();
+    let watched = watch::watch(&polled, &obs.audit.records(), &rules);
+    let virtual_identical =
+        bare.metrics.total_seconds.to_bits() == seen.metrics.total_seconds.to_bits();
+    assert!(virtual_identical, "watching must not advance virtual time");
+    assert!(watched.alerts.is_empty(), "healthy bench run fired alerts");
+
+    let overhead = if run_wall > 0.0 { analyze_wall / run_wall } else { 0.0 };
+    write_json(
+        "BENCH_watch",
+        &serde_json::json!({
+            "bench": "watch_overhead",
+            "scenario": "delta(2), 3 iterations, 200k items, default rules",
+            "timed_runs": runs,
+            "events": events.len(),
+            "run_wall_secs": run_wall,
+            "analyze_wall_secs": analyze_wall,
+            "analyze_over_run_fraction": overhead,
+            "virtual_time_bit_identical": virtual_identical,
+        }),
+    );
+}
+
+criterion_group!(benches, bench_watch);
+
+fn main() {
+    benches();
+    emit_json();
+}

@@ -42,6 +42,7 @@ fn main() {
         Some("trace") => cmd_trace(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("calibrate") => cmd_calibrate(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
@@ -73,10 +74,16 @@ USAGE:
   prs metrics --dir <d>   summarize metrics.prom from --obs
   prs analyze <d>         critical-path + blame analysis of an --obs dir;
                           writes report.json and critical_path.json into it
+  prs watch <d>           run the health watchdog over an --obs dir: online
+                          detectors + SLO burn-rate rules; writes
+                          alerts.jsonl and incidents.jsonl into it
+                          (--rules <toml> overrides the built-in SLO rules,
+                          see docs/alerting.md)
   prs top <d>             live dashboard replaying an --obs dir in virtual
                           time; --snapshot <t> renders one deterministic
                           frame, --window <s> sets the gauge window,
-                          --frames <n> the replay frame count
+                          --frames <n> the replay frame count; frames
+                          include the watchdog's alert lane
   prs bench --all         run the fixed benchmark suite (including the
                           1000-node engine-throughput scenarios) and write
                           BENCH_prs.json (--check compares virtual
@@ -88,7 +95,10 @@ USAGE:
                           invariants; writes chaos_report.json
                           (--trials <n> (32), --seed <n> (7),
                           --engine <legacy|calendar|parallel> (calendar),
-                          --out <file>, --json)
+                          --out <file>, --json; --score-watch also scores
+                          the health watchdog against the injected fault
+                          plans and writes watch_score.json
+                          (--watch-out <file>, --rules <toml>))
   prs calibrate [options] fit a hardware profile from an --obs trace
   prs profiles            list the built-in fat-node hardware profiles
   prs help                this text
@@ -462,6 +472,13 @@ fn cmd_trace(args: &[String]) -> i32 {
             recovery.push((t, kind, lane));
         }
     }
+    if total == 0 {
+        eprintln!(
+            "error: no events found in {} — was the run recorded with --obs?",
+            events_path.display()
+        );
+        return 1;
+    }
     say!("{total} event(s) over {t_max:.6} virtual seconds ({})", events_path.display());
     say!("  kind                 count   busy_s");
     for (kind, (count, busy)) in &by_kind {
@@ -683,6 +700,133 @@ fn cmd_analyze(args: &[String]) -> i32 {
     say!("{}", insight::summary_table(&analysis));
     eprintln!(
         "analysis written to {}/report.json and {}/critical_path.json",
+        out_dir.display(),
+        out_dir.display()
+    );
+    0
+}
+
+/// `prs watch`: run the health watchdog offline over a recorded `--obs`
+/// bundle, write `alerts.jsonl` + `incidents.jsonl` next to the events,
+/// and print the incident summary.
+fn cmd_watch(args: &[String]) -> i32 {
+    // Accept the directory as a positional argument or as `--dir`.
+    let parsed = (|| -> Result<(String, Option<String>), String> {
+        let (positional, rest) = match args.first() {
+            Some(a) if !a.starts_with("--") => (Some(a.clone()), &args[1..]),
+            _ => (None, args),
+        };
+        let (kv, flags) = parse_kv(rest)?;
+        if let Some(f) = flags.first() {
+            return Err(format!("unknown flag --{f}"));
+        }
+        for k in kv.keys() {
+            if !["dir", "rules"].contains(&k.as_str()) {
+                return Err(format!("unknown option --{k}"));
+            }
+        }
+        let dir = positional
+            .or_else(|| kv.get("dir").cloned())
+            .ok_or_else(|| "missing --dir <obs output directory>".to_string())?;
+        Ok((dir, kv.get("rules").cloned()))
+    })();
+    let (dir, rules_path) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let cfg = match &rules_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error reading {path}: {e}");
+                    return 1;
+                }
+            };
+            match watch::WatchConfig::from_toml(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return 2;
+                }
+            }
+        }
+        None => watch::WatchConfig::default(),
+    };
+    let events = match read_trace_events(&dir) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let out_dir = {
+        let p = std::path::Path::new(&dir);
+        if p.is_dir() { p.to_path_buf() } else { p.parent().unwrap_or(p).to_path_buf() }
+    };
+    let decisions = std::fs::read_to_string(out_dir.join("decisions.jsonl"))
+        .map(|t| AuditLog::parse_jsonl(&t))
+        .unwrap_or_default();
+    let roll_events: Vec<RollupEvent> = events
+        .iter()
+        .map(|e| RollupEvent {
+            t: e.t,
+            dur: e.dur,
+            lane: e.lane.clone(),
+            kind: e.kind.clone(),
+            iter: e.iter,
+            attrs: e.attrs.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        })
+        .collect();
+    let out = watch::watch(&roll_events, &decisions, &cfg);
+    for (name, content) in [
+        ("alerts.jsonl", out.alerts_jsonl()),
+        ("incidents.jsonl", out.incidents_jsonl()),
+    ] {
+        let path = out_dir.join(name);
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("error writing {}: {e}", path.display());
+            return 1;
+        }
+    }
+    if out.alerts.is_empty() {
+        say!("healthy: no alerts fired over {} event(s)", events.len());
+    } else {
+        say!(
+            "{} alert(s), {} incident(s) over {} event(s):",
+            out.alerts.len(),
+            out.incidents.len(),
+            events.len()
+        );
+        for inc in &out.incidents {
+            let nodes = if inc.nodes.is_empty() {
+                "cluster".to_string()
+            } else {
+                inc.nodes
+                    .iter()
+                    .map(|n| format!("node{n}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            say!(
+                "  #{} [{}] t={:.6}..{:.6} detect={:.6} {} on {} ({} alert(s), {})",
+                inc.id,
+                inc.severity.as_str(),
+                inc.t_start,
+                inc.t_end,
+                inc.t_detect,
+                inc.kind.as_str(),
+                nodes,
+                inc.alerts.len(),
+                inc.blame.as_str()
+            );
+        }
+    }
+    eprintln!(
+        "watch artifacts written to {}/alerts.jsonl and {}/incidents.jsonl",
         out_dir.display(),
         out_dir.display()
     );
@@ -1232,12 +1376,14 @@ fn run_checkpointed_bench(opts: &RunOptions, spec: &ClusterSpec) -> Result<(f64,
 fn cmd_chaos(args: &[String]) -> i32 {
     let parsed = parse_kv(args).and_then(|(kv, flags)| {
         for f in &flags {
-            if f != "json" {
+            if f != "json" && f != "score-watch" {
                 return Err(format!("unknown flag --{f}"));
             }
         }
         let mut cfg = prs_core::ChaosConfig::default();
         let mut out_path = "chaos_report.json".to_string();
+        let mut watch_out = "watch_score.json".to_string();
+        let mut rules_path: Option<String> = None;
         for (k, v) in &kv {
             match k.as_str() {
                 "trials" => {
@@ -1256,19 +1402,56 @@ fn cmd_chaos(args: &[String]) -> i32 {
                         .map_err(|e| format!("bad value for --engine: {e}"))?;
                 }
                 "out" => out_path = v.clone(),
+                "watch-out" => watch_out = v.clone(),
+                "rules" => rules_path = Some(v.clone()),
                 other => return Err(format!("unknown option --{other}")),
             }
         }
-        Ok((cfg, out_path, flags.iter().any(|f| f == "json")))
+        let score_watch = flags.iter().any(|f| f == "score-watch");
+        if !score_watch && (rules_path.is_some() || kv.contains_key("watch-out")) {
+            return Err("--rules / --watch-out require --score-watch".to_string());
+        }
+        Ok((
+            cfg,
+            out_path,
+            flags.iter().any(|f| f == "json"),
+            score_watch,
+            watch_out,
+            rules_path,
+        ))
     });
-    let (cfg, out_path, json) = match parsed {
+    let (cfg, out_path, json, score_watch, watch_out, rules_path) = match parsed {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
             return 2;
         }
     };
-    let report = prs_core::run_chaos(&cfg);
+    let rules = match &rules_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error reading {path}: {e}");
+                    return 1;
+                }
+            };
+            match watch::WatchConfig::from_toml(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return 2;
+                }
+            }
+        }
+        None => watch::WatchConfig::default(),
+    };
+    let (report, score) = if score_watch {
+        let (report, score) = prs_core::run_chaos_scored(&cfg, &rules);
+        (report, Some(score))
+    } else {
+        (prs_core::run_chaos(&cfg), None)
+    };
     let doc = report.to_json();
     if let Err(e) = std::fs::write(&out_path, serde_json::to_string_pretty(&doc).unwrap() + "\n") {
         eprintln!("error writing {out_path}: {e}");
@@ -1305,11 +1488,47 @@ fn cmd_chaos(args: &[String]) -> i32 {
             if report.all_passed() { "all invariants hold" } else { "INVARIANT VIOLATIONS" }
         );
     }
-    if report.all_passed() {
-        0
-    } else {
-        1
+    let mut code = if report.all_passed() { 0 } else { 1 };
+    if let Some(score) = &score {
+        if let Err(e) = std::fs::write(&watch_out, score.to_json()) {
+            eprintln!("error writing {watch_out}: {e}");
+            return 1;
+        }
+        if !json {
+            say!(
+                "\nwatch: {} trial(s) scored, {} fault-free alert(s)",
+                score.trials,
+                score.fault_free_alerts
+            );
+            say!(
+                "  {:<14} {:>8} {:>8} {:>9} {:>7} {:>12}",
+                "kind", "injected", "detected", "precision", "recall", "median_ttd_s"
+            );
+            for (kind, k) in &score.kinds {
+                say!(
+                    "  {:<14} {:>8} {:>8} {:>9.3} {:>7.3} {:>12}",
+                    kind.as_str(),
+                    k.injected,
+                    k.detected,
+                    k.precision(),
+                    k.recall(),
+                    k.median_ttd()
+                        .map(|t| format!("{t:.6}"))
+                        .unwrap_or_else(|| "-".to_string())
+                );
+            }
+            say!(
+                "{} (precision floor {}, recall floor {}) — score written to {watch_out}",
+                if score.meets_floors() { "floors met" } else { "FLOORS MISSED" },
+                score.precision_floor,
+                score.recall_floor
+            );
+        }
+        if !score.meets_floors() {
+            code = 1;
+        }
     }
+    code
 }
 
 /// Resolves the node hardware for `run`/`sweep`: a `prs calibrate` TOML
@@ -1414,7 +1633,7 @@ fn cmd_run(args: &[String]) -> i32 {
         match write_obs_bundle(dir, &obs, &result.timeline) {
             Ok(()) => eprintln!(
                 "observability bundle written to {dir}/ (events.jsonl, metrics.prom, \
-                 decisions.jsonl, rollup.jsonl, trace.json)"
+                 decisions.jsonl, rollup.jsonl, alerts.jsonl, incidents.jsonl, trace.json)"
             ),
             Err(e) => {
                 eprintln!("error writing observability bundle: {e}");
@@ -1468,10 +1687,14 @@ fn write_obs_bundle(dir: &str, obs: &Obs, timeline: &[device::Interval]) -> Resu
         .collect();
     let roll = rollup(&roll_events, &decisions, &RollupConfig::auto(horizon.max(1e-9)));
     roll.register_metrics(&obs.metrics);
+    let watched = watch::watch(&roll_events, &decisions, &watch::WatchConfig::default());
+    watched.register_metrics(&obs.metrics);
     write("events.jsonl", obs.bus.to_jsonl())?;
     write("metrics.prom", obs.metrics.to_prometheus())?;
     write("decisions.jsonl", obs.audit.to_jsonl())?;
     write("rollup.jsonl", roll.to_jsonl())?;
+    write("alerts.jsonl", watched.alerts_jsonl())?;
+    write("incidents.jsonl", watched.incidents_jsonl())?;
     write("trace.json", to_chrome_trace_with_flows(timeline, &flow_arrows(&flows)))?;
     Ok(())
 }

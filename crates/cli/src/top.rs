@@ -169,6 +169,45 @@ pub fn render_frame(
         inflight.len()
     );
 
+    // Alert lane: the watchdog's verdict over everything seen so far.
+    let watched = watch::watch(&to_rollup_events(&seen), decisions, &watch::WatchConfig::default());
+    let firing: Vec<_> = watched
+        .incidents
+        .iter()
+        .filter(|inc| inc.t_detect <= t)
+        .collect();
+    if firing.is_empty() {
+        let _ = writeln!(out, "\nalerts: none firing");
+    } else {
+        let _ = writeln!(
+            out,
+            "\nalerts: {} alert(s) in {} incident(s):",
+            watched.alerts.len(),
+            firing.len()
+        );
+        for inc in &firing {
+            let nodes = if inc.nodes.is_empty() {
+                "cluster".to_string()
+            } else {
+                inc.nodes
+                    .iter()
+                    .map(|n| format!("node{n}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let _ = writeln!(
+                out,
+                "  [{}] #{} {} on {} since t={:.6} ({})",
+                inc.severity.as_str(),
+                inc.id,
+                inc.kind.as_str(),
+                nodes,
+                inc.t_detect,
+                inc.blame.as_str()
+            );
+        }
+    }
+
     // Blame of the last iteration completed by t.
     let analysis = insight::analyze(&seen);
     match analysis.iterations.iter().rev().find(|it| it.end <= t) {
@@ -233,7 +272,26 @@ mod tests {
         assert!(a.contains("prs top — virtual t = 0.200000s"));
         assert!(a.contains("node0"));
         assert!(a.contains("cluster rollup"));
+        assert!(a.contains("alerts:"), "alert lane missing:\n{a}");
         assert!(a.contains("1 in flight (512 B)"), "recv at 0.4 is the future:\n{a}");
+    }
+
+    #[test]
+    fn straggling_node_lights_the_alert_lane() {
+        // node0 runs 4x slower than node1 across many tasks.
+        let mut events = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.1;
+            let mut slow = ev("node0-cpu-c0", "cpu-task", t, Some(0.2), Some(0));
+            slow.attrs.insert("flops".into(), 1e9);
+            let mut fast = ev("node1-cpu-c0", "cpu-task", t, Some(0.05), Some(0));
+            fast.attrs.insert("flops".into(), 1e9);
+            events.push(slow);
+            events.push(fast);
+        }
+        let frame = render_frame(&events, &[], 2.5, 0.5);
+        assert!(frame.contains("cpu-slowdown on node0"), "{frame}");
+        assert!(!frame.contains("alerts: none firing"), "{frame}");
     }
 
     #[test]

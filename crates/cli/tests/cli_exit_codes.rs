@@ -1,0 +1,119 @@
+//! Exit-code contract for the artifact-reading subcommands: a missing or
+//! empty `--obs` bundle must fail loudly (non-zero, message on stderr),
+//! never print a half-empty report with exit 0. Runs the real binary via
+//! `CARGO_BIN_EXE_prs`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn prs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_prs"))
+        .args(args)
+        .output()
+        .expect("prs binary runs")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("prs-exit-codes-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn readers_reject_a_missing_bundle() {
+    let missing = "/nonexistent/prs-obs-bundle";
+    for cmd in [
+        vec!["trace", "--dir", missing],
+        vec!["metrics", "--dir", missing],
+        vec!["analyze", missing],
+        vec!["watch", missing],
+        vec!["top", "--dir", missing, "--snapshot", "0.1"],
+    ] {
+        let out = prs(&cmd);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "prs {} on a missing dir must exit 1",
+            cmd.join(" ")
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("error"),
+            "prs {}: stderr should explain the failure, got: {stderr}",
+            cmd.join(" ")
+        );
+    }
+}
+
+#[test]
+fn readers_reject_an_empty_bundle() {
+    let dir = tmp_dir("empty");
+    std::fs::write(dir.join("events.jsonl"), "").expect("write empty events");
+    std::fs::write(dir.join("metrics.prom"), "").expect("write empty metrics");
+    let d = dir.to_str().expect("utf-8 temp path");
+    for cmd in [
+        vec!["trace", "--dir", d],
+        vec!["metrics", "--dir", d],
+        vec!["analyze", d],
+        vec!["watch", d],
+    ] {
+        let out = prs(&cmd);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "prs {} on an empty bundle must exit 1",
+            cmd.join(" ")
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("no events found") || stderr.contains("no samples found"),
+            "prs {}: unexpected stderr: {stderr}",
+            cmd.join(" ")
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for cmd in [
+        vec!["trace"],
+        vec!["trace", "--bogus", "x"],
+        vec!["chaos", "--rules", "rules.toml"], // --rules requires --score-watch
+        vec!["watch"],
+        vec!["definitely-not-a-subcommand"],
+    ] {
+        let out = prs(&cmd);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "prs {} must exit 2 (usage error)",
+            cmd.join(" ")
+        );
+    }
+}
+
+#[test]
+fn end_to_end_run_then_watch_succeeds() {
+    let dir = tmp_dir("e2e");
+    let d = dir.to_str().expect("utf-8 temp path");
+    let run = prs(&["run", "--nodes", "2", "--points", "20000", "--iterations", "2", "--obs", d]);
+    assert_eq!(run.status.code(), Some(0), "{}", String::from_utf8_lossy(&run.stderr));
+    for artifact in ["events.jsonl", "alerts.jsonl", "incidents.jsonl"] {
+        assert!(dir.join(artifact).is_file(), "{artifact} missing from the bundle");
+    }
+    let watchdog = prs(&["watch", d]);
+    assert_eq!(
+        watchdog.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&watchdog.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&watchdog.stdout);
+    assert!(
+        stdout.contains("healthy: no alerts"),
+        "fault-free bundle should be healthy: {stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -24,10 +24,12 @@ use crate::checkpoint::MemStore;
 use crate::cluster::ClusterSpec;
 use crate::config::JobConfig;
 use crate::faults::{splitmix64, FaultPlan};
-use crate::job::run_iterative;
+use crate::job::{run_iterative, run_iterative_observed};
 use crate::metrics::RecoveryCounters;
 use crate::resilient::{run_resilient_observed, ResilientOutcome};
+use obs::rollup::RollupEvent;
 use obs::Obs;
+use watch::{score_trials, FaultKind, GroundTruthFault, TrialWatch, WatchConfig, WatchScore};
 use parking_lot::RwLock;
 use roofline::model::DataResidency;
 use roofline::schedule::Workload;
@@ -316,11 +318,86 @@ fn flows_conserved(obs: &Obs) -> bool {
     balance.values().all(|&b| b == 0)
 }
 
+/// Extracts the watchdog-scoreable ground truth from a fault plan.
+/// Slowdown windows below the straggler factor are not expected to be
+/// detectable and are excluded.
+pub fn ground_truth_from_plan(plan: &FaultPlan) -> Vec<GroundTruthFault> {
+    let mut faults = Vec::new();
+    for c in &plan.node_crashes {
+        faults.push(GroundTruthFault {
+            kind: FaultKind::NodeCrash,
+            node: Some(c.node as u64),
+            at_secs: c.at_secs,
+        });
+    }
+    for c in &plan.master_crashes {
+        faults.push(GroundTruthFault {
+            kind: FaultKind::MasterCrash,
+            node: None,
+            at_secs: c.at_secs,
+        });
+    }
+    for s in &plan.cpu_slowdowns {
+        if s.factor >= insight::critical::STRAGGLER_FACTOR {
+            faults.push(GroundTruthFault {
+                kind: FaultKind::CpuSlowdown,
+                node: Some(s.node as u64),
+                at_secs: s.from_secs,
+            });
+        }
+    }
+    for s in &plan.gpu_slowdowns {
+        if s.factor >= insight::critical::STRAGGLER_FACTOR {
+            faults.push(GroundTruthFault {
+                kind: FaultKind::GpuSlowdown,
+                node: Some(s.node as u64),
+                at_secs: s.from_secs,
+            });
+        }
+    }
+    faults
+}
+
+/// Trims the planned crashes of `kind` down to the `fired` earliest ones,
+/// matching what the runtime's recovery counters confirm actually
+/// happened (a later co-scheduled crash can be outrun by the job
+/// finishing first).
+fn retain_fired(truth: &mut Vec<GroundTruthFault>, kind: FaultKind, fired: usize) {
+    let mut idx: Vec<usize> = (0..truth.len()).filter(|&i| truth[i].kind == kind).collect();
+    idx.sort_by(|&a, &b| truth[a].at_secs.total_cmp(&truth[b].at_secs));
+    let dropped: std::collections::BTreeSet<usize> = idx.into_iter().skip(fired).collect();
+    let mut i = 0;
+    truth.retain(|_| {
+        let keep = !dropped.contains(&i);
+        i += 1;
+        keep
+    });
+}
+
 /// Runs the seeded chaos grid (see the module docs). Panics only on
 /// driver errors (an invalid sampled config is a harness bug); invariant
 /// violations are recorded in the report, not panicked on.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    run_chaos_inner(cfg, None).0
+}
+
+/// Runs the chaos grid with the health watchdog attached to every trial:
+/// the watchdog subscribes to each chaotic run's event bus, its incidents
+/// are joined against the injected plan, and each trial's fault-free
+/// baseline doubles as the false-positive check. Returns the ordinary
+/// invariant report (byte-identical to [`run_chaos`]'s — the watchdog is
+/// a pure read-side consumer) plus the detection-quality score.
+pub fn run_chaos_scored(cfg: &ChaosConfig, rules: &WatchConfig) -> (ChaosReport, WatchScore) {
+    let (report, score) = run_chaos_inner(cfg, Some(rules));
+    (report, score.expect("scoring was requested"))
+}
+
+fn run_chaos_inner(
+    cfg: &ChaosConfig,
+    rules: Option<&WatchConfig>,
+) -> (ChaosReport, Option<WatchScore>) {
     let mut trials = Vec::with_capacity(cfg.trials);
+    let mut watched: Vec<TrialWatch> = Vec::new();
     for index in 0..cfg.trials {
         let mut s = cfg
             .seed
@@ -353,10 +430,23 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         }
 
         // Fault-free baseline: the reference outputs, model state, and
-        // the duration crash times are scheduled against.
+        // the duration crash times are scheduled against. Under scoring
+        // it is also recorded and watched — a healthy run firing any
+        // alert is a false positive. Recording is zero-virtual-time-
+        // overhead, so `span` (and with it the sampled crash times and
+        // the whole report) is identical either way.
         let baseline_app = Arc::new(ChaosApp::new(items, keys, converge_round));
-        let baseline = run_iterative(&ClusterSpec::delta(nodes), baseline_app.clone(), config)
-            .expect("chaos baseline run");
+        let baseline_obs = rules.map(|_| Obs::recording());
+        let baseline = match &baseline_obs {
+            Some(o) => run_iterative_observed(
+                &ClusterSpec::delta(nodes),
+                baseline_app.clone(),
+                config,
+                o.clone(),
+            ),
+            None => run_iterative(&ClusterSpec::delta(nodes), baseline_app.clone(), config),
+        }
+        .expect("chaos baseline run");
         let span = baseline.metrics.total_seconds;
 
         // Crash coverage: the first two trials force one worker crash and
@@ -393,10 +483,15 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
             plan = plan.slow_cpu(victim, 0.0, span, 2.0 + 2.0 * unit(&mut s));
         }
 
+        let truth = rules.map(|_| ground_truth_from_plan(&plan));
+
         let chaotic_config = config.with_checkpoint_interval(checkpoint_interval);
         let chaotic_app = Arc::new(ChaosApp::new(items, keys, converge_round));
         let store = Arc::new(MemStore::new());
         let obs = Obs::recording();
+        // The watchdog is an online consumer: it opens its cursor before
+        // the run and drains everything the run appended afterwards.
+        let mut watch_sub = obs.bus.subscribe();
         let outcome: ResilientOutcome<u64> = run_resilient_observed(
             &ClusterSpec::delta(nodes).with_faults(plan),
             chaotic_app.clone(),
@@ -407,6 +502,29 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         .expect("chaos resilient run");
 
         let rec = outcome.metrics.recovery;
+        if let (Some(rules), Some(mut truth), Some(baseline_obs)) = (rules, truth, &baseline_obs) {
+            // A co-scheduled crash can be outrun: after an earlier
+            // recovery rebases the plan, the job may finish before the
+            // rebased crash instant ever arrives, so that crash never
+            // fires at runtime and no detector can — or should — see it.
+            // Keep only as many planned crashes as the runtime's own
+            // recovery counters confirm fired, earliest first.
+            retain_fired(&mut truth, FaultKind::NodeCrash, rec.node_crashes as usize);
+            retain_fired(&mut truth, FaultKind::MasterCrash, rec.master_failovers as usize);
+            let chaotic_events: Vec<RollupEvent> =
+                watch_sub.poll().iter().map(RollupEvent::from).collect();
+            let chaotic = watch::watch(&chaotic_events, &obs.audit.records(), rules);
+            let healthy_events: Vec<RollupEvent> =
+                baseline_obs.bus.events().iter().map(RollupEvent::from).collect();
+            let healthy = watch::watch(&healthy_events, &baseline_obs.audit.records(), rules);
+            watched.push(TrialWatch {
+                index,
+                faults: truth,
+                chaotic_alerts: chaotic.alerts.len(),
+                fault_free_alerts: healthy.alerts.len(),
+                incidents: chaotic.incidents,
+            });
+        }
         let result_identical = outcome.outputs == baseline.outputs
             && chaotic_app.save_state() == baseline_app.save_state();
         let flow_conserved = flows_conserved(&obs);
@@ -443,10 +561,14 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
             clock_monotone,
         });
     }
-    ChaosReport {
-        seed: cfg.seed,
-        trials,
-    }
+    let score = rules.map(|_| score_trials(cfg.seed, &watched));
+    (
+        ChaosReport {
+            seed: cfg.seed,
+            trials,
+        },
+        score,
+    )
 }
 
 #[cfg(test)]

@@ -72,7 +72,9 @@ pub mod resilient;
 mod task;
 
 pub use api::{CheckpointableApp, DeviceClass, IterativeApp, Key, SpmdApp};
-pub use chaos::{run_chaos, ChaosConfig, ChaosReport, ChaosTrial};
+pub use chaos::{
+    ground_truth_from_plan, run_chaos, run_chaos_scored, ChaosConfig, ChaosReport, ChaosTrial,
+};
 pub use checkpoint::{Checkpoint, CheckpointStore, DirStore, MemStore};
 pub use cluster::ClusterSpec;
 pub use config::{CalibrationMode, JobConfig, SchedulingMode};

@@ -210,6 +210,32 @@ impl EventBus {
         self.inner.as_ref().map_or_else(Vec::new, |i| i.events.lock().clone())
     }
 
+    /// Opens a streaming cursor over the bus, positioned at the current
+    /// tail: the first [`Subscription::poll`] returns only events
+    /// appended after this call. Subscribing to a disabled bus yields an
+    /// empty subscription that never returns events.
+    pub fn subscribe(&self) -> Subscription {
+        Subscription {
+            bus: self.clone(),
+            cursor: self.len(),
+        }
+    }
+
+    /// Snapshot of the events appended at or after index `cursor`, in
+    /// append order, plus the new cursor position. The append order is
+    /// itself deterministic for a deterministic run, so consumers that
+    /// canonically re-sort (as the watchdog does) are engine-independent.
+    pub fn events_since(&self, cursor: usize) -> (Vec<Event>, usize) {
+        match &self.inner {
+            Some(inner) => {
+                let events = inner.events.lock();
+                let start = cursor.min(events.len());
+                (events[start..].to_vec(), events.len())
+            }
+            None => (Vec::new(), 0),
+        }
+    }
+
     /// Canonical JSONL export: one JSON object per line, lines sorted
     /// by `(t, rendered bytes)` so two runs that record the same set of
     /// events — in any append order — produce byte-identical output.
@@ -226,6 +252,33 @@ impl EventBus {
             out.push('\n');
         }
         out
+    }
+}
+
+/// A streaming cursor over an [`EventBus`]: each [`poll`] drains the
+/// events appended since the previous poll. Used by online consumers
+/// (the health watchdog) that want to observe a run incrementally
+/// without re-reading the full event vector.
+///
+/// [`poll`]: Subscription::poll
+#[derive(Clone)]
+pub struct Subscription {
+    bus: EventBus,
+    cursor: usize,
+}
+
+impl Subscription {
+    /// Returns the events appended since the last poll (or since
+    /// [`EventBus::subscribe`]) and advances the cursor past them.
+    pub fn poll(&mut self) -> Vec<Event> {
+        let (events, cursor) = self.bus.events_since(self.cursor);
+        self.cursor = cursor;
+        events
+    }
+
+    /// Current cursor position (events consumed so far).
+    pub fn cursor(&self) -> usize {
+        self.cursor
     }
 }
 
@@ -306,6 +359,31 @@ mod tests {
         assert_eq!(doc["iter"].as_u64(), Some(2));
         assert_eq!(doc["block"].as_u64(), Some(7));
         assert_eq!(doc["attrs"]["flops"].as_f64(), Some(1e9));
+    }
+
+    #[test]
+    fn subscription_drains_incrementally() {
+        let bus = EventBus::recording();
+        bus.event("l", "before", SimTime::ZERO).unwrap().commit();
+        let mut sub = bus.subscribe();
+        assert!(sub.poll().is_empty(), "starts at the tail");
+        bus.event("l", "first", SimTime::from_secs(1)).unwrap().commit();
+        bus.event("l", "second", SimTime::from_secs(2)).unwrap().commit();
+        let batch = sub.poll();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(&*batch[0].kind, "first");
+        assert!(sub.poll().is_empty(), "cursor advanced past the batch");
+        bus.event("l", "third", SimTime::from_secs(3)).unwrap().commit();
+        assert_eq!(sub.poll().len(), 1);
+        assert_eq!(sub.cursor(), 4);
+    }
+
+    #[test]
+    fn subscription_on_disabled_bus_is_inert() {
+        let bus = EventBus::disabled();
+        let mut sub = bus.subscribe();
+        assert!(sub.poll().is_empty());
+        assert_eq!(sub.cursor(), 0);
     }
 
     #[test]

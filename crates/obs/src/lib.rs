@@ -36,7 +36,7 @@ pub mod rollup;
 pub mod trace_ctx;
 
 pub use audit::{AuditLog, DecisionId, DecisionRecord};
-pub use bus::{Event, EventBus, EventDraft};
+pub use bus::{Event, EventBus, EventDraft, Subscription};
 pub use metrics::MetricsRegistry;
 pub use rollup::{rollup, Rollup, RollupConfig, RollupEvent};
 pub use trace_ctx::{flow_id, TraceCtx, CONTROL_RANK};

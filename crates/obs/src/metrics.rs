@@ -304,6 +304,25 @@ mod tests {
         m.counter_add("c_total", &[("l", "x\\n")], 1.0);
         m.counter_add("c_total", &[("l", "x\n")], 2.0);
         assert_eq!(MetricsRegistry::parse_samples(&m.to_prometheus()).len(), 2);
+        // Watchdog families carry free-form rule names; escaping must
+        // hold for them too.
+        let m = MetricsRegistry::recording();
+        m.counter_add(
+            "prs_watch_alerts_total",
+            &[("detector", "latency-drift"), ("rule", tricky), ("severity", "page")],
+            1.0,
+        );
+        m.counter_add(
+            "prs_watch_incidents_total",
+            &[("blame", "recovery"), ("kind", "node-crash")],
+            1.0,
+        );
+        let text = m.to_prometheus();
+        assert!(
+            text.contains(r#"prs_watch_alerts_total{detector="latency-drift",rule="a\"b\\c\nd",severity="page"} 1"#),
+            "watch alert family escapes rule labels, got: {text}"
+        );
+        assert_eq!(MetricsRegistry::parse_samples(&text).len(), 2);
     }
 
     #[test]
@@ -341,13 +360,23 @@ mod tests {
                     0 => m.counter_add("z_total", &[], 1.0),
                     1 => m.counter_add("a_total", &[("k", "v")], 2.0),
                     2 => m.gauge_set("m_gauge", &[], 0.5),
+                    3 => m.counter_add(
+                        "prs_watch_alerts_total",
+                        &[("detector", "heartbeat-gap"), ("rule", "node-heartbeat-gap"), ("severity", "page")],
+                        1.0,
+                    ),
+                    4 => m.counter_add(
+                        "prs_watch_incidents_total",
+                        &[("blame", "recovery"), ("kind", "node-crash")],
+                        1.0,
+                    ),
                     _ => m.observe("h_seconds", &[("d", "gpu")], 0.1),
                 }
             }
         };
         let (m1, m2) = (MetricsRegistry::recording(), MetricsRegistry::recording());
-        fill(&m1, &[0, 1, 2, 3]);
-        fill(&m2, &[3, 2, 1, 0]);
+        fill(&m1, &[0, 1, 2, 3, 4, 5]);
+        fill(&m2, &[5, 4, 3, 2, 1, 0]);
         let text = m1.to_prometheus();
         assert_eq!(text, m2.to_prometheus(), "insert order must not leak");
         assert_eq!(text, m1.to_prometheus(), "repeated renders identical");
@@ -356,6 +385,8 @@ mod tests {
             type_lines,
             [
                 "# TYPE a_total counter",
+                "# TYPE prs_watch_alerts_total counter",
+                "# TYPE prs_watch_incidents_total counter",
                 "# TYPE z_total counter",
                 "# TYPE m_gauge gauge",
                 "# TYPE h_seconds histogram",

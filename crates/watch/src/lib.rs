@@ -1,0 +1,381 @@
+//! Online health watchdog for the co-processing runtime.
+//!
+//! The observability stack records everything — `events.jsonl`, windowed
+//! rollups, the scheduler-decision audit — but until now nothing *watched*
+//! those streams: a throttled GPU, a straggling node, or a regime shift in
+//! the roofline model was only visible post-mortem via `prs analyze`. This
+//! crate closes the loop with three layers:
+//!
+//! 1. **Detectors** ([`detect`]) — pure streaming passes over the virtual-
+//!    time event stream, the rollup windows, and the audit log: EWMA peer
+//!    drift on per-lane map/kernel latencies, throughput-drop and
+//!    comm-stall detectors over rollup windows, heartbeat-gap and
+//!    recovery-storm detectors, and an Eq-(8) regime-shift detector on
+//!    predicted-vs-observed split quality.
+//! 2. **SLO rules** ([`slo`]) — declarative TOML rules (objective, window,
+//!    burn-rate thresholds) that turn detector samples into [`Alert`]s
+//!    when the burn rate stays over threshold long enough (or spikes past
+//!    the fast-burn factor).
+//! 3. **Incidents** ([`incident`]) — overlapping alerts across lanes are
+//!    correlated into [`Incident`]s carrying a blame verdict from
+//!    `insight`'s taxonomy and a fault-kind hypothesis.
+//!
+//! Because chaos runs inject faults from a seeded `FaultPlan`, the
+//! [`score`] module can do what production alerting never can: join fired
+//! incidents against exact ground truth and emit a per-fault-kind
+//! precision / recall / time-to-detect matrix, deterministically.
+//!
+//! # Determinism
+//!
+//! [`watch`] consumes a *set* of events: the stream is canonically sorted
+//! before any stateful pass runs, so the same recorded run — whatever the
+//! engine mode or append order — produces byte-identical `alerts.jsonl`
+//! and `incidents.jsonl`. The watchdog reads virtual timestamps and never
+//! advances virtual time.
+
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod incident;
+pub mod score;
+pub mod slo;
+
+pub use detect::{DetectorKind, LaneClass, Signal};
+pub use incident::{assemble_incidents, Incident};
+pub use score::{
+    score_trials, FaultKind, GroundTruthFault, KindScore, TrialWatch, WatchScore,
+    WATCH_SCORE_SCHEMA,
+};
+pub use slo::{Severity, SloRule, WatchConfig};
+
+use obs::rollup::RollupEvent;
+use obs::{DecisionRecord, MetricsRegistry};
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// Schema tag stamped into the `alerts.jsonl` / `incidents.jsonl` meta
+/// lines.
+pub const WATCH_SCHEMA: &str = "prs-watch-v1";
+
+/// The fault hypothesis an alert (and, aggregated, an incident) carries —
+/// what the detector believes went wrong, before any ground-truth join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultHint {
+    /// A worker node died (heartbeat gap on a node lane).
+    NodeCrash,
+    /// The master died (failover observed).
+    MasterCrash,
+    /// A node's CPU cores are running slow relative to peers.
+    CpuSlowdown,
+    /// A node's GPU kernels are running slow relative to peers.
+    GpuSlowdown,
+    /// Something is wrong but the detector cannot name the fault.
+    Unknown,
+}
+
+impl FaultHint {
+    /// Stable string form used in the JSONL artifacts.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultHint::NodeCrash => "node-crash",
+            FaultHint::MasterCrash => "master-crash",
+            FaultHint::CpuSlowdown => "cpu-slowdown",
+            FaultHint::GpuSlowdown => "gpu-slowdown",
+            FaultHint::Unknown => "unknown",
+        }
+    }
+
+    /// The scoreable fault kind, if the hint names one.
+    pub fn fault_kind(&self) -> Option<FaultKind> {
+        match self {
+            FaultHint::NodeCrash => Some(FaultKind::NodeCrash),
+            FaultHint::MasterCrash => Some(FaultKind::MasterCrash),
+            FaultHint::CpuSlowdown => Some(FaultKind::CpuSlowdown),
+            FaultHint::GpuSlowdown => Some(FaultKind::GpuSlowdown),
+            FaultHint::Unknown => None,
+        }
+    }
+}
+
+/// One fired alert: an SLO rule whose burn rate tripped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Name of the SLO rule that fired.
+    pub rule: String,
+    /// Detector the rule listens to.
+    pub detector: DetectorKind,
+    /// Lane class of the tripping scope.
+    pub class: LaneClass,
+    /// Worker node the alert is scoped to, when per-node.
+    pub node: Option<u64>,
+    /// Page or ticket.
+    pub severity: Severity,
+    /// Start of the breaching streak, virtual seconds.
+    pub t_start: f64,
+    /// Instant the trip condition was met (the `min_samples`-th breaching
+    /// sample, or the first fast-burn sample) — time-to-detect is
+    /// measured here.
+    pub t_fire: f64,
+    /// Last breaching sample, virtual seconds.
+    pub t_end: f64,
+    /// Earliest suspected cause time the detector saw (for heartbeat
+    /// gaps, the crash instant from the `at_s` attribute; otherwise the
+    /// streak start).
+    pub t_cause: f64,
+    /// Worst burn rate observed while the alert was open.
+    pub burn: f64,
+    /// The rule's burn-rate threshold.
+    pub threshold: f64,
+    /// Fault hypothesis.
+    pub hint: FaultHint,
+}
+
+impl Alert {
+    /// JSON object for one alert; keys in BTreeMap order.
+    pub fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("t0".to_string(), Value::Number(self.t_start));
+        m.insert("t_fire".to_string(), Value::Number(self.t_fire));
+        m.insert("t1".to_string(), Value::Number(self.t_end));
+        m.insert("t_cause".to_string(), Value::Number(self.t_cause));
+        m.insert("rule".to_string(), Value::String(self.rule.clone()));
+        m.insert(
+            "detector".to_string(),
+            Value::String(self.detector.as_str().to_string()),
+        );
+        m.insert("class".to_string(), Value::String(self.class.as_str().to_string()));
+        if let Some(n) = self.node {
+            m.insert("node".to_string(), Value::Number(n as f64));
+        }
+        m.insert(
+            "severity".to_string(),
+            Value::String(self.severity.as_str().to_string()),
+        );
+        m.insert("burn".to_string(), Value::Number(self.burn));
+        m.insert("threshold".to_string(), Value::Number(self.threshold));
+        m.insert("hint".to_string(), Value::String(self.hint.as_str().to_string()));
+        Value::Object(m)
+    }
+}
+
+/// The watchdog's full verdict over one recorded run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WatchOutput {
+    /// Fired alerts, canonically sorted by `(t_start, rendered bytes)`.
+    pub alerts: Vec<Alert>,
+    /// Correlated incidents, sorted by start time.
+    pub incidents: Vec<Incident>,
+}
+
+impl WatchOutput {
+    /// Canonical `alerts.jsonl`: a meta line, then one line per alert
+    /// sorted by `(t_start, rendered bytes)` — byte-identical for
+    /// identical input sets.
+    pub fn alerts_jsonl(&self) -> String {
+        let mut meta = BTreeMap::new();
+        meta.insert("schema".to_string(), Value::String(WATCH_SCHEMA.to_string()));
+        meta.insert("alerts".to_string(), Value::Number(self.alerts.len() as f64));
+        let mut out = Value::Object(meta).to_json_string();
+        out.push('\n');
+        let mut lines: Vec<(f64, String)> = self
+            .alerts
+            .iter()
+            .map(|a| (a.t_start, a.to_value().to_json_string()))
+            .collect();
+        lines.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        for (_, l) in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Canonical `incidents.jsonl`: a meta line, then one line per
+    /// incident in id order.
+    pub fn incidents_jsonl(&self) -> String {
+        let mut meta = BTreeMap::new();
+        meta.insert("schema".to_string(), Value::String(WATCH_SCHEMA.to_string()));
+        meta.insert(
+            "incidents".to_string(),
+            Value::Number(self.incidents.len() as f64),
+        );
+        let mut out = Value::Object(meta).to_json_string();
+        out.push('\n');
+        for inc in &self.incidents {
+            out.push_str(&inc.to_value().to_json_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Registers the `prs_watch_alerts_total` / `prs_watch_incidents_total`
+    /// counter families so `metrics.prom` carries the watchdog headline.
+    pub fn register_metrics(&self, m: &MetricsRegistry) {
+        for a in &self.alerts {
+            m.counter_add(
+                "prs_watch_alerts_total",
+                &[
+                    ("detector", a.detector.as_str()),
+                    ("rule", &a.rule),
+                    ("severity", a.severity.as_str()),
+                ],
+                1.0,
+            );
+        }
+        for i in &self.incidents {
+            m.counter_add(
+                "prs_watch_incidents_total",
+                &[("blame", i.blame.as_str()), ("kind", i.kind.as_str())],
+                1.0,
+            );
+        }
+    }
+}
+
+/// Canonical total order on rollup events: `(t, lane, kind, dur, iter,
+/// attrs)`. Two runs that record the same event *set* — in any append
+/// order, under any engine mode — sort to the same sequence, which is
+/// what makes every stateful detector pass deterministic.
+fn canonical_cmp(a: &RollupEvent, b: &RollupEvent) -> std::cmp::Ordering {
+    a.t.total_cmp(&b.t)
+        .then_with(|| a.lane.cmp(&b.lane))
+        .then_with(|| a.kind.cmp(&b.kind))
+        .then_with(|| {
+            a.dur
+                .unwrap_or(-1.0)
+                .total_cmp(&b.dur.unwrap_or(-1.0))
+        })
+        .then_with(|| a.iter.cmp(&b.iter))
+        .then_with(|| {
+            let fmt = |e: &RollupEvent| {
+                e.attrs
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v:?}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            fmt(a).cmp(&fmt(b))
+        })
+}
+
+/// Runs the full watchdog — detectors, SLO burn-rate evaluation, incident
+/// assembly — over one recorded run. Pure: permuting `events` or
+/// `decisions` does not change the output.
+pub fn watch(
+    events: &[RollupEvent],
+    decisions: &[DecisionRecord],
+    cfg: &WatchConfig,
+) -> WatchOutput {
+    let mut stream: Vec<RollupEvent> = events.to_vec();
+    stream.sort_by(canonical_cmp);
+    let horizon = stream.iter().map(RollupEvent::end).fold(0.0_f64, f64::max);
+
+    let mut alerts: Vec<Alert> = Vec::new();
+    for rule in cfg.rules.iter().filter(|r| r.enabled) {
+        let signals = detect::signals_for_rule(&stream, decisions, horizon, rule);
+        alerts.extend(slo::evaluate_rule(rule, &signals));
+    }
+    // Canonical alert order: by streak start, then rendered bytes.
+    alerts.sort_by(|a, b| {
+        a.t_start
+            .total_cmp(&b.t_start)
+            .then_with(|| a.to_value().to_json_string().cmp(&b.to_value().to_json_string()))
+    });
+    let merge_gap = if cfg.merge_gap_s > 0.0 {
+        cfg.merge_gap_s
+    } else {
+        // Auto: one auto-rollup window over the horizon.
+        obs::RollupConfig::auto(horizon.max(1e-9)).window_secs
+    };
+    let incidents = assemble_incidents(&alerts, merge_gap);
+    WatchOutput { alerts, incidents }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(lane: &str, kind: &str, t: f64, dur: Option<f64>, attrs: &[(&str, f64)]) -> RollupEvent {
+        RollupEvent {
+            t,
+            dur,
+            lane: lane.into(),
+            kind: kind.into(),
+            iter: None,
+            attrs: attrs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    /// Two homogeneous nodes trading equal-speed tasks: nothing fires.
+    #[test]
+    fn healthy_stream_fires_no_alerts() {
+        let mut events = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.1;
+            events.push(ev("node0-cpu-c0", "cpu-task", t, Some(0.05), &[("flops", 1e9)]));
+            events.push(ev("node1-cpu-c0", "cpu-task", t, Some(0.05), &[("flops", 1e9)]));
+        }
+        let out = watch(&events, &[], &WatchConfig::default());
+        assert!(out.alerts.is_empty(), "{:?}", out.alerts);
+        assert!(out.incidents.is_empty());
+    }
+
+    /// A node 3x slower than its peer trips the cpu drift rule, and the
+    /// incident names the straggler.
+    #[test]
+    fn cpu_drift_fires_and_assembles_an_incident() {
+        let mut events = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.1;
+            events.push(ev("node0-cpu-c0", "cpu-task", t, Some(0.15), &[("flops", 1e9)]));
+            events.push(ev("node1-cpu-c0", "cpu-task", t, Some(0.05), &[("flops", 1e9)]));
+        }
+        let out = watch(&events, &[], &WatchConfig::default());
+        assert!(
+            out.alerts.iter().any(|a| a.hint == FaultHint::CpuSlowdown && a.node == Some(0)),
+            "{:?}",
+            out.alerts
+        );
+        assert_eq!(out.incidents.len(), 1);
+        assert_eq!(out.incidents[0].kind, FaultHint::CpuSlowdown);
+        assert_eq!(out.incidents[0].blame, insight::Blame::Straggler);
+    }
+
+    /// The output is a pure function of the event *set*.
+    #[test]
+    fn output_is_order_independent() {
+        let mut events = Vec::new();
+        for i in 0..16 {
+            let t = i as f64 * 0.1;
+            events.push(ev("node0-cpu-c0", "cpu-task", t, Some(0.2), &[("flops", 1e9)]));
+            events.push(ev("node1-cpu-c0", "cpu-task", t, Some(0.05), &[("flops", 1e9)]));
+        }
+        events.push(ev("resilience", "node-crash", 1.7, None, &[("at_s", 1.6), ("node", 0.0)]));
+        let cfg = WatchConfig::default();
+        let fwd = watch(&events, &[], &cfg);
+        let mut rev = events.clone();
+        rev.reverse();
+        let bwd = watch(&rev, &[], &cfg);
+        assert_eq!(fwd.alerts_jsonl(), bwd.alerts_jsonl());
+        assert_eq!(fwd.incidents_jsonl(), bwd.incidents_jsonl());
+        assert!(fwd.alerts_jsonl().contains(WATCH_SCHEMA));
+    }
+
+    /// Metric families register one count per alert / incident.
+    #[test]
+    fn watch_metric_families_register() {
+        let mut events = Vec::new();
+        for i in 0..16 {
+            let t = i as f64 * 0.1;
+            events.push(ev("node0-cpu-c0", "cpu-task", t, Some(0.2), &[("flops", 1e9)]));
+            events.push(ev("node1-cpu-c0", "cpu-task", t, Some(0.05), &[("flops", 1e9)]));
+        }
+        let out = watch(&events, &[], &WatchConfig::default());
+        assert!(!out.alerts.is_empty());
+        let m = MetricsRegistry::recording();
+        out.register_metrics(&m);
+        let text = m.to_prometheus();
+        assert!(text.contains("prs_watch_alerts_total"), "{text}");
+        assert!(text.contains("prs_watch_incidents_total"), "{text}");
+    }
+}

@@ -13,13 +13,15 @@
 //! 3. the application outputs;
 //! 4. the rendered `events.jsonl`, `metrics.prom`, and `decisions.jsonl`
 //!    observability artifacts, byte for byte;
-//! 5. the chaos harness's `chaos_report.json`, byte for byte;
-//! 6. repeated runs under one mode (no hidden global state).
+//! 5. the watchdog's `alerts.jsonl` and `incidents.jsonl`, byte for byte;
+//! 6. the chaos harness's `chaos_report.json` and the scored grid's
+//!    `watch_score.json`, byte for byte;
+//! 7. repeated runs under one mode (no hidden global state).
 
 use obs::Obs;
 use prs_core::{
-    run_chaos, run_iterative_observed, ChaosConfig, ClusterSpec, DeviceClass, EngineMode,
-    FaultPlan, IterativeApp, JobConfig, Key, SpmdApp,
+    run_chaos, run_chaos_scored, run_iterative_observed, ChaosConfig, ClusterSpec, DeviceClass,
+    EngineMode, FaultPlan, IterativeApp, JobConfig, Key, SpmdApp,
 };
 use roofline::model::DataResidency;
 use roofline::schedule::Workload;
@@ -136,12 +138,17 @@ struct RunArtifacts {
     events_jsonl: String,
     metrics_prom: String,
     decisions_jsonl: String,
+    alerts_jsonl: String,
+    incidents_jsonl: String,
 }
 
 fn run_under(spec: &ClusterSpec, config: JobConfig, mode: EngineMode) -> RunArtifacts {
     let obs = Obs::recording();
     let result = run_iterative_observed(spec, hist(), config.with_engine(mode), obs.clone())
         .expect("scenario must complete under every engine");
+    let roll_events: Vec<obs::rollup::RollupEvent> =
+        obs.bus.events().iter().map(Into::into).collect();
+    let watched = watch::watch(&roll_events, &obs.audit.records(), &watch::WatchConfig::default());
     RunArtifacts {
         makespan_bits: result.metrics.total_seconds.to_bits(),
         sim_events: result.metrics.sim_events,
@@ -149,6 +156,8 @@ fn run_under(spec: &ClusterSpec, config: JobConfig, mode: EngineMode) -> RunArti
         events_jsonl: obs.bus.to_jsonl(),
         metrics_prom: obs.metrics.to_prometheus(),
         decisions_jsonl: obs.audit.to_jsonl(),
+        alerts_jsonl: watched.alerts_jsonl(),
+        incidents_jsonl: watched.incidents_jsonl(),
     }
 }
 
@@ -172,6 +181,14 @@ fn assert_identical(name: &str, mode: EngineMode, got: &RunArtifacts, want: &Run
     assert_eq!(
         got.decisions_jsonl, want.decisions_jsonl,
         "[{name}/{mode}] decisions.jsonl is not byte-identical"
+    );
+    assert_eq!(
+        got.alerts_jsonl, want.alerts_jsonl,
+        "[{name}/{mode}] alerts.jsonl is not byte-identical"
+    );
+    assert_eq!(
+        got.incidents_jsonl, want.incidents_jsonl,
+        "[{name}/{mode}] incidents.jsonl is not byte-identical"
     );
 }
 
@@ -260,4 +277,43 @@ fn chaos_report_byte_identical_across_engines() {
             "chaos_report.json diverged under the {mode} engine"
         );
     }
+}
+
+/// Same contract for the scored grid: attaching the watchdog must not
+/// perturb the chaos report, and `watch_score.json` itself is a pure
+/// function of `(trials, seed)` — engine-independent and repeat-stable.
+#[test]
+fn watch_score_byte_identical_across_engines() {
+    let rules = watch::WatchConfig::default();
+    let scored = |engine: EngineMode| {
+        let (report, score) = run_chaos_scored(
+            &ChaosConfig {
+                trials: 6,
+                seed: 7,
+                engine,
+            },
+            &rules,
+        );
+        (report.to_json().to_string(), score.to_json())
+    };
+    let plain = run_chaos(&ChaosConfig {
+        trials: 6,
+        seed: 7,
+        engine: EngineMode::LegacyHeap,
+    })
+    .to_json()
+    .to_string();
+    let (ref_report, ref_score) = scored(EngineMode::LegacyHeap);
+    assert_eq!(
+        ref_report, plain,
+        "attaching the watchdog perturbed chaos_report.json"
+    );
+    for mode in [EngineMode::Calendar, EngineMode::Parallel] {
+        let (report, score) = scored(mode);
+        assert_eq!(report, ref_report, "scored chaos report diverged under {mode}");
+        assert_eq!(score, ref_score, "watch_score.json diverged under the {mode} engine");
+    }
+    let (repeat_report, repeat_score) = scored(EngineMode::LegacyHeap);
+    assert_eq!(repeat_report, ref_report, "scored chaos report is not repeat-stable");
+    assert_eq!(repeat_score, ref_score, "watch_score.json is not repeat-stable");
 }
