@@ -1,0 +1,130 @@
+//! Profiler overhead bench: the cost of recording span-stack frames on
+//! a real two-node run, versus the same run with the stack context (and
+//! every other sink) disabled.
+//!
+//! Three numbers matter and all are emitted to
+//! `target/experiments/BENCH_profile.json`:
+//!
+//! - *wall-clock overhead* — how much slower the host-side simulation
+//!   gets with the sampler's stack context attached (one interned-`Arc`
+//!   clone plus a mutex push per frame);
+//! - *virtual-time overhead* — must be exactly zero: frame recording
+//!   never calls `ctx.hold`, so `total_seconds` is bit-identical and
+//!   the run's metrics are unchanged with the sampler attached;
+//! - *fold cost* — rendering `profile.folded` + `profile.json` from the
+//!   recorded frames, the offline half of `prs profile`.
+
+use criterion::{criterion_group, Criterion};
+use prs_bench::{write_json, SyntheticApp};
+use prs_core::{run_iterative, run_iterative_observed, ClusterSpec, JobConfig, Obs};
+use roofline::model::DataResidency;
+use roofline::schedule::Workload;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn app() -> Arc<SyntheticApp> {
+    Arc::new(SyntheticApp {
+        n: 200_000,
+        item_bytes: 64,
+        workload: Workload::uniform(200.0, DataResidency::Staged),
+        keys: 16,
+        value_bytes: 16,
+    })
+}
+
+fn config() -> JobConfig {
+    JobConfig::static_analytic().with_iterations(3)
+}
+
+fn profile_of(obs: &Obs) -> obs::Profile {
+    let set = obs::FrameSet::from_stack(&obs.stack);
+    obs::profile(&set, set.horizon(), obs::profile::DEFAULT_PERIOD_S)
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let spec = ClusterSpec::delta(2);
+    let mut g = c.benchmark_group("profile/two_node_3_iter");
+    g.sample_size(10);
+    g.bench_function("disabled", |b| {
+        b.iter(|| black_box(run_iterative(&spec, app(), config()).unwrap()));
+    });
+    g.bench_function("recording", |b| {
+        b.iter(|| {
+            black_box(
+                run_iterative_observed(&spec, app(), config(), Obs::recording()).unwrap(),
+            )
+        });
+    });
+    let obs = Obs::recording();
+    run_iterative_observed(&spec, app(), config(), obs.clone()).unwrap();
+    g.bench_function("fold", |b| {
+        b.iter(|| {
+            let prof = profile_of(&obs);
+            black_box((prof.to_folded(), prof.to_json()))
+        });
+    });
+    g.finish();
+}
+
+/// Mean wall-clock seconds of `f` over `n` timed runs (after one warmup).
+fn mean_secs<R>(n: u32, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..n {
+        black_box(f());
+    }
+    start.elapsed().as_secs_f64() / f64::from(n)
+}
+
+fn emit_json() {
+    let spec = ClusterSpec::delta(2);
+    let runs = 10;
+    let disabled = mean_secs(runs, || run_iterative(&spec, app(), config()).unwrap());
+    let recording = mean_secs(runs, || {
+        run_iterative_observed(&spec, app(), config(), Obs::recording()).unwrap()
+    });
+    let obs = Obs::recording();
+    run_iterative_observed(&spec, app(), config(), obs.clone()).unwrap();
+    let fold = mean_secs(runs, || black_box(profile_of(&obs).to_folded()));
+
+    // The zero-virtual-overhead invariant, re-checked at bench scale:
+    // with the sampler's stack context attached, the run's virtual
+    // clock and metrics are bit-identical to a bare run's.
+    let bare = run_iterative(&spec, app(), config()).unwrap();
+    let seen = run_iterative_observed(&spec, app(), config(), Obs::recording()).unwrap();
+    let virtual_identical =
+        bare.metrics.total_seconds.to_bits() == seen.metrics.total_seconds.to_bits()
+            && bare.metrics.compute_seconds.to_bits() == seen.metrics.compute_seconds.to_bits();
+    assert!(virtual_identical, "stack recording must not advance virtual time");
+
+    // And the folded artifact itself is repeat-stable.
+    let prof = profile_of(&obs);
+    let stable = prof.to_folded() == profile_of(&obs).to_folded()
+        && prof.to_json() == profile_of(&obs).to_json();
+    assert!(stable, "profiler artifacts must be byte-stable across folds");
+
+    let overhead = if disabled > 0.0 { recording / disabled - 1.0 } else { 0.0 };
+    write_json(
+        "BENCH_profile",
+        &serde_json::json!({
+            "bench": "profile_overhead",
+            "scenario": "delta(2), 3 iterations, 200k items, stack context recording",
+            "timed_runs": runs,
+            "disabled_wall_secs": disabled,
+            "recording_wall_secs": recording,
+            "fold_wall_secs": fold,
+            "wall_overhead_fraction": overhead,
+            "virtual_time_bit_identical": virtual_identical,
+            "samples": prof.samples,
+            "frames": prof.frames.len(),
+        }),
+    );
+}
+
+criterion_group!(benches, bench_profile);
+
+fn main() {
+    benches();
+    emit_json();
+}

@@ -45,6 +45,8 @@ fn main() {
         Some("watch") => cmd_watch(&args[1..]),
         Some("calibrate") => cmd_calibrate(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("profiles") => cmd_profiles(),
@@ -84,11 +86,26 @@ USAGE:
                           frame, --window <s> sets the gauge window,
                           --frames <n> the replay frame count; frames
                           include the watchdog's alert lane
+  prs profile <d>         virtual-time sampling profile of an --obs dir:
+                          folds the recorded stack frames at a fixed
+                          virtual period into per-phase / per-node /
+                          per-lane-class sample counts; --folded prints
+                          collapsed-stack lines (flamegraph input),
+                          --top <n> caps the hot-frame table (10),
+                          --period <s> overrides the sample period
+                          (see docs/profiling.md)
+  prs diff <base> <cand>  differential regression attribution between
+                          two --obs dirs: decomposes the virtual-makespan
+                          delta into per-phase / per-node / per-blame
+                          contributions and writes diff.json into the
+                          candidate dir
   prs bench --all         run the fixed benchmark suite (including the
                           1000-node engine-throughput scenarios) and write
                           BENCH_prs.json (--check compares virtual
                           makespans, simulated-events/sec, and the engine
                           speedup floor against the committed baseline,
+                          names the regressing phase and writes
+                          BENCH_diff.json when a gate trips,
                           --out <file> overrides the output path)
   prs chaos [options]     sample seeded fault plans (node/master crashes,
                           stragglers, speculation) and assert the recovery
@@ -456,6 +473,9 @@ fn cmd_trace(args: &[String]) -> i32 {
         let Ok(v) = serde_json::from_str(line) else {
             continue;
         };
+        if v.get("schema").is_some() {
+            continue; // exporter meta line, not an event
+        }
         let kind = v["kind"].as_str().unwrap_or("?").to_string();
         let lane = v["lane"].as_str().unwrap_or("?").to_string();
         let t = v["t"].as_f64().unwrap_or(0.0);
@@ -983,6 +1003,176 @@ fn cmd_top(args: &[String]) -> i32 {
 /// scenarios every run, so their virtual makespans are bit-reproducible
 /// and regressions are diffable. Wall-clock medians are reported for
 /// context but never gated on.
+/// Loads the profiler's frame set from an `--obs` bundle: `stacks.jsonl`
+/// when present, otherwise reconstructed from `events.jsonl` span events
+/// (bundles recorded before stack recording existed still profile).
+/// Returns the frames plus the bundle's event horizon in virtual seconds.
+fn load_frame_set(dir: &str) -> Result<(obs::FrameSet, f64), String> {
+    let p = std::path::Path::new(dir);
+    let stacks = if p.is_dir() { p.join("stacks.jsonl") } else { p.to_path_buf() };
+    if let Ok(text) = std::fs::read_to_string(&stacks) {
+        let set = obs::FrameSet::parse_stacks_jsonl(&text)
+            .map_err(|e| format!("{}: {e}", stacks.display()))?;
+        if !set.is_empty() {
+            // The sampling horizon still comes from the full event
+            // stream so trailing span-less time is counted.
+            let horizon = read_trace_events(dir)
+                .map(|ev| ev.iter().map(insight::TraceEvent::end).fold(0.0, f64::max))
+                .unwrap_or_else(|_| set.horizon());
+            return Ok((set, horizon));
+        }
+    }
+    let events = read_trace_events(dir)?;
+    let horizon = events.iter().map(insight::TraceEvent::end).fold(0.0, f64::max);
+    let frames: Vec<obs::Frame> = events
+        .iter()
+        .filter(|e| e.dur.is_some())
+        .map(|e| obs::Frame {
+            lane: e.lane.clone(),
+            frame: e.kind.clone(),
+            t0: e.t,
+            t1: e.end(),
+        })
+        .collect();
+    let set = obs::FrameSet::from_frames(frames);
+    if set.is_empty() {
+        return Err(format!("no stack frames found in {dir} — was the run recorded with --obs?"));
+    }
+    Ok((set, horizon))
+}
+
+/// `prs profile <dir> [--folded] [--top <n>] [--period <s>]`: fold the
+/// recorded stack frames at a fixed virtual sampling period and print
+/// the per-phase / per-node / hot-frame summary (or the collapsed-stack
+/// lines with `--folded`).
+fn cmd_profile(args: &[String]) -> i32 {
+    let parsed = (|| -> Result<(String, bool, usize, f64), String> {
+        let (positional, rest) = match args.first() {
+            Some(a) if !a.starts_with("--") => (Some(a.clone()), &args[1..]),
+            _ => (None, args),
+        };
+        let (kv, flags) = parse_kv(rest)?;
+        for f in &flags {
+            if f != "folded" {
+                return Err(format!("unknown flag --{f}"));
+            }
+        }
+        for k in kv.keys() {
+            if !["dir", "top", "period"].contains(&k.as_str()) {
+                return Err(format!("unknown option --{k}"));
+            }
+        }
+        let dir = positional
+            .or_else(|| kv.get("dir").cloned())
+            .ok_or_else(|| "missing --dir <obs output directory>".to_string())?;
+        let top = match kv.get("top") {
+            Some(v) => v.parse::<usize>().map_err(|_| format!("--top {v}: not an integer"))?,
+            None => 10,
+        };
+        let period = match kv.get("period") {
+            Some(v) => {
+                let p = v.parse::<f64>().map_err(|_| format!("--period {v}: not a number"))?;
+                if p <= 0.0 {
+                    return Err(format!("--period {v}: must be positive"));
+                }
+                p
+            }
+            None => obs::profile::DEFAULT_PERIOD_S,
+        };
+        Ok((dir, flags.iter().any(|f| f == "folded"), top, period))
+    })();
+    let (dir, folded, top, period) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let (set, horizon) = match load_frame_set(&dir) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let prof = obs::profile(&set, horizon, period);
+    if folded {
+        say!("{}", prof.to_folded().trim_end());
+        return 0;
+    }
+    say!(
+        "{} sample(s) at {:.0} ns virtual period over {:.6} s ({} frames, {} lanes)",
+        prof.samples,
+        prof.period_s * 1e9,
+        prof.horizon_s,
+        set.frames().len(),
+        prof.lanes.len()
+    );
+    say!("\nphases (virtual-time samples):");
+    say!("  {:<10} {:>9} {:>7}   by lane class", "phase", "samples", "share");
+    for (phase, pp) in &prof.phases {
+        let share = if prof.samples > 0 {
+            100.0 * pp.samples as f64 / prof.samples as f64
+        } else {
+            0.0
+        };
+        let classes: Vec<String> =
+            pp.by_class.iter().map(|(c, n)| format!("{c}:{n}")).collect();
+        say!("  {phase:<10} {:>9} {share:>6.1}%   {}", pp.samples, classes.join(" "));
+    }
+    say!("\nhot frames (self samples):");
+    say!("  {:<16} {:>9} {:>9}", "frame", "self", "total");
+    for (name, fp) in prof.ranked_frames().into_iter().take(top) {
+        say!("  {name:<16} {:>9} {:>9}", fp.self_samples, fp.total_samples);
+    }
+    0
+}
+
+/// `prs diff <baseline> <candidate>`: attribute the virtual-makespan
+/// delta between two `--obs` bundles. Writes `diff.json` into the
+/// candidate directory and prints the decomposition table.
+fn cmd_diff(args: &[String]) -> i32 {
+    let parsed = (|| -> Result<(String, String), String> {
+        let positionals: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+        if args.len() != positionals.len() {
+            let flag = args.iter().find(|a| a.starts_with("--")).unwrap();
+            return Err(format!("unknown flag {flag}"));
+        }
+        match positionals.as_slice() {
+            [base, cand] => Ok(((*base).clone(), (*cand).clone())),
+            _ => Err("usage: prs diff <baseline obs dir> <candidate obs dir>".to_string()),
+        }
+    })();
+    let (base_dir, cand_dir) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let (base_events, cand_events) =
+        match (read_trace_events(&base_dir), read_trace_events(&cand_dir)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+    let d = insight::diff_events(&base_events, &cand_events);
+    let out_dir = {
+        let p = std::path::Path::new(&cand_dir);
+        if p.is_dir() { p.to_path_buf() } else { p.parent().unwrap_or(p).to_path_buf() }
+    };
+    let path = out_dir.join("diff.json");
+    if let Err(e) = std::fs::write(&path, d.to_json()) {
+        eprintln!("error writing {}: {e}", path.display());
+        return 1;
+    }
+    say!("{}", d.table().trim_end());
+    eprintln!("diff written to {}", path.display());
+    0
+}
+
 fn bench_suite() -> Vec<(&'static str, RunOptions)> {
     let base = RunOptions::default();
     let mut cmeans_static = base.clone();
@@ -1056,6 +1246,23 @@ struct BenchRow {
     events_per_sec: Option<f64>,
     speedup_vs_legacy: Option<f64>,
     legacy_eps: Option<f64>,
+    /// Virtual seconds per phase (`setup` + the four stage sums from
+    /// [`prs_core::JobMetrics`]); absent on the synthetic engine row.
+    /// `--check` uses the committed values to name the regressing phase.
+    phases: Option<std::collections::BTreeMap<&'static str, f64>>,
+}
+
+/// Per-phase virtual-seconds breakdown of a run, derived from
+/// [`prs_core::JobMetrics`] alone (no obs attachment, so bench timing
+/// loops stay unobserved).
+fn phase_breakdown(m: &prs_core::JobMetrics) -> std::collections::BTreeMap<&'static str, f64> {
+    let mut out = std::collections::BTreeMap::new();
+    out.insert("setup", m.setup_seconds);
+    out.insert("map", m.iterations.iter().map(|s| s.map).sum());
+    out.insert("shuffle", m.iterations.iter().map(|s| s.shuffle).sum());
+    out.insert("reduce", m.iterations.iter().map(|s| s.reduce).sum());
+    out.insert("update", m.iterations.iter().map(|s| s.update).sum());
+    out
 }
 
 /// The synthetic engine-throughput entry: the 1000-node / 2M-event timer
@@ -1098,6 +1305,7 @@ fn engine_synthetic_row() -> BenchRow {
         events_per_sec: Some(events_per_sec),
         speedup_vs_legacy: Some(events_per_sec / base_eps.max(1e-9)),
         legacy_eps: Some(base_eps),
+        phases: None,
     }
 }
 
@@ -1154,6 +1362,7 @@ fn cmd_bench(args: &[String]) -> i32 {
         let mut wall_ns: Vec<u128> = Vec::with_capacity(iters);
         let mut makespan = 0.0f64;
         let mut sim_events = 0u64;
+        let mut phases = std::collections::BTreeMap::new();
         let mut best_wall_s = f64::MAX;
         for _ in 0..iters {
             let t0 = std::time::Instant::now();
@@ -1161,12 +1370,13 @@ fn cmd_bench(args: &[String]) -> i32 {
                 run_checkpointed_bench(&opts, &spec)
             } else {
                 dispatch(&opts, &spec, Obs::disabled())
-                    .map(|(m, _, _)| (m.total_seconds, m.sim_events))
+                    .map(|(m, _, _)| (m.total_seconds, m.sim_events, phase_breakdown(&m)))
             };
             match outcome {
-                Ok((m, ev)) => {
+                Ok((m, ev, ph)) => {
                     makespan = m;
                     sim_events = ev;
+                    phases = ph;
                 }
                 Err(e) => {
                     eprintln!("error in bench '{name}': {e}");
@@ -1203,6 +1413,7 @@ fn cmd_bench(args: &[String]) -> i32 {
             events_per_sec,
             speedup_vs_legacy: None,
             legacy_eps: None,
+            phases: Some(phases),
         });
     }
     let row = engine_synthetic_row();
@@ -1223,6 +1434,10 @@ fn cmd_bench(args: &[String]) -> i32 {
                     return 1;
                 };
                 let mut regressed = false;
+                // Per-entry phase deltas for every tripped makespan gate;
+                // written to BENCH_diff.json so a red CI run names its
+                // suspect without a rerun.
+                let mut diff_entries: Vec<serde_json::Value> = Vec::new();
                 // Machine-speed calibration for the wall-derived gates:
                 // the legacy hold path is measured fresh in this process,
                 // so the ratio of committed-to-measured legacy throughput
@@ -1262,6 +1477,44 @@ fn cmd_bench(args: &[String]) -> i32 {
                                 (tolerance - 1.0) * 100.0
                             );
                             regressed = true;
+                            // Attribute the regression: fresh-vs-committed
+                            // per-phase deltas, largest first.
+                            let committed = baseline_entry
+                                .and_then(|e| e["phases"].as_object().cloned())
+                                .unwrap_or_default();
+                            let mut deltas: Vec<(String, f64)> = row
+                                .phases
+                                .iter()
+                                .flatten()
+                                .map(|(phase, secs)| {
+                                    let was =
+                                        committed.get(*phase).and_then(|v| v.as_f64()).unwrap_or(0.0);
+                                    (phase.to_string(), secs - was)
+                                })
+                                .collect();
+                            deltas.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                            if let Some((phase, d)) = deltas.first().filter(|(_, d)| *d > 0.0) {
+                                eprintln!(
+                                    "  regressing phase: `{phase}` (+{d:.6}s vs baseline)"
+                                );
+                            }
+                            let delta_obj: std::collections::BTreeMap<String, serde_json::Value> =
+                                deltas
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), serde_json::json!(*v)))
+                                    .collect();
+                            diff_entries.push(serde_json::json!({
+                                "bench": name,
+                                "baseline_makespan_s": b,
+                                "fresh_makespan_s": fresh,
+                                "delta_s": fresh - b,
+                                "phase_deltas": delta_obj,
+                                "regressing_phase": deltas
+                                    .first()
+                                    .filter(|(_, d)| *d > 0.0)
+                                    .map(|(p, _)| serde_json::json!(p.clone()))
+                                    .unwrap_or(serde_json::Value::Null),
+                            }));
                         }
                         Some(b) => {
                             say!("check {name:<24} {fresh:.6}s vs {b:.6}s baseline: ok");
@@ -1308,6 +1561,20 @@ fn cmd_bench(args: &[String]) -> i32 {
                     }
                 }
                 if regressed {
+                    if !diff_entries.is_empty() {
+                        let diff_doc = serde_json::json!({
+                            "schema": "prs-bench-diff-v1",
+                            "entries": diff_entries,
+                        });
+                        let diff_path = "BENCH_diff.json";
+                        match std::fs::write(
+                            diff_path,
+                            serde_json::to_string_pretty(&diff_doc).unwrap() + "\n",
+                        ) {
+                            Ok(()) => eprintln!("regression attribution written to {diff_path}"),
+                            Err(e) => eprintln!("error writing {diff_path}: {e}"),
+                        }
+                    }
                     return 1;
                 }
                 return 0;
@@ -1337,6 +1604,13 @@ fn cmd_bench(args: &[String]) -> i32 {
                 if let Some(l) = row.legacy_eps {
                     map.insert("legacy_hold_events_per_sec".into(), serde_json::json!(l));
                 }
+                if let Some(phases) = &row.phases {
+                    let obj: std::collections::BTreeMap<String, serde_json::Value> = phases
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), serde_json::json!(*v)))
+                        .collect();
+                    map.insert("phases".into(), serde_json::json!(obj));
+                }
             }
             e
         })
@@ -1356,13 +1630,19 @@ fn cmd_bench(args: &[String]) -> i32 {
 /// One checkpoint-enabled bench iteration: C-means through the resilient
 /// driver with a fresh in-memory store and no faults. Returns the virtual
 /// makespan.
-fn run_checkpointed_bench(opts: &RunOptions, spec: &ClusterSpec) -> Result<(f64, u64), String> {
+fn run_checkpointed_bench(
+    opts: &RunOptions,
+    spec: &ClusterSpec,
+) -> Result<(f64, u64, std::collections::BTreeMap<&'static str, f64>), String> {
     let k = opts.clusters.max(1);
     let pts = Arc::new(clustering_workload(opts.points, opts.dims, k, opts.seed).points);
     let app = Arc::new(CMeans::new(pts, k, 2.0, 1e-3, opts.seed));
     let store: Arc<dyn prs_core::CheckpointStore> = Arc::new(prs_core::MemStore::new());
     prs_core::run_resilient(spec, app, opts.config, store)
-        .map(|outcome| (outcome.total_virtual_secs, outcome.metrics.sim_events))
+        .map(|outcome| {
+            let phases = phase_breakdown(&outcome.metrics);
+            (outcome.total_virtual_secs, outcome.metrics.sim_events, phases)
+        })
         .map_err(|e| e.to_string())
 }
 
@@ -1633,7 +1913,8 @@ fn cmd_run(args: &[String]) -> i32 {
         match write_obs_bundle(dir, &obs, &result.timeline) {
             Ok(()) => eprintln!(
                 "observability bundle written to {dir}/ (events.jsonl, metrics.prom, \
-                 decisions.jsonl, rollup.jsonl, alerts.jsonl, incidents.jsonl, trace.json)"
+                 decisions.jsonl, rollup.jsonl, alerts.jsonl, incidents.jsonl, trace.json, \
+                 stacks.jsonl, profile.folded, profile.json)"
             ),
             Err(e) => {
                 eprintln!("error writing observability bundle: {e}");
@@ -1696,6 +1977,11 @@ fn write_obs_bundle(dir: &str, obs: &Obs, timeline: &[device::Interval]) -> Resu
     write("alerts.jsonl", watched.alerts_jsonl())?;
     write("incidents.jsonl", watched.incidents_jsonl())?;
     write("trace.json", to_chrome_trace_with_flows(timeline, &flow_arrows(&flows)))?;
+    let set = obs::FrameSet::from_stack(&obs.stack);
+    let prof = obs::profile(&set, horizon, obs::profile::DEFAULT_PERIOD_S);
+    write("stacks.jsonl", set.to_stacks_jsonl())?;
+    write("profile.folded", prof.to_folded())?;
+    write("profile.json", prof.to_json())?;
     Ok(())
 }
 

@@ -29,6 +29,8 @@ fn readers_reject_a_missing_bundle() {
         vec!["analyze", missing],
         vec!["watch", missing],
         vec!["top", "--dir", missing, "--snapshot", "0.1"],
+        vec!["profile", missing],
+        vec!["diff", missing, missing],
     ] {
         let out = prs(&cmd);
         assert_eq!(
@@ -57,6 +59,8 @@ fn readers_reject_an_empty_bundle() {
         vec!["metrics", "--dir", d],
         vec!["analyze", d],
         vec!["watch", d],
+        vec!["profile", d],
+        vec!["diff", d, d],
     ] {
         let out = prs(&cmd);
         assert_eq!(
@@ -67,7 +71,9 @@ fn readers_reject_an_empty_bundle() {
         );
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(
-            stderr.contains("no events found") || stderr.contains("no samples found"),
+            stderr.contains("no events found")
+                || stderr.contains("no samples found")
+                || stderr.contains("no stack frames found"),
             "prs {}: unexpected stderr: {stderr}",
             cmd.join(" ")
         );
@@ -82,6 +88,12 @@ fn usage_errors_exit_two() {
         vec!["trace", "--bogus", "x"],
         vec!["chaos", "--rules", "rules.toml"], // --rules requires --score-watch
         vec!["watch"],
+        vec!["profile"],                     // missing bundle dir
+        vec!["profile", "x", "--bogus", "y"],
+        vec!["profile", "x", "--period", "0"], // period must be positive
+        vec!["diff"],                        // needs exactly two bundles
+        vec!["diff", "only-one"],
+        vec!["diff", "a", "b", "--bogus"],
         vec!["definitely-not-a-subcommand"],
     ] {
         let out = prs(&cmd);
@@ -100,9 +112,32 @@ fn end_to_end_run_then_watch_succeeds() {
     let d = dir.to_str().expect("utf-8 temp path");
     let run = prs(&["run", "--nodes", "2", "--points", "20000", "--iterations", "2", "--obs", d]);
     assert_eq!(run.status.code(), Some(0), "{}", String::from_utf8_lossy(&run.stderr));
-    for artifact in ["events.jsonl", "alerts.jsonl", "incidents.jsonl"] {
+    for artifact in [
+        "events.jsonl",
+        "alerts.jsonl",
+        "incidents.jsonl",
+        "stacks.jsonl",
+        "profile.folded",
+        "profile.json",
+    ] {
         assert!(dir.join(artifact).is_file(), "{artifact} missing from the bundle");
     }
+    // The profiler and the differ both accept the bundle they just wrote.
+    let profile = prs(&["profile", d]);
+    assert_eq!(
+        profile.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&profile.stderr)
+    );
+    let selfdiff = prs(&["diff", d, d]);
+    assert_eq!(
+        selfdiff.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&selfdiff.stderr)
+    );
+    assert!(dir.join("diff.json").is_file(), "diff.json written into the candidate bundle");
     let watchdog = prs(&["watch", d]);
     assert_eq!(
         watchdog.status.code(),

@@ -1937,17 +1937,21 @@ fn worker_body<A: SpmdApp>(
                 c.p_used[rank] = Some(p_eff);
             }
         }
-        if obs.bus.is_enabled() {
+        if obs.bus.is_enabled() || obs.stack.is_enabled() {
             let stages = [
                 ("map", t0, t_map),
                 ("shuffle", t_map, t_shuffle),
                 ("reduce", t_shuffle, t_reduce),
                 ("update", t_reduce, t_update),
             ];
+            // Profiler stack: an outer per-iteration frame with the four
+            // stage frames nested inside it by containment.
+            obs.stack.frame(&sched_lane, "iteration", t0, t_update);
             for (kind, start, end) in stages {
                 if let Some(d) = obs.bus.span(&sched_lane, kind, start, end) {
                     d.iteration(iter).commit();
                 }
+                obs.stack.frame(&sched_lane, kind, start, end);
             }
         }
 

@@ -251,6 +251,10 @@ pub fn run_resilient_observed<A: CheckpointableApp>(
         };
         plan = plan.rebased(new_base - base_secs);
         let now = SimTime::from_secs_f64(new_base);
+        // Profiler stack: recovery shows up as its own lane, spanning
+        // from the abort boundary to the restored run's new time base.
+        obs.stack
+            .frame("resilience", "recovery", SimTime::from_secs_f64(base_secs + end_local), now);
         if let Some(d) = obs.bus.event("resilience", kind, now) {
             let d = d.attr("at_s", crash_cumulative);
             let d = match crash {

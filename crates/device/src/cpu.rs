@@ -148,6 +148,7 @@ impl CpuPool {
                         .attr("wait_s", wait)
                         .commit();
                 }
+                o.obs.stack.frame_interned(&lane, &o.kind_task, t0, t_end);
                 o.obs
                     .metrics
                     .observe("prs_block_wait_seconds", &[("device", &self.name)], wait);

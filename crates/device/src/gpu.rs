@@ -222,6 +222,7 @@ impl Gpu {
             if let Some(d) = o.bus.span_interned(lane, kind, t0, t1) {
                 d.attr("bytes", bytes as f64).commit();
             }
+            o.stack.frame_interned(lane, kind, t0, t1);
             o.metrics.counter_add(
                 "prs_bytes_moved_total",
                 &[("device", &self.name), ("dir", dir)],
@@ -298,6 +299,7 @@ impl Gpu {
                     {
                         d.attr("lost_s", lost.as_secs_f64()).commit();
                     }
+                    o.stack.frame_interned(&self.lanes.compute, &self.lanes.kind_crashed, t0, t1);
                 }
                 self.compute.release(ctx, 1);
                 self.crashed.store(true, Ordering::Relaxed);
@@ -317,6 +319,7 @@ impl Gpu {
                     .attr("wait_s", wait)
                     .commit();
             }
+            o.stack.frame_interned(&self.lanes.compute, &self.lanes.kind_kernel, t0, t1);
             o.metrics
                 .observe("prs_block_wait_seconds", &[("device", &self.name)], wait);
         }

@@ -177,6 +177,10 @@ pub fn parse_events_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
         let obj = v
             .as_object()
             .ok_or_else(|| format!("events.jsonl line {}: not an object", lineno + 1))?;
+        if obj.contains_key("schema") {
+            // Exporter meta line (`obs::EVENTS_SCHEMA`), not an event.
+            continue;
+        }
         let num = |key: &str| obj.get(key).and_then(|x| x.as_f64());
         let int = |key: &str| obj.get(key).and_then(|x| x.as_u64());
         let text_field = |key: &str| {

@@ -306,6 +306,7 @@ impl Communicator {
             if let Some(d) = o.obs.bus.span_interned(&o.lanes[self.rank], &o.kind_send, t0, t1) {
                 d.attr("bytes", bytes as f64).attr("dst", dst as f64).commit();
             }
+            o.obs.stack.frame_interned(&o.lanes[self.rank], &o.kind_send, t0, t1);
             // The flow's departure instant: pairs with the receiver's
             // `msg-recv` through the shared `flow` id.
             if let Some(d) = o.obs.bus.event_interned(&o.lanes[self.rank], &o.kind_msg_send, t1) {

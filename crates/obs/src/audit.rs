@@ -14,6 +14,11 @@ use serde::Value;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Schema tag on the `decisions.jsonl` meta line (the first line of a
+/// non-empty export). [`AuditLog::parse_jsonl`] skips it because a meta
+/// line carries no `node`/`iter` keys.
+pub const DECISIONS_SCHEMA: &str = "prs-decisions-v1";
+
 /// Handle returned by [`AuditLog::begin`]; pass it back to
 /// [`AuditLog::complete`] once observed times are known.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -215,6 +220,16 @@ impl AuditLog {
             .collect();
         lines.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
         let mut out = String::new();
+        if !lines.is_empty() {
+            let mut meta = BTreeMap::new();
+            meta.insert(
+                "schema".to_string(),
+                Value::String(DECISIONS_SCHEMA.to_string()),
+            );
+            meta.insert("decisions".to_string(), Value::Number(lines.len() as f64));
+            out.push_str(&Value::Object(meta).to_json_string());
+            out.push('\n');
+        }
         for (_, _, l) in lines {
             out.push_str(&l);
             out.push('\n');
@@ -294,8 +309,9 @@ mod tests {
         log.begin(rec(1, 0)).unwrap();
         let jsonl = log.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert!(lines[0].contains("\"iter\":0"));
-        assert!(lines[1].contains("\"node\":0"));
-        assert!(lines[2].contains("\"node\":1"));
+        assert!(lines[0].contains(&format!("\"schema\":\"{DECISIONS_SCHEMA}\"")));
+        assert!(lines[1].contains("\"iter\":0"));
+        assert!(lines[2].contains("\"node\":0"));
+        assert!(lines[3].contains("\"node\":1"));
     }
 }

@@ -13,6 +13,11 @@ use simtime::SimTime;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Schema tag on the `events.jsonl` meta line (the first line of a
+/// non-empty export). Readers skip any line whose object carries a
+/// `schema` key.
+pub const EVENTS_SCHEMA: &str = "prs-events-v1";
+
 /// One structured event. `dur` distinguishes spans (busy intervals)
 /// from point events (a retry firing, a daemon dying).
 #[derive(Clone, Debug)]
@@ -247,6 +252,13 @@ impl EventBus {
             .collect();
         lines.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         let mut out = String::new();
+        if !lines.is_empty() {
+            let mut meta = BTreeMap::new();
+            meta.insert("schema".to_string(), Value::String(EVENTS_SCHEMA.to_string()));
+            meta.insert("events".to_string(), Value::Number(lines.len() as f64));
+            out.push_str(&Value::Object(meta).to_json_string());
+            out.push('\n');
+        }
         for (_, l) in lines {
             out.push_str(&l);
             out.push('\n');
@@ -352,7 +364,11 @@ mod tests {
             .attr("flops", 1e9)
             .commit();
         let jsonl = bus.to_jsonl();
-        let doc = serde_json::from_str(jsonl.trim()).unwrap();
+        let mut lines = jsonl.lines();
+        let meta = serde_json::from_str(lines.next().unwrap()).unwrap();
+        assert_eq!(meta["schema"].as_str(), Some(EVENTS_SCHEMA));
+        assert_eq!(meta["events"].as_u64(), Some(1));
+        let doc = serde_json::from_str(lines.next().unwrap()).unwrap();
         assert_eq!(doc["t"].as_f64(), Some(1.0));
         assert_eq!(doc["dur"].as_f64(), Some(2.0));
         assert_eq!(doc["lane"].as_str(), Some("node0-cpu-c0"));
@@ -398,7 +414,8 @@ mod tests {
         let fwd = render(&[(1.0, "a"), (1.0, "b"), (2.0, "c")]);
         let rev = render(&[(2.0, "c"), (1.0, "b"), (1.0, "a")]);
         assert_eq!(fwd, rev);
-        let first = fwd.lines().next().unwrap();
-        assert!(first.contains("\"a\""));
+        let mut lines = fwd.lines();
+        assert!(lines.next().unwrap().contains("\"schema\""));
+        assert!(lines.next().unwrap().contains("\"a\""));
     }
 }

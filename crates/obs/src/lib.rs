@@ -32,12 +32,14 @@
 pub mod audit;
 pub mod bus;
 pub mod metrics;
+pub mod profile;
 pub mod rollup;
 pub mod trace_ctx;
 
-pub use audit::{AuditLog, DecisionId, DecisionRecord};
-pub use bus::{Event, EventBus, EventDraft, Subscription};
-pub use metrics::MetricsRegistry;
+pub use audit::{AuditLog, DecisionId, DecisionRecord, DECISIONS_SCHEMA};
+pub use bus::{Event, EventBus, EventDraft, Subscription, EVENTS_SCHEMA};
+pub use metrics::{MetricsRegistry, METRICS_SCHEMA};
+pub use profile::{profile, Frame, FrameSet, Profile, PROFILE_SCHEMA, STACKS_SCHEMA};
 pub use rollup::{rollup, Rollup, RollupConfig, RollupEvent};
 pub use trace_ctx::{flow_id, TraceCtx, CONTROL_RANK};
 
@@ -52,15 +54,19 @@ pub struct Obs {
     pub metrics: MetricsRegistry,
     /// Scheduler-decision audit log.
     pub audit: AuditLog,
+    /// Stack-frame recorder feeding the virtual-time profiler
+    /// ([`mod@profile`]).
+    pub stack: simtime::StackCtx,
 }
 
 impl Obs {
-    /// A live bundle: all three sinks record.
+    /// A live bundle: all four sinks record.
     pub fn recording() -> Self {
         Self {
             bus: EventBus::recording(),
             metrics: MetricsRegistry::recording(),
             audit: AuditLog::recording(),
+            stack: simtime::StackCtx::recording(),
         }
     }
 
@@ -72,7 +78,10 @@ impl Obs {
 
     /// Whether any recording will actually happen.
     pub fn is_enabled(&self) -> bool {
-        self.bus.is_enabled() || self.metrics.is_enabled() || self.audit.is_enabled()
+        self.bus.is_enabled()
+            || self.metrics.is_enabled()
+            || self.audit.is_enabled()
+            || self.stack.is_enabled()
     }
 }
 

@@ -11,6 +11,11 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+/// Schema tag in the `# schema:` header comment leading every non-empty
+/// `metrics.prom` snapshot. Comment lines are skipped by
+/// [`MetricsRegistry::parse_samples`] and by Prometheus itself.
+pub const METRICS_SCHEMA: &str = "prs-metrics-v1";
+
 /// Histogram bucket upper bounds, virtual seconds. Spans the runtime's
 /// dynamic range: microsecond block waits up to multi-second stalls.
 const BUCKET_BOUNDS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
@@ -177,6 +182,7 @@ impl MetricsRegistry {
             return String::new();
         };
         let mut out = String::new();
+        let _ = writeln!(out, "# schema: {METRICS_SCHEMA}");
         let mut last_family = String::new();
         for (series, v) in inner.counters.lock().iter() {
             let fam = family(series);

@@ -45,6 +45,7 @@ mod gate;
 mod kernel;
 pub mod queue;
 mod resource;
+pub mod stackctx;
 pub mod stress;
 mod time;
 
@@ -55,6 +56,7 @@ pub use engine::{
 pub use kernel::TraceEvent;
 pub use queue::CalendarQueue;
 pub use resource::Resource;
+pub use stackctx::{StackCtx, StackFrame};
 pub use time::SimTime;
 
 #[cfg(test)]

@@ -16,7 +16,9 @@
 //! 5. the watchdog's `alerts.jsonl` and `incidents.jsonl`, byte for byte;
 //! 6. the chaos harness's `chaos_report.json` and the scored grid's
 //!    `watch_score.json`, byte for byte;
-//! 7. repeated runs under one mode (no hidden global state).
+//! 7. the profiler's `stacks.jsonl` / `profile.folded` / `profile.json`
+//!    and the differential attribution's `diff.json`, byte for byte;
+//! 8. repeated runs under one mode (no hidden global state).
 
 use obs::Obs;
 use prs_core::{
@@ -140,6 +142,9 @@ struct RunArtifacts {
     decisions_jsonl: String,
     alerts_jsonl: String,
     incidents_jsonl: String,
+    stacks_jsonl: String,
+    profile_folded: String,
+    profile_json: String,
 }
 
 fn run_under(spec: &ClusterSpec, config: JobConfig, mode: EngineMode) -> RunArtifacts {
@@ -149,6 +154,12 @@ fn run_under(spec: &ClusterSpec, config: JobConfig, mode: EngineMode) -> RunArti
     let roll_events: Vec<obs::rollup::RollupEvent> =
         obs.bus.events().iter().map(Into::into).collect();
     let watched = watch::watch(&roll_events, &obs.audit.records(), &watch::WatchConfig::default());
+    let set = obs::FrameSet::from_stack(&obs.stack);
+    let horizon = insight::from_bus(&obs.bus)
+        .iter()
+        .map(insight::TraceEvent::end)
+        .fold(0.0, f64::max);
+    let prof = obs::profile(&set, horizon, obs::profile::DEFAULT_PERIOD_S);
     RunArtifacts {
         makespan_bits: result.metrics.total_seconds.to_bits(),
         sim_events: result.metrics.sim_events,
@@ -158,6 +169,9 @@ fn run_under(spec: &ClusterSpec, config: JobConfig, mode: EngineMode) -> RunArti
         decisions_jsonl: obs.audit.to_jsonl(),
         alerts_jsonl: watched.alerts_jsonl(),
         incidents_jsonl: watched.incidents_jsonl(),
+        stacks_jsonl: set.to_stacks_jsonl(),
+        profile_folded: prof.to_folded(),
+        profile_json: prof.to_json(),
     }
 }
 
@@ -189,6 +203,18 @@ fn assert_identical(name: &str, mode: EngineMode, got: &RunArtifacts, want: &Run
     assert_eq!(
         got.incidents_jsonl, want.incidents_jsonl,
         "[{name}/{mode}] incidents.jsonl is not byte-identical"
+    );
+    assert_eq!(
+        got.stacks_jsonl, want.stacks_jsonl,
+        "[{name}/{mode}] stacks.jsonl is not byte-identical"
+    );
+    assert_eq!(
+        got.profile_folded, want.profile_folded,
+        "[{name}/{mode}] profile.folded is not byte-identical"
+    );
+    assert_eq!(
+        got.profile_json, want.profile_json,
+        "[{name}/{mode}] profile.json is not byte-identical"
     );
 }
 
@@ -253,6 +279,43 @@ fn same_instant_cross_node_events_fire_in_scheduling_order() {
             "[{mode}] same-instant cross-node wakes must fire in (time, seq) order"
         );
     }
+}
+
+/// The differential attribution artifact is a pure function of its two
+/// input bundles: diffing a clean run against a faulty one renders a
+/// byte-identical `diff.json` whichever engine produced either side,
+/// and the profiler's samples are non-vacuous on every scenario.
+#[test]
+fn diff_json_byte_identical_across_engines() {
+    let scenarios = scenarios();
+    let (_, clean_spec, clean_config) = &scenarios[0];
+    let (_, faulty_spec, faulty_config) = &scenarios[4]; // combined-faults
+    let diff_under = |base_mode: EngineMode, cand_mode: EngineMode| {
+        let base = run_under(clean_spec, *clean_config, base_mode);
+        let cand = run_under(faulty_spec, *faulty_config, cand_mode);
+        let base_ev = insight::parse_events_jsonl(&base.events_jsonl).unwrap();
+        let cand_ev = insight::parse_events_jsonl(&cand.events_jsonl).unwrap();
+        insight::diff_events(&base_ev, &cand_ev).to_json()
+    };
+    let reference = diff_under(EngineMode::LegacyHeap, EngineMode::LegacyHeap);
+    assert!(reference.contains("\"schema\": \"prs-diff-v1\""));
+    for mode in [EngineMode::Calendar, EngineMode::Parallel] {
+        assert_eq!(
+            diff_under(mode, mode),
+            reference,
+            "diff.json diverged when both bundles came from the {mode} engine"
+        );
+    }
+    assert_eq!(
+        diff_under(EngineMode::Calendar, EngineMode::Parallel),
+        reference,
+        "diff.json diverged across mixed-engine bundle pairs"
+    );
+    assert_eq!(
+        diff_under(EngineMode::LegacyHeap, EngineMode::LegacyHeap),
+        reference,
+        "diff.json is not repeat-stable"
+    );
 }
 
 /// The chaos harness's rendered report is a pure function of

@@ -109,6 +109,27 @@ fn seeded_runs_export_byte_identical_artifacts() {
     // And the artifacts are not vacuously equal.
     assert!(events.lines().count() > 100, "a two-node run emits real traffic");
     assert!(decisions.lines().count() >= 2, "one audit record per node per iteration");
+    // Each exporter self-identifies with a pinned schema tag (readers
+    // key meta-line skipping on it).
+    assert!(
+        events.lines().next().unwrap().contains("\"schema\":\"prs-events-v1\""),
+        "events.jsonl leads with its schema meta line"
+    );
+    assert!(
+        decisions.lines().next().unwrap().contains("\"schema\":\"prs-decisions-v1\""),
+        "decisions.jsonl leads with its schema meta line"
+    );
+    assert_eq!(
+        a.metrics.to_prometheus().lines().next(),
+        Some("# schema: prs-metrics-v1"),
+        "metrics.prom leads with its schema comment"
+    );
+    assert_eq!(obs::EVENTS_SCHEMA, "prs-events-v1");
+    assert_eq!(obs::DECISIONS_SCHEMA, "prs-decisions-v1");
+    assert_eq!(obs::METRICS_SCHEMA, "prs-metrics-v1");
+    assert_eq!(obs::PROFILE_SCHEMA, "prs-profile-v1");
+    assert_eq!(obs::STACKS_SCHEMA, "prs-stacks-v1");
+    assert_eq!(insight::DIFF_SCHEMA, "prs-diff-v1");
 }
 
 /// Master-level recovery under a stalled node: the `retry` and
