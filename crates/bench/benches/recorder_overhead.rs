@@ -1,0 +1,153 @@
+//! Flight-recorder overhead bench: the cost of pumping the bounded
+//! recorder alongside a run, versus the bare run that produced the
+//! same trace.
+//!
+//! The numbers land in `target/experiments/BENCH_recorder.json`:
+//!
+//! - *recorded wall seconds* — the run with the bounded recorder armed
+//!   (ingest + window/budget eviction + fold accounting every
+//!   iteration);
+//! - *overhead fraction* — recorded time relative to the unrecorded
+//!   observed run;
+//! - *virtual-time overhead* — must be exactly zero: the recorder is a
+//!   host-side consumer of the bus, so arming it cannot advance the
+//!   virtual clock (asserted, not just reported);
+//! - *bounded residency* — the trimmed bus must end the run at or under
+//!   the recorder's event budget (asserted).
+
+use criterion::{criterion_group, Criterion};
+use prs_bench::{write_json, SyntheticApp};
+use prs_core::{run_iterative, run_iterative_observed, ClusterSpec, JobConfig, Obs};
+use roofline::model::DataResidency;
+use roofline::schedule::Workload;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn app() -> Arc<SyntheticApp> {
+    Arc::new(SyntheticApp {
+        n: 200_000,
+        item_bytes: 64,
+        workload: Workload::uniform(200.0, DataResidency::Staged),
+        keys: 16,
+        value_bytes: 16,
+    })
+}
+
+fn config() -> JobConfig {
+    JobConfig::static_analytic().with_iterations(3)
+}
+
+/// A budget small enough that the 3-iteration trace must evict: the
+/// bench then proves boundedness instead of merely never hitting it.
+fn tight() -> obs::RecorderConfig {
+    obs::RecorderConfig {
+        window: 0.0001,
+        budget: 1024,
+        rollup_period: 0.0001,
+    }
+}
+
+fn bench_recorder(c: &mut Criterion) {
+    let spec = ClusterSpec::delta(2);
+    let mut g = c.benchmark_group("recorder/two_node_3_iter");
+    g.sample_size(10);
+    g.bench_function("unrecorded", |b| {
+        b.iter(|| {
+            black_box(
+                run_iterative_observed(&spec, app(), config(), Obs::recording()).unwrap(),
+            )
+        });
+    });
+    g.bench_function("bounded", |b| {
+        b.iter(|| {
+            black_box(
+                run_iterative_observed(
+                    &spec,
+                    app(),
+                    config(),
+                    Obs::recording_with_recorder(tight(), true),
+                )
+                .unwrap(),
+            )
+        });
+    });
+    g.finish();
+}
+
+/// Mean wall-clock seconds of `f` over `n` timed runs (after one warmup).
+fn mean_secs<R>(n: u32, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..n {
+        black_box(f());
+    }
+    start.elapsed().as_secs_f64() / f64::from(n)
+}
+
+fn emit_json() {
+    let spec = ClusterSpec::delta(2);
+    let runs = 10;
+    let plain_wall = mean_secs(runs, || {
+        run_iterative_observed(&spec, app(), config(), Obs::recording()).unwrap()
+    });
+    let recorded_wall = mean_secs(runs, || {
+        run_iterative_observed(&spec, app(), config(), Obs::recording_with_recorder(tight(), true))
+            .unwrap()
+    });
+
+    // Gate 1: arming the recorder must not perturb the virtual clock —
+    // same bits as the completely unobserved run.
+    let bare = run_iterative(&spec, app(), config()).unwrap();
+    let obs = Obs::recording_with_recorder(tight(), true);
+    let recorded = run_iterative_observed(&spec, app(), config(), obs.clone()).unwrap();
+    let virtual_identical =
+        bare.metrics.total_seconds.to_bits() == recorded.metrics.total_seconds.to_bits();
+    assert!(virtual_identical, "recording must not advance virtual time");
+
+    // Gate 2: bounded mode actually bounds — the bus ends the run at or
+    // under budget, and the evicted history folded instead of vanishing.
+    let summary = obs.recorder.summary();
+    let resident = obs.bus.resident_len();
+    let total = obs.bus.len();
+    assert!(
+        resident <= summary.budget,
+        "bus resident events {resident} exceed budget {}",
+        summary.budget
+    );
+    assert!(summary.retained <= summary.budget, "recorder retained over budget");
+    assert!(total > resident, "the 3-iteration trace must evict under a tight budget");
+    assert!(summary.folded > 0, "evicted events must fold into rollup bins");
+
+    let overhead = if plain_wall > 0.0 {
+        recorded_wall / plain_wall - 1.0
+    } else {
+        0.0
+    };
+    write_json(
+        "BENCH_recorder",
+        &serde_json::json!({
+            "bench": "recorder_overhead",
+            "scenario": "delta(2), 3 iterations, 200k items, tight window/budget",
+            "timed_runs": runs,
+            "budget": summary.budget,
+            "events_total": total,
+            "events_resident": resident,
+            "events_retained": summary.retained,
+            "events_folded": summary.folded,
+            "fold_bins": summary.fold_bins,
+            "resident_bytes": summary.bytes,
+            "plain_wall_secs": plain_wall,
+            "recorded_wall_secs": recorded_wall,
+            "recorded_overhead_fraction": overhead,
+            "virtual_time_bit_identical": virtual_identical,
+        }),
+    );
+}
+
+criterion_group!(benches, bench_recorder);
+
+fn main() {
+    benches();
+    emit_json();
+}

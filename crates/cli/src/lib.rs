@@ -223,7 +223,7 @@ pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
     let known = [
         "app", "nodes", "profile", "profile-file", "mode", "iterations", "points", "dims",
         "clusters", "seed", "gpus", "streams", "blocks-per-core", "trace", "obs", "calibrate",
-        "engine",
+        "engine", "record-window", "record-budget",
     ];
     for k in kv.keys() {
         if !known.contains(&k.as_str()) {
@@ -231,7 +231,7 @@ pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
         }
     }
     for f in &flags {
-        if !["timeline", "json"].contains(&f.as_str()) {
+        if !["timeline", "json", "record"].contains(&f.as_str()) {
             return Err(format!("unknown flag --{f}"));
         }
     }
@@ -271,6 +271,21 @@ pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
     opts.json = flags.iter().any(|f| f == "json");
     opts.trace_out = kv.get("trace").cloned();
     opts.obs_out = kv.get("obs").cloned();
+    if flags.iter().any(|f| f == "record")
+        || kv.contains_key("record-window")
+        || kv.contains_key("record-budget")
+    {
+        let mut rec = obs::RecorderConfig::enabled();
+        rec.window = get_parsed(&kv, "record-window", rec.window)?;
+        rec.budget = get_parsed(&kv, "record-budget", rec.budget)?;
+        if rec.window <= 0.0 || !rec.window.is_finite() {
+            return Err("--record-window must be a positive number of virtual seconds".to_string());
+        }
+        if rec.budget == 0 {
+            return Err("--record-budget must be at least 1".to_string());
+        }
+        opts.config = opts.config.with_recorder(rec);
+    }
     if opts.timeline || opts.trace_out.is_some() || opts.obs_out.is_some() {
         opts.config.record_timeline = true;
     }
@@ -348,6 +363,24 @@ mod tests {
         let plain = parse_run(&argv("--app cmeans")).unwrap();
         assert_eq!(plain.obs_out, None);
         assert!(!plain.config.record_timeline);
+    }
+
+    #[test]
+    fn record_flag_arms_the_flight_recorder() {
+        let plain = parse_run(&argv("--app cmeans")).unwrap();
+        assert!(!plain.config.recorder.is_enabled());
+        let rec = parse_run(&argv("--app cmeans --record")).unwrap();
+        assert!(rec.config.recorder.is_enabled());
+        assert_eq!(rec.config.recorder.budget, obs::RecorderConfig::enabled().budget);
+        let tuned =
+            parse_run(&argv("--record --record-window 2.5 --record-budget 512")).unwrap();
+        assert_eq!(tuned.config.recorder.window, 2.5);
+        assert_eq!(tuned.config.recorder.budget, 512);
+        // Tuning options imply --record on their own.
+        let implied = parse_run(&argv("--record-budget 64")).unwrap();
+        assert!(implied.config.recorder.is_enabled());
+        assert!(parse_run(&argv("--record-budget 0")).is_err());
+        assert!(parse_run(&argv("--record-window -1")).is_err());
     }
 
     #[test]

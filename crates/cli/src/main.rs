@@ -49,6 +49,7 @@ fn main() {
         Some("diff") => cmd_diff(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("postmortem") => cmd_postmortem(&args[1..]),
         Some("profiles") => cmd_profiles(),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_help();
@@ -115,7 +116,16 @@ USAGE:
                           --out <file>, --json; --score-watch also scores
                           the health watchdog against the injected fault
                           plans and writes watch_score.json
-                          (--watch-out <file>, --rules <toml>))
+                          (--watch-out <file>, --rules <toml>);
+                          --record arms the bounded-memory flight recorder
+                          per trial and writes incident captures +
+                          postmortems under --record-out <dir>
+                          (chaos_records))
+  prs postmortem <d>      assemble the incident postmortem of a recorded
+                          dir: joins capture-*.jsonl with incidents.jsonl,
+                          decisions.jsonl and stacks.jsonl, writes
+                          postmortem.json into <d> and prints the
+                          human-readable report (see docs/postmortem.md)
   prs calibrate [options] fit a hardware profile from an --obs trace
   prs profiles            list the built-in fat-node hardware profiles
   prs help                this text
@@ -144,6 +154,16 @@ RUN OPTIONS (defaults in parentheses):
   --obs <dir>                 write events.jsonl, metrics.prom,
                               decisions.jsonl, rollup.jsonl and a
                               flow-linked trace.json into <dir>
+  --record                    arm the bounded-memory flight recorder:
+                              retain a sliding virtual-time window of
+                              events, fold evicted ones into rollup bins,
+                              and capture the window around every incident
+                              (with --obs the bundle gains capture-*.jsonl
+                              and postmortem.json; without it the run
+                              stays O(budget) in resident events)
+  --record-window <s>         recorder retention window in virtual
+                              seconds ({rec_window})
+  --record-budget <n>         max resident recorder events ({rec_budget})
   --json                      machine-readable output
 
 ADVISE OPTIONS:
@@ -163,7 +183,9 @@ CALIBRATE OPTIONS:
   --profile <delta|bigred2>   seed profile for the EWMA fit (delta)
   --alpha <a>                 EWMA smoothing factor in [0,1] ({alpha})",
         apps = AppKind::names().join("|"),
-        alpha = insight::DEFAULT_ALPHA
+        alpha = insight::DEFAULT_ALPHA,
+        rec_window = obs::RecorderConfig::enabled().window,
+        rec_budget = obs::RecorderConfig::enabled().budget
     );
 }
 
@@ -984,15 +1006,34 @@ fn cmd_top(args: &[String]) -> i32 {
     let decisions = std::fs::read_to_string(resolve_decisions_path(&dir))
         .map(|t| AuditLog::parse_jsonl(&t))
         .unwrap_or_default();
+    // Incident→capture links from a `--record`'ed bundle, marking
+    // captured incidents in the alert lane.
+    let captures: std::collections::BTreeMap<u64, String> =
+        std::fs::read_to_string(std::path::Path::new(&dir).join("incidents.jsonl"))
+            .map(|text| {
+                text.lines()
+                    .filter_map(|l| serde_json::from_str(l).ok())
+                    .filter_map(|v: serde_json::Value| {
+                        let o = v.as_object()?;
+                        Some((
+                            o.get("id").and_then(serde_json::Value::as_u64)?,
+                            o.get("capture")?.as_str()?.to_string(),
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
     let horizon = events.iter().map(|e| e.end()).fold(0.0, f64::max);
     let window = window.unwrap_or_else(|| (horizon / 8.0).max(1e-9));
+    let frame_at =
+        |t: f64| prs_cli::top::render_frame_with_captures(&events, &decisions, &captures, t, window);
     match snapshot {
-        Some(t) => say!("{}", prs_cli::top::render_frame(&events, &decisions, t, window)),
+        Some(t) => say!("{}", frame_at(t)),
         None => {
             for i in 1..=frames {
                 let t = horizon * i as f64 / frames as f64;
                 say!("{}", "─".repeat(72));
-                say!("{}", prs_cli::top::render_frame(&events, &decisions, t, window));
+                say!("{}", frame_at(t));
             }
         }
     }
@@ -1656,13 +1697,14 @@ fn run_checkpointed_bench(
 fn cmd_chaos(args: &[String]) -> i32 {
     let parsed = parse_kv(args).and_then(|(kv, flags)| {
         for f in &flags {
-            if f != "json" && f != "score-watch" {
+            if f != "json" && f != "score-watch" && f != "record" {
                 return Err(format!("unknown flag --{f}"));
             }
         }
         let mut cfg = prs_core::ChaosConfig::default();
         let mut out_path = "chaos_report.json".to_string();
         let mut watch_out = "watch_score.json".to_string();
+        let mut record_out = "chaos_records".to_string();
         let mut rules_path: Option<String> = None;
         for (k, v) in &kv {
             match k.as_str() {
@@ -1683,6 +1725,7 @@ fn cmd_chaos(args: &[String]) -> i32 {
                 }
                 "out" => out_path = v.clone(),
                 "watch-out" => watch_out = v.clone(),
+                "record-out" => record_out = v.clone(),
                 "rules" => rules_path = Some(v.clone()),
                 other => return Err(format!("unknown option --{other}")),
             }
@@ -1691,6 +1734,13 @@ fn cmd_chaos(args: &[String]) -> i32 {
         if !score_watch && (rules_path.is_some() || kv.contains_key("watch-out")) {
             return Err("--rules / --watch-out require --score-watch".to_string());
         }
+        let record = flags.iter().any(|f| f == "record");
+        if !record && kv.contains_key("record-out") {
+            return Err("--record-out requires --record".to_string());
+        }
+        if record && !score_watch {
+            return Err("--record requires --score-watch (captures are incident-triggered)".to_string());
+        }
         Ok((
             cfg,
             out_path,
@@ -1698,9 +1748,10 @@ fn cmd_chaos(args: &[String]) -> i32 {
             score_watch,
             watch_out,
             rules_path,
+            record.then_some(record_out),
         ))
     });
-    let (cfg, out_path, json, score_watch, watch_out, rules_path) = match parsed {
+    let (cfg, out_path, json, score_watch, watch_out, rules_path, record_out) = match parsed {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
@@ -1726,11 +1777,19 @@ fn cmd_chaos(args: &[String]) -> i32 {
         }
         None => watch::WatchConfig::default(),
     };
-    let (report, score) = if score_watch {
+    let (report, score, recordings) = if let Some(dir) = &record_out {
+        let (report, score, recordings) =
+            prs_core::run_chaos_recorded(&cfg, &rules, obs::RecorderConfig::enabled());
+        if let Err(e) = write_chaos_recordings(dir, &recordings) {
+            eprintln!("error: {e}");
+            return 1;
+        }
+        (report, Some(score), recordings)
+    } else if score_watch {
         let (report, score) = prs_core::run_chaos_scored(&cfg, &rules);
-        (report, Some(score))
+        (report, Some(score), Vec::new())
     } else {
-        (prs_core::run_chaos(&cfg), None)
+        (prs_core::run_chaos(&cfg), None, Vec::new())
     };
     let doc = report.to_json();
     if let Err(e) = std::fs::write(&out_path, serde_json::to_string_pretty(&doc).unwrap() + "\n") {
@@ -1808,7 +1867,189 @@ fn cmd_chaos(args: &[String]) -> i32 {
             code = 1;
         }
     }
+    if let Some(dir) = &record_out {
+        let captures: usize = recordings.iter().map(|r| r.captures.len()).sum();
+        if !json {
+            say!(
+                "recorder: {} trial(s) recorded — {} capture(s) + postmortems written to {dir}/",
+                recordings.len(),
+                captures
+            );
+        }
+    }
     code
+}
+
+/// Writes each recorded chaos trial's captures and assembled postmortem
+/// into `<dir>/trial-<index>/`.
+fn write_chaos_recordings(dir: &str, recordings: &[prs_core::TrialRecording]) -> Result<(), String> {
+    let root = std::path::Path::new(dir);
+    for rec in recordings {
+        let tdir = root.join(format!("trial-{}", rec.index));
+        std::fs::create_dir_all(&tdir).map_err(|e| format!("creating {}: {e}", tdir.display()))?;
+        for c in &rec.captures {
+            let path = tdir.join(c.file_name());
+            std::fs::write(&path, c.to_jsonl())
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+        // Echo the incident rows so `prs postmortem <trial dir>` can
+        // re-assemble the identical document from the artifacts alone.
+        let incidents: Vec<serde_json::Value> = rec
+            .postmortem
+            .as_object()
+            .and_then(|o| o.get("incidents"))
+            .and_then(serde_json::Value::as_array)
+            .map(|entries| {
+                entries
+                    .iter()
+                    .filter_map(|e| e.as_object().and_then(|o| o.get("incident")).cloned())
+                    .collect()
+            })
+            .unwrap_or_default();
+        if !incidents.is_empty() {
+            let mut text = String::new();
+            for inc in &incidents {
+                text.push_str(&inc.to_json_string());
+                text.push('\n');
+            }
+            let path = tdir.join("incidents.jsonl");
+            std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+        for (name, text) in [
+            ("decisions.jsonl", &rec.decisions_jsonl),
+            ("stacks.jsonl", &rec.stacks_jsonl),
+        ] {
+            let path = tdir.join(name);
+            std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+        let path = tdir.join("postmortem.json");
+        std::fs::write(&path, serde_json::to_string_pretty(&rec.postmortem).unwrap() + "\n")
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+/// `prs postmortem <dir>`: join the flight-recorder captures of a
+/// recorded dir with its incidents, decision audit and stack frames into
+/// one `postmortem.json`, and print the human-readable incident report.
+/// Exits 2 on usage errors, 1 when the dir is missing or holds no
+/// `capture-*.jsonl` files.
+fn cmd_postmortem(args: &[String]) -> i32 {
+    let parsed = (|| -> Result<String, String> {
+        let (positional, rest) = match args.first() {
+            Some(a) if !a.starts_with("--") => (Some(a.clone()), &args[1..]),
+            _ => (None, args),
+        };
+        let (kv, flags) = parse_kv(rest)?;
+        if let Some(f) = flags.first() {
+            return Err(format!("unknown flag --{f}"));
+        }
+        for k in kv.keys() {
+            if k != "dir" {
+                return Err(format!("unknown option --{k}"));
+            }
+        }
+        positional
+            .or_else(|| kv.get("dir").cloned())
+            .ok_or_else(|| "missing <dir> (a --record'ed --obs bundle or chaos trial dir)".to_string())
+    })();
+    let dir = match parsed {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let root = std::path::Path::new(&dir);
+    if !root.is_dir() {
+        eprintln!("error: {dir} is not a directory");
+        return 1;
+    }
+    // Every capture file in name order: capture ids are per-incident, so
+    // the lexicographic tie-break keeps multi-digit ids deterministic.
+    let mut capture_paths: Vec<std::path::PathBuf> = match std::fs::read_dir(root) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .map(|n| n.starts_with("capture-") && n.ends_with(".jsonl"))
+                    .unwrap_or(false)
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("error reading {dir}: {e}");
+            return 1;
+        }
+    };
+    capture_paths.sort();
+    if capture_paths.is_empty() {
+        eprintln!(
+            "error: no capture files (capture-*.jsonl) in {dir} — was the run recorded \
+             with --record?"
+        );
+        return 1;
+    }
+    let mut docs = Vec::new();
+    for path in &capture_paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error reading {}: {e}", path.display());
+                return 1;
+            }
+        };
+        match insight::parse_capture_jsonl(&text) {
+            Ok(doc) => docs.push(doc),
+            Err(e) => {
+                eprintln!("error: {}: {e}", path.display());
+                return 1;
+            }
+        }
+    }
+    // The companion artifacts are optional: a chaos trial dir carries only
+    // captures, an --obs bundle carries all three.
+    let incidents: Vec<serde_json::Value> = std::fs::read_to_string(root.join("incidents.jsonl"))
+        .map(|text| {
+            text.lines()
+                .filter_map(|l| serde_json::from_str(l).ok())
+                .filter(|v: &serde_json::Value| {
+                    v.as_object().map(|o| !o.contains_key("schema")).unwrap_or(false)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let incidents = if incidents.is_empty() {
+        // No incident log — fall back to one skeleton incident per capture
+        // so the captures still anchor postmortem entries.
+        docs.iter()
+            .map(|d| {
+                serde_json::from_str(&format!(
+                    "{{\"id\":{},\"capture\":{:?},\"t_start\":{},\"t_end\":{}}}",
+                    d.incident, d.name, d.t0, d.t1
+                ))
+                .unwrap()
+            })
+            .collect()
+    } else {
+        incidents
+    };
+    let decisions = std::fs::read_to_string(root.join("decisions.jsonl"))
+        .map(|t| AuditLog::parse_jsonl(&t))
+        .unwrap_or_default();
+    let frames = std::fs::read_to_string(root.join("stacks.jsonl"))
+        .ok()
+        .and_then(|t| obs::FrameSet::parse_stacks_jsonl(&t).ok())
+        .unwrap_or_default();
+    let pm = insight::postmortem::assemble(&docs, &incidents, &decisions, frames.frames());
+    let out = root.join("postmortem.json");
+    if let Err(e) = std::fs::write(&out, serde_json::to_string_pretty(&pm).unwrap() + "\n") {
+        eprintln!("error writing {}: {e}", out.display());
+        return 1;
+    }
+    say!("{}", insight::postmortem::summary(&pm).trim_end());
+    eprintln!("postmortem written to {}", out.display());
+    0
 }
 
 /// Resolves the node hardware for `run`/`sweep`: a `prs calibrate` TOML
@@ -1845,8 +2086,18 @@ fn cmd_run(args: &[String]) -> i32 {
         netsim::NetworkParams::infiniband_qdr(),
     );
 
+    // With `--record` the flight recorder rides along: shadow mode when an
+    // `--obs` bundle is requested (the export needs the full bus), bounded
+    // mode otherwise so the run stays O(budget) in resident events.
+    let rec_cfg = opts.config.recorder;
     let obs = if opts.obs_out.is_some() {
-        Obs::recording()
+        if rec_cfg.is_enabled() {
+            Obs::recording_with_recorder(rec_cfg, false)
+        } else {
+            Obs::recording()
+        }
+    } else if rec_cfg.is_enabled() {
+        Obs::recording_with_recorder(rec_cfg, true)
     } else {
         Obs::disabled()
     };
@@ -1914,13 +2165,25 @@ fn cmd_run(args: &[String]) -> i32 {
             Ok(()) => eprintln!(
                 "observability bundle written to {dir}/ (events.jsonl, metrics.prom, \
                  decisions.jsonl, rollup.jsonl, alerts.jsonl, incidents.jsonl, trace.json, \
-                 stacks.jsonl, profile.folded, profile.json)"
+                 stacks.jsonl, profile.folded, profile.json{})",
+                if rec_cfg.is_enabled() {
+                    ", capture-*.jsonl, postmortem.json"
+                } else {
+                    ""
+                }
             ),
             Err(e) => {
                 eprintln!("error writing observability bundle: {e}");
                 return 1;
             }
         }
+    } else if rec_cfg.is_enabled() {
+        let s = obs.recorder.summary();
+        eprintln!(
+            "flight recorder: {} event(s) retained (peak {}), {} folded into {} rollup bin(s), \
+             ~{} B resident",
+            s.retained, s.peak_retained, s.folded, s.fold_bins, s.bytes
+        );
     }
     0
 }
@@ -1966,10 +2229,31 @@ fn write_obs_bundle(dir: &str, obs: &Obs, timeline: &[device::Interval]) -> Resu
             attrs: e.attrs.iter().map(|(k, v)| (k.clone(), *v)).collect(),
         })
         .collect();
-    let roll = rollup(&roll_events, &decisions, &RollupConfig::auto(horizon.max(1e-9)));
+    let mut roll = rollup(&roll_events, &decisions, &RollupConfig::auto(horizon.max(1e-9)));
     roll.register_metrics(&obs.metrics);
-    let watched = watch::watch(&roll_events, &decisions, &watch::WatchConfig::default());
+    let mut watched = watch::watch(&roll_events, &decisions, &watch::WatchConfig::default());
     watched.register_metrics(&obs.metrics);
+    let set = obs::FrameSet::from_stack(&obs.stack);
+    if obs.recorder.is_enabled() {
+        // Freeze + capture the window around every incident the watchdog
+        // opened, link each incident to its capture, and assemble the
+        // machine-readable postmortem alongside the raw captures.
+        let captures = watch::capture_incidents(&mut watched, &obs.recorder);
+        for c in &captures {
+            write(&c.file_name(), c.to_jsonl())?;
+        }
+        let docs: Vec<insight::CaptureDoc> =
+            captures.iter().map(insight::postmortem::capture_doc).collect();
+        let incident_values: Vec<serde_json::Value> =
+            watched.incidents.iter().map(|i| i.to_value()).collect();
+        let pm = insight::postmortem::assemble(&docs, &incident_values, &decisions, set.frames());
+        write(
+            "postmortem.json",
+            serde_json::to_string_pretty(&pm).unwrap() + "\n",
+        )?;
+        roll.recorder = Some(obs.recorder.summary());
+        obs.recorder.register_metrics(&obs.metrics);
+    }
     write("events.jsonl", obs.bus.to_jsonl())?;
     write("metrics.prom", obs.metrics.to_prometheus())?;
     write("decisions.jsonl", obs.audit.to_jsonl())?;
@@ -1977,7 +2261,6 @@ fn write_obs_bundle(dir: &str, obs: &Obs, timeline: &[device::Interval]) -> Resu
     write("alerts.jsonl", watched.alerts_jsonl())?;
     write("incidents.jsonl", watched.incidents_jsonl())?;
     write("trace.json", to_chrome_trace_with_flows(timeline, &flow_arrows(&flows)))?;
-    let set = obs::FrameSet::from_stack(&obs.stack);
     let prof = obs::profile(&set, horizon, obs::profile::DEFAULT_PERIOD_S);
     write("stacks.jsonl", set.to_stacks_jsonl())?;
     write("profile.folded", prof.to_folded())?;

@@ -81,6 +81,20 @@ pub fn render_frame(
     t: f64,
     window: f64,
 ) -> String {
+    render_frame_with_captures(events, decisions, &BTreeMap::new(), t, window)
+}
+
+/// [`render_frame`] with the bundle's incident→capture links: when the
+/// replayed dir was recorded with `--record`, incidents the flight
+/// recorder captured carry a marker in the alert lane pointing at their
+/// `capture-<id>.jsonl` artifact.
+pub fn render_frame_with_captures(
+    events: &[TraceEvent],
+    decisions: &[DecisionRecord],
+    captures: &BTreeMap<u64, String>,
+    t: f64,
+    window: f64,
+) -> String {
     let horizon = events.iter().map(|e| e.end()).fold(0.0, f64::max);
     let seen = visible_at(events, t);
     let mut out = String::new();
@@ -195,9 +209,13 @@ pub fn render_frame(
                     .collect::<Vec<_>>()
                     .join(",")
             };
+            let marker = captures
+                .get(&(inc.id as u64))
+                .map(|c| format!("  * {c}.jsonl"))
+                .unwrap_or_default();
             let _ = writeln!(
                 out,
-                "  [{}] #{} {} on {} since t={:.6} ({})",
+                "  [{}] #{} {} on {} since t={:.6} ({}){marker}",
                 inc.severity.as_str(),
                 inc.id,
                 inc.kind.as_str(),
@@ -292,6 +310,30 @@ mod tests {
         let frame = render_frame(&events, &[], 2.5, 0.5);
         assert!(frame.contains("cpu-slowdown on node0"), "{frame}");
         assert!(!frame.contains("alerts: none firing"), "{frame}");
+    }
+
+    #[test]
+    fn captured_incident_carries_a_marker_in_the_alert_lane() {
+        // Same straggler scenario; the bundle links incident 0 to its
+        // flight-recorder capture, so the alert row names the artifact.
+        let mut events = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.1;
+            let mut slow = ev("node0-cpu-c0", "cpu-task", t, Some(0.2), Some(0));
+            slow.attrs.insert("flops".into(), 1e9);
+            let mut fast = ev("node1-cpu-c0", "cpu-task", t, Some(0.05), Some(0));
+            fast.attrs.insert("flops".into(), 1e9);
+            events.push(slow);
+            events.push(fast);
+        }
+        let mut captures = BTreeMap::new();
+        captures.insert(0, "capture-0".to_string());
+        let frame = render_frame_with_captures(&events, &[], &captures, 2.5, 0.5);
+        assert!(frame.contains("* capture-0.jsonl"), "{frame}");
+        // Without links the frame is unchanged from the plain renderer.
+        let plain = render_frame_with_captures(&events, &[], &BTreeMap::new(), 2.5, 0.5);
+        assert_eq!(plain, render_frame(&events, &[], 2.5, 0.5));
+        assert!(!plain.contains("capture-0.jsonl"));
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn readers_reject_a_missing_bundle() {
         vec!["top", "--dir", missing, "--snapshot", "0.1"],
         vec!["profile", missing],
         vec!["diff", missing, missing],
+        vec!["postmortem", missing],
     ] {
         let out = prs(&cmd);
         assert_eq!(
@@ -94,6 +95,11 @@ fn usage_errors_exit_two() {
         vec!["diff"],                        // needs exactly two bundles
         vec!["diff", "only-one"],
         vec!["diff", "a", "b", "--bogus"],
+        vec!["postmortem"],                  // missing dir
+        vec!["postmortem", "x", "--bogus"],
+        vec!["chaos", "--record"],           // captures need the scored grid
+        vec!["chaos", "--record-out", "d"],  // needs --record
+        vec!["run", "--record-budget", "0"], // budget must be at least 1
         vec!["definitely-not-a-subcommand"],
     ] {
         let out = prs(&cmd);
@@ -104,6 +110,46 @@ fn usage_errors_exit_two() {
             cmd.join(" ")
         );
     }
+}
+
+#[test]
+fn postmortem_rejects_a_dir_without_captures() {
+    // The dir exists but holds no capture-*.jsonl: exit 1, not a
+    // zero-incident report with exit 0.
+    let dir = tmp_dir("no-captures");
+    std::fs::write(dir.join("events.jsonl"), "").expect("write empty events");
+    let out = prs(&["postmortem", dir.to_str().expect("utf-8 temp path")]);
+    assert_eq!(out.status.code(), Some(1), "empty capture set must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no capture"),
+        "stderr should name the missing captures: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recorded_run_feeds_the_postmortem_reader() {
+    // `run --record --obs` emits postmortem.json (incident-free here, so
+    // no captures), and the recorder block lands in rollup.jsonl.
+    let dir = tmp_dir("record-e2e");
+    let d = dir.to_str().expect("utf-8 temp path");
+    let run = prs(&[
+        "run", "--nodes", "2", "--points", "20000", "--iterations", "2", "--record", "--obs", d,
+    ]);
+    assert_eq!(run.status.code(), Some(0), "{}", String::from_utf8_lossy(&run.stderr));
+    assert!(dir.join("postmortem.json").is_file(), "postmortem.json missing");
+    let rollup = std::fs::read_to_string(dir.join("rollup.jsonl")).expect("rollup.jsonl");
+    assert!(rollup.contains("\"recorder\""), "rollup lacks the recorder block:\n{rollup}");
+    let metrics = std::fs::read_to_string(dir.join("metrics.prom")).expect("metrics.prom");
+    assert!(
+        metrics.contains("prs_recorder_events_retained"),
+        "recorder gauges missing from metrics.prom"
+    );
+    // A healthy bundle has no captures, so the standalone reader says so.
+    let pm = prs(&["postmortem", d]);
+    assert_eq!(pm.status.code(), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

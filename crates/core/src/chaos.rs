@@ -374,11 +374,35 @@ fn retain_fired(truth: &mut Vec<GroundTruthFault>, kind: FaultKind, fired: usize
     });
 }
 
+/// One chaos trial's flight-recorder output: the incident captures, the
+/// assembled postmortem document, and the recorder's memory accounting.
+#[derive(Debug, Clone)]
+pub struct TrialRecording {
+    /// Trial index within the run.
+    pub index: usize,
+    /// One capture per incident the watchdog assembled.
+    pub captures: Vec<obs::Capture>,
+    /// The trial's `postmortem.json` document
+    /// (`insight::postmortem::assemble` over the captures, incidents,
+    /// Eq-(8) audit rows, and profiler frames).
+    pub postmortem: Value,
+    /// Recorder memory accounting at end of trial.
+    pub recorder: obs::RecorderSummary,
+    /// The trial's Eq-(8) audit rows as `decisions.jsonl` text, so a
+    /// written trial dir is a self-contained postmortem input.
+    pub decisions_jsonl: String,
+    /// The trial's profiler frames as `stacks.jsonl` text.
+    pub stacks_jsonl: String,
+    /// The chaotic run's total virtual seconds — bit-comparable against
+    /// an unrecorded run to prove recording never touches the clock.
+    pub total_virtual_secs: f64,
+}
+
 /// Runs the seeded chaos grid (see the module docs). Panics only on
 /// driver errors (an invalid sampled config is a harness bug); invariant
 /// violations are recorded in the report, not panicked on.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
-    run_chaos_inner(cfg, None).0
+    run_chaos_inner(cfg, None, None).0
 }
 
 /// Runs the chaos grid with the health watchdog attached to every trial:
@@ -388,16 +412,32 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
 /// invariant report (byte-identical to [`run_chaos`]'s — the watchdog is
 /// a pure read-side consumer) plus the detection-quality score.
 pub fn run_chaos_scored(cfg: &ChaosConfig, rules: &WatchConfig) -> (ChaosReport, WatchScore) {
-    let (report, score) = run_chaos_inner(cfg, Some(rules));
+    let (report, score, _) = run_chaos_inner(cfg, Some(rules), None);
     (report, score.expect("scoring was requested"))
+}
+
+/// Runs the scored chaos grid with the flight recorder armed on every
+/// chaotic run: each trial's incidents freeze and capture their windows
+/// and assemble into a postmortem document. The invariant report and
+/// watch score are byte-identical to [`run_chaos_scored`]'s — recording
+/// is host-side only and never advances virtual time.
+pub fn run_chaos_recorded(
+    cfg: &ChaosConfig,
+    rules: &WatchConfig,
+    recorder: obs::RecorderConfig,
+) -> (ChaosReport, WatchScore, Vec<TrialRecording>) {
+    let (report, score, recordings) = run_chaos_inner(cfg, Some(rules), Some(recorder));
+    (report, score.expect("scoring was requested"), recordings)
 }
 
 fn run_chaos_inner(
     cfg: &ChaosConfig,
     rules: Option<&WatchConfig>,
-) -> (ChaosReport, Option<WatchScore>) {
+    rec_cfg: Option<obs::RecorderConfig>,
+) -> (ChaosReport, Option<WatchScore>, Vec<TrialRecording>) {
     let mut trials = Vec::with_capacity(cfg.trials);
     let mut watched: Vec<TrialWatch> = Vec::new();
+    let mut recordings: Vec<TrialRecording> = Vec::new();
     for index in 0..cfg.trials {
         let mut s = cfg
             .seed
@@ -488,7 +528,13 @@ fn run_chaos_inner(
         let chaotic_config = config.with_checkpoint_interval(checkpoint_interval);
         let chaotic_app = Arc::new(ChaosApp::new(items, keys, converge_round));
         let store = Arc::new(MemStore::new());
-        let obs = Obs::recording();
+        // Recorded trials shadow the bus rather than trimming it: the
+        // flow-conservation invariant and the watchdog's cursor both
+        // read the full event history after the run.
+        let obs = match rec_cfg {
+            Some(rc) if rc.is_enabled() => Obs::recording_with_recorder(rc, false),
+            _ => Obs::recording(),
+        };
         // The watchdog is an online consumer: it opens its cursor before
         // the run and drains everything the run appended afterwards.
         let mut watch_sub = obs.bus.subscribe();
@@ -513,7 +559,33 @@ fn run_chaos_inner(
             retain_fired(&mut truth, FaultKind::MasterCrash, rec.master_failovers as usize);
             let chaotic_events: Vec<RollupEvent> =
                 watch_sub.poll().iter().map(RollupEvent::from).collect();
-            let chaotic = watch::watch(&chaotic_events, &obs.audit.records(), rules);
+            let mut chaotic = watch::watch(&chaotic_events, &obs.audit.records(), rules);
+            // The incident→recorder trigger: freeze each incident's
+            // window, emit one capture per incident, and assemble the
+            // trial's postmortem from the captures it just produced.
+            if obs.recorder.is_enabled() {
+                let captures = watch::capture_incidents(&mut chaotic, &obs.recorder);
+                let capture_docs: Vec<insight::CaptureDoc> =
+                    captures.iter().map(insight::postmortem::capture_doc).collect();
+                let incident_values: Vec<Value> =
+                    chaotic.incidents.iter().map(|i| i.to_value()).collect();
+                let frames = obs::FrameSet::from_stack(&obs.stack);
+                let postmortem = insight::postmortem::assemble(
+                    &capture_docs,
+                    &incident_values,
+                    &obs.audit.records(),
+                    frames.frames(),
+                );
+                recordings.push(TrialRecording {
+                    index,
+                    captures,
+                    postmortem,
+                    recorder: obs.recorder.summary(),
+                    decisions_jsonl: obs.audit.to_jsonl(),
+                    stacks_jsonl: frames.to_stacks_jsonl(),
+                    total_virtual_secs: outcome.total_virtual_secs,
+                });
+            }
             let healthy_events: Vec<RollupEvent> =
                 baseline_obs.bus.events().iter().map(RollupEvent::from).collect();
             let healthy = watch::watch(&healthy_events, &baseline_obs.audit.records(), rules);
@@ -568,6 +640,7 @@ fn run_chaos_inner(
             trials,
         },
         score,
+        recordings,
     )
 }
 

@@ -114,6 +114,11 @@ pub struct JobConfig {
     /// artifacts; `Parallel` additionally shards per-node event queues and
     /// steps them within the network's α-latency lookahead window.
     pub engine: EngineMode,
+    /// Flight-recorder retention policy (see `obs::recorder`). The
+    /// default is disabled (`budget == 0`); when enabled the drivers
+    /// pump `Obs::recorder` at every iteration boundary so resident
+    /// telemetry stays bounded and incident windows can be captured.
+    pub recorder: obs::RecorderConfig,
 }
 
 impl Default for JobConfig {
@@ -138,6 +143,7 @@ impl Default for JobConfig {
             speculation_lag_multiplier: None,
             checkpoint_interval_iters: 0,
             engine: EngineMode::Calendar,
+            recorder: obs::RecorderConfig::disabled(),
         }
     }
 }
@@ -250,6 +256,14 @@ impl JobConfig {
     /// organized and stepped (see [`EngineMode`]).
     pub fn with_engine(mut self, engine: EngineMode) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Builder-style flight-recorder policy. Enabling it never changes
+    /// virtual time — drivers pump the recorder outside the simulation —
+    /// it only bounds resident telemetry and arms incident capture.
+    pub fn with_recorder(mut self, recorder: obs::RecorderConfig) -> Self {
+        self.recorder = recorder;
         self
     }
 }

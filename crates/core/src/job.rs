@@ -761,6 +761,11 @@ pub(crate) fn run_with_update<A: SpmdApp>(
 
     let report = sim.run().map_err(JobError::Sim)?;
 
+    // The simulation is over: every event is committed, so the recorder
+    // can settle — final ingest, then window/budget eviction over the
+    // complete (fully deterministic) set.
+    obs.recorder.settle(&obs.bus);
+
     let collected = Arc::try_unwrap(collect)
         .ok()
         .expect("all simulation processes have finished")
@@ -1424,6 +1429,13 @@ fn worker_body<A: SpmdApp>(
     // Node-unique map-task ids, monotone across iterations so the
     // completion board never sees an id reused.
     let mut next_task_id: u64 = 0;
+    // Flight-recorder stability watermark: other ranks emit iteration
+    // i-1's stage spans at the same virtual instant this rank begins
+    // iteration i, and engine scheduling may order them after our pump —
+    // so eviction lags one full iteration behind. Everything below the
+    // *previous* iteration's start is committed on every engine.
+    let mut recorder_stable_before = 0.0_f64;
+    let mut recorder_prev_t0 = 0.0_f64;
     for iter in 0..config.max_iterations {
         let t0 = ctx.now();
         // Every message this iteration sends (shuffle, collectives)
@@ -1953,6 +1965,17 @@ fn worker_body<A: SpmdApp>(
                 }
                 obs.stack.frame(&sched_lane, kind, start, end);
             }
+        }
+
+        // Pump the flight recorder once per iteration from rank 0 —
+        // host-side work only, so virtual time is untouched. Eviction is
+        // capped at the one-iteration-lagged watermark (see above); the
+        // post-run settle handles whatever the lag leaves behind.
+        if rank == 0 && obs.recorder.is_enabled() {
+            obs.recorder
+                .pump(&obs.bus, t_update.as_secs_f64(), recorder_stable_before);
+            recorder_stable_before = recorder_prev_t0;
+            recorder_prev_t0 = t0.as_secs_f64();
         }
 
         if verdict == Verdict::Converged || iter + 1 == config.max_iterations {

@@ -73,7 +73,8 @@ mod task;
 
 pub use api::{CheckpointableApp, DeviceClass, IterativeApp, Key, SpmdApp};
 pub use chaos::{
-    ground_truth_from_plan, run_chaos, run_chaos_scored, ChaosConfig, ChaosReport, ChaosTrial,
+    ground_truth_from_plan, run_chaos, run_chaos_recorded, run_chaos_scored, ChaosConfig,
+    ChaosReport, ChaosTrial, TrialRecording,
 };
 pub use checkpoint::{Checkpoint, CheckpointStore, DirStore, MemStore};
 pub use cluster::ClusterSpec;

@@ -33,6 +33,7 @@
 pub mod calibrate;
 pub mod critical;
 pub mod diff;
+pub mod postmortem;
 pub mod profile_toml;
 pub mod report;
 pub mod trace;
@@ -40,5 +41,6 @@ pub mod trace;
 pub use calibrate::{fit_from_events, CalibrationProfile, SampleCounts, DEFAULT_ALPHA};
 pub use critical::{analyze, Analysis, Blame, IterationAnalysis, LaneSlack, PathSegment};
 pub use diff::{diff, diff_events, BlameShift, Diff, StageDelta, DIFF_SCHEMA};
+pub use postmortem::{parse_capture_jsonl, CaptureDoc, POSTMORTEM_SCHEMA};
 pub use report::{critical_path_json, report_json, summary_table};
 pub use trace::{from_bus, pair_flows, parse_events_jsonl, Flow, TraceEvent};

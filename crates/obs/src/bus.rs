@@ -72,8 +72,19 @@ impl Event {
     }
 }
 
+/// The event log behind one bus: a vector of the *resident* events plus
+/// the absolute index of its first entry. `base` stays 0 for ordinary
+/// recording; the flight recorder advances it via [`EventBus::trim_to`]
+/// after ingesting a prefix, so a recorder-mode run holds O(budget)
+/// events instead of the full history. Cursor positions handed out by
+/// [`EventBus::subscribe`] are absolute and stay valid across trims.
+struct Log {
+    events: Vec<Event>,
+    base: usize,
+}
+
 struct BusInner {
-    events: Mutex<Vec<Event>>,
+    log: Mutex<Log>,
     interned: Mutex<BTreeMap<String, Arc<str>>>,
 }
 
@@ -89,7 +100,10 @@ impl EventBus {
     pub fn recording() -> Self {
         Self {
             inner: Some(Arc::new(BusInner {
-                events: Mutex::new(Vec::new()),
+                log: Mutex::new(Log {
+                    events: Vec::new(),
+                    base: 0,
+                }),
                 interned: Mutex::new(BTreeMap::new()),
             })),
         }
@@ -200,9 +214,21 @@ impl EventBus {
         })
     }
 
-    /// Number of events recorded so far (0 when disabled).
+    /// Number of events appended so far (0 when disabled). This counts
+    /// *all* appends, including any trimmed away by the flight recorder,
+    /// so it keeps serving as the absolute cursor space.
     pub fn len(&self) -> usize {
-        self.inner.as_ref().map_or(0, |i| i.events.lock().len())
+        self.inner.as_ref().map_or(0, |i| {
+            let log = i.log.lock();
+            log.base + log.events.len()
+        })
+    }
+
+    /// Number of events currently resident in the log — `len()` minus
+    /// whatever [`Self::trim_to`] dropped. This is the quantity the
+    /// recorder's O(budget) memory contract bounds.
+    pub fn resident_len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.log.lock().events.len())
     }
 
     /// True when no events have been recorded (always true when disabled).
@@ -210,9 +236,30 @@ impl EventBus {
         self.len() == 0
     }
 
-    /// Snapshot of all recorded events, in append order.
+    /// Snapshot of all *resident* events, in append order. Equal to the
+    /// full history unless [`Self::trim_to`] ran.
     pub fn events(&self) -> Vec<Event> {
-        self.inner.as_ref().map_or_else(Vec::new, |i| i.events.lock().clone())
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.log.lock().events.clone())
+    }
+
+    /// Drops resident events with absolute index below `cursor` — the
+    /// flight recorder calls this after ingesting a prefix so the bus
+    /// never holds events twice. Later subscribers simply see the trimmed
+    /// prefix as already consumed; exports ([`Self::to_jsonl`]) cover the
+    /// resident suffix only, which is why the CLI only trims when no full
+    /// `events.jsonl` export was requested.
+    pub fn trim_to(&self, cursor: usize) {
+        if let Some(inner) = &self.inner {
+            let mut log = inner.log.lock();
+            let upto = cursor.min(log.base + log.events.len());
+            if upto > log.base {
+                let n = upto - log.base;
+                log.events.drain(..n);
+                log.base = upto;
+            }
+        }
     }
 
     /// Opens a streaming cursor over the bus, positioned at the current
@@ -233,9 +280,10 @@ impl EventBus {
     pub fn events_since(&self, cursor: usize) -> (Vec<Event>, usize) {
         match &self.inner {
             Some(inner) => {
-                let events = inner.events.lock();
-                let start = cursor.min(events.len());
-                (events[start..].to_vec(), events.len())
+                let log = inner.log.lock();
+                let end = log.base + log.events.len();
+                let start = cursor.clamp(log.base, end) - log.base;
+                (log.events[start..].to_vec(), end)
             }
             None => (Vec::new(), 0),
         }
@@ -330,7 +378,7 @@ impl EventDraft<'_> {
 
     /// Records the event on the bus.
     pub fn commit(self) {
-        self.inner.events.lock().push(self.ev);
+        self.inner.log.lock().events.push(self.ev);
     }
 }
 
@@ -400,6 +448,32 @@ mod tests {
         let mut sub = bus.subscribe();
         assert!(sub.poll().is_empty());
         assert_eq!(sub.cursor(), 0);
+    }
+
+    #[test]
+    fn trimming_preserves_absolute_cursors() {
+        let bus = EventBus::recording();
+        for i in 0..6 {
+            bus.event("l", "k", SimTime::from_secs(i)).unwrap().commit();
+        }
+        let mut sub = bus.subscribe(); // cursor at 6
+        bus.trim_to(4);
+        assert_eq!(bus.len(), 6, "len counts trimmed history");
+        assert_eq!(bus.resident_len(), 2);
+        assert_eq!(bus.events().len(), 2);
+        bus.event("l", "k", SimTime::from_secs(9)).unwrap().commit();
+        let batch = sub.poll();
+        assert_eq!(batch.len(), 1, "subscriber opened at the tail sees only the append");
+        assert_eq!(batch[0].t, 9.0);
+        // A stale cursor inside the trimmed prefix clamps forward instead
+        // of panicking or replaying resident events twice.
+        let (evs, cursor) = bus.events_since(1);
+        assert_eq!(evs.len(), 3);
+        assert_eq!(cursor, 7);
+        // Trimming past the tail drops everything resident, no further.
+        bus.trim_to(100);
+        assert_eq!(bus.resident_len(), 0);
+        assert_eq!(bus.len(), 7);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod audit;
 pub mod bus;
 pub mod metrics;
 pub mod profile;
+pub mod recorder;
 pub mod rollup;
 pub mod trace_ctx;
 
@@ -40,6 +41,7 @@ pub use audit::{AuditLog, DecisionId, DecisionRecord, DECISIONS_SCHEMA};
 pub use bus::{Event, EventBus, EventDraft, Subscription, EVENTS_SCHEMA};
 pub use metrics::{MetricsRegistry, METRICS_SCHEMA};
 pub use profile::{profile, Frame, FrameSet, Profile, PROFILE_SCHEMA, STACKS_SCHEMA};
+pub use recorder::{Capture, FoldBin, Recorder, RecorderConfig, RecorderSummary, CAPTURE_SCHEMA};
 pub use rollup::{rollup, Rollup, RollupConfig, RollupEvent};
 pub use trace_ctx::{flow_id, TraceCtx, CONTROL_RANK};
 
@@ -57,6 +59,9 @@ pub struct Obs {
     /// Stack-frame recorder feeding the virtual-time profiler
     /// ([`mod@profile`]).
     pub stack: simtime::StackCtx,
+    /// Bounded-memory flight recorder ([`mod@recorder`]); disabled by
+    /// default — drivers pump it at iteration boundaries when enabled.
+    pub recorder: Recorder,
 }
 
 impl Obs {
@@ -67,7 +72,23 @@ impl Obs {
             metrics: MetricsRegistry::recording(),
             audit: AuditLog::recording(),
             stack: simtime::StackCtx::recording(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// A live bundle with the flight recorder enabled. When `bounded`
+    /// is true the recorder owns bus retention (each pump trims the
+    /// ingested prefix, so resident memory stays O(budget) — the
+    /// `--record`-without-`--obs` mode); when false it shadows the bus
+    /// without trimming so a full export remains possible.
+    pub fn recording_with_recorder(cfg: RecorderConfig, bounded: bool) -> Self {
+        let mut obs = Self::recording();
+        obs.recorder = if bounded {
+            Recorder::bounded(cfg)
+        } else {
+            Recorder::shadow(cfg)
+        };
+        obs
     }
 
     /// A disabled bundle: every call is a no-op branch. This is the

@@ -329,6 +329,18 @@ mod tests {
             "watch alert family escapes rule labels, got: {text}"
         );
         assert_eq!(MetricsRegistry::parse_samples(&text).len(), 2);
+        // Recorder families are plain gauges but escaping must still
+        // hold if a label ever rides along (e.g. a lane tag).
+        let m = MetricsRegistry::recording();
+        m.gauge_set("prs_recorder_events_retained", &[("lane", tricky)], 42.0);
+        m.gauge_set("prs_recorder_events_folded", &[], 7.0);
+        m.gauge_set("prs_recorder_bytes", &[], 1024.0);
+        let text = m.to_prometheus();
+        assert!(
+            text.contains(r#"prs_recorder_events_retained{lane="a\"b\\c\nd"} 42"#),
+            "recorder family escapes lane labels, got: {text}"
+        );
+        assert_eq!(MetricsRegistry::parse_samples(&text).len(), 3);
     }
 
     #[test]
@@ -376,13 +388,18 @@ mod tests {
                         &[("blame", "recovery"), ("kind", "node-crash")],
                         1.0,
                     ),
+                    5 => {
+                        m.gauge_set("prs_recorder_events_retained", &[], 128.0);
+                        m.gauge_set("prs_recorder_events_folded", &[], 512.0);
+                        m.gauge_set("prs_recorder_bytes", &[], 65_536.0);
+                    }
                     _ => m.observe("h_seconds", &[("d", "gpu")], 0.1),
                 }
             }
         };
         let (m1, m2) = (MetricsRegistry::recording(), MetricsRegistry::recording());
-        fill(&m1, &[0, 1, 2, 3, 4, 5]);
-        fill(&m2, &[5, 4, 3, 2, 1, 0]);
+        fill(&m1, &[0, 1, 2, 3, 4, 5, 6]);
+        fill(&m2, &[6, 5, 4, 3, 2, 1, 0]);
         let text = m1.to_prometheus();
         assert_eq!(text, m2.to_prometheus(), "insert order must not leak");
         assert_eq!(text, m1.to_prometheus(), "repeated renders identical");
@@ -395,6 +412,9 @@ mod tests {
                 "# TYPE prs_watch_incidents_total counter",
                 "# TYPE z_total counter",
                 "# TYPE m_gauge gauge",
+                "# TYPE prs_recorder_bytes gauge",
+                "# TYPE prs_recorder_events_folded gauge",
+                "# TYPE prs_recorder_events_retained gauge",
                 "# TYPE h_seconds histogram",
             ]
         );

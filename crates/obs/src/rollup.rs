@@ -162,6 +162,9 @@ pub struct Rollup {
     pub nodes: usize,
     /// The aggregated windows, in order.
     pub windows: Vec<Window>,
+    /// Flight-recorder memory accounting, when the run recorded
+    /// (rendered as a `recorder` block line after the meta line).
+    pub recorder: Option<crate::recorder::RecorderSummary>,
 }
 
 fn is_device_lane(lane: &str) -> bool {
@@ -345,6 +348,7 @@ pub fn rollup(events: &[RollupEvent], decisions: &[DecisionRecord], cfg: &Rollup
         device_lanes: lanes,
         nodes: node_busy.len(),
         windows,
+        recorder: None,
     }
 }
 
@@ -362,6 +366,12 @@ impl Rollup {
         meta.insert("nodes".to_string(), Value::Number(self.nodes as f64));
         out.push_str(&Value::Object(meta).to_json_string());
         out.push('\n');
+        if let Some(rec) = &self.recorder {
+            let mut m = BTreeMap::new();
+            m.insert("recorder".to_string(), rec.to_value());
+            out.push_str(&Value::Object(m).to_json_string());
+            out.push('\n');
+        }
         for win in &self.windows {
             let mut m = BTreeMap::new();
             let mut num = |k: &str, v: f64| {
@@ -577,6 +587,30 @@ mod tests {
         assert!(a.starts_with('{'));
         assert!(a.contains(ROLLUP_SCHEMA));
         assert!(a.lines().count() == 4); // meta + 3 windows
+    }
+
+    #[test]
+    fn recorder_block_renders_after_meta_when_present() {
+        let events = vec![ev("node0-cpu-c0", "cpu-task", 0.0, Some(1.0))];
+        let mut r = rollup(&events, &[], &RollupConfig { window_secs: 1.0 });
+        assert!(!r.to_jsonl().contains("\"recorder\""));
+        r.recorder = Some(crate::recorder::RecorderSummary {
+            retained: 12,
+            folded: 34,
+            peak_retained: 20,
+            bytes: 4096,
+            fold_bins: 3,
+            captures: 1,
+            window: 5.0,
+            budget: 100,
+        });
+        let text = r.to_jsonl();
+        let second = text.lines().nth(1).unwrap();
+        assert!(second.starts_with("{\"recorder\":{"), "got: {second}");
+        assert!(second.contains("\"retained\":12"));
+        assert!(second.contains("\"folded\":34"));
+        assert!(second.contains("\"budget\":100"));
+        assert_eq!(text.lines().count(), 3); // meta + recorder + 1 window
     }
 
     #[test]

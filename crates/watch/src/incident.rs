@@ -41,6 +41,10 @@ pub struct Incident {
     pub alerts: Vec<usize>,
     /// Worst member severity.
     pub severity: Severity,
+    /// Flight-recorder capture artifact stem (`capture-<id>`) once the
+    /// incident window has been frozen and captured; `None` when the run
+    /// did not record.
+    pub capture: Option<String>,
 }
 
 impl Incident {
@@ -75,6 +79,9 @@ impl Incident {
             "severity".to_string(),
             Value::String(self.severity.as_str().to_string()),
         );
+        if let Some(capture) = &self.capture {
+            m.insert("capture".to_string(), Value::String(capture.clone()));
+        }
         Value::Object(m)
     }
 }
@@ -134,6 +141,7 @@ pub fn assemble_incidents(alerts: &[Alert], merge_gap: f64) -> Vec<Incident> {
             hints,
             alerts: std::mem::take(cluster),
             severity: members.iter().map(|a| a.severity).max().unwrap_or(Severity::Ticket),
+            capture: None,
         });
     };
 

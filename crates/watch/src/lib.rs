@@ -291,6 +291,36 @@ pub fn watch(
     WatchOutput { alerts, incidents }
 }
 
+/// The incident→recorder trigger hook: for every assembled incident,
+/// freeze the surrounding window — pre-roll back to the suspected cause
+/// minus half the exact window, post-roll one fold period past the last
+/// breaching sample — and emit one self-contained [`obs::Capture`] per
+/// incident, linking it back via [`Incident::capture`].
+///
+/// Windows are derived from canonically-sorted incidents and the capture
+/// reads the recorder's settled, deterministic retained/fold state, so
+/// the artifacts are byte-identical across engines and repeat runs. When
+/// the recorder is disabled this is a no-op returning no captures.
+pub fn capture_incidents(out: &mut WatchOutput, recorder: &obs::Recorder) -> Vec<obs::Capture> {
+    if !recorder.is_enabled() {
+        return Vec::new();
+    }
+    let cfg = recorder.config();
+    let pre = cfg.window * 0.5;
+    let post = cfg.rollup_period.max(cfg.window * 0.1);
+    let mut captures = Vec::with_capacity(out.incidents.len());
+    for inc in &mut out.incidents {
+        let t0 = (inc.t_cause.min(inc.t_start) - pre).max(0.0);
+        let t1 = inc.t_end + post;
+        recorder.freeze(t0, t1);
+        if let Some(c) = recorder.capture(inc.id as u64, t0, t1) {
+            inc.capture = Some(c.name.clone());
+            captures.push(c);
+        }
+    }
+    captures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +389,51 @@ mod tests {
         assert_eq!(fwd.alerts_jsonl(), bwd.alerts_jsonl());
         assert_eq!(fwd.incidents_jsonl(), bwd.incidents_jsonl());
         assert!(fwd.alerts_jsonl().contains(WATCH_SCHEMA));
+    }
+
+    /// Each incident freezes its window and links exactly one capture.
+    #[test]
+    fn incidents_link_exactly_one_capture_each() {
+        let bus = obs::EventBus::recording();
+        let mut events = Vec::new();
+        for i in 0..16 {
+            let t = i as f64 * 0.1;
+            for (lane, dur) in [("node0-cpu-c0", 0.2), ("node1-cpu-c0", 0.05)] {
+                bus.span(
+                    lane,
+                    "cpu-task",
+                    simtime::SimTime::from_secs_f64(t),
+                    simtime::SimTime::from_secs_f64(t + dur),
+                )
+                .unwrap()
+                .attr("flops", 1e9)
+                .commit();
+                events.push(ev(lane, "cpu-task", t, Some(dur), &[("flops", 1e9)]));
+            }
+        }
+        let recorder = obs::Recorder::shadow(obs::RecorderConfig {
+            window: 1.0,
+            budget: 1024,
+            rollup_period: 0.5,
+        });
+        recorder.settle(&bus);
+        let mut out = watch(&events, &[], &WatchConfig::default());
+        assert!(!out.incidents.is_empty());
+        let captures = capture_incidents(&mut out, &recorder);
+        assert_eq!(captures.len(), out.incidents.len());
+        for (inc, cap) in out.incidents.iter().zip(&captures) {
+            assert_eq!(inc.capture.as_deref(), Some(cap.name.as_str()));
+            assert_eq!(cap.incident, inc.id as u64);
+            assert!(!cap.events.is_empty(), "window holds exact events");
+            assert!(
+                inc.to_value().to_json_string().contains("\"capture\":\"capture-"),
+                "incidents.jsonl carries the link"
+            );
+        }
+        // Disabled recorder: a clean no-op, incidents stay unlinked.
+        let mut out2 = watch(&events, &[], &WatchConfig::default());
+        assert!(capture_incidents(&mut out2, &obs::Recorder::disabled()).is_empty());
+        assert!(out2.incidents.iter().all(|i| i.capture.is_none()));
     }
 
     /// Metric families register one count per alert / incident.

@@ -299,6 +299,7 @@ mod tests {
             hints: hints.to_vec(),
             alerts: vec![0],
             severity: Severity::Page,
+            capture: None,
         }
     }
 

@@ -380,3 +380,65 @@ fn watch_score_byte_identical_across_engines() {
     assert_eq!(repeat_report, ref_report, "scored chaos report is not repeat-stable");
     assert_eq!(repeat_score, ref_score, "watch_score.json is not repeat-stable");
 }
+
+/// Same contract once more for the flight recorder: arming it must not
+/// perturb the scored grid, and every capture JSONL and postmortem
+/// document it emits is a pure function of `(trials, seed)` — the
+/// engine that pumped the recorder must not leak into the artifacts.
+#[test]
+fn recorded_captures_and_postmortems_byte_identical_across_engines() {
+    let rules = watch::WatchConfig::default();
+    let recorded = |engine: EngineMode| {
+        let (report, score, recordings) = prs_core::run_chaos_recorded(
+            &ChaosConfig {
+                trials: 6,
+                seed: 7,
+                engine,
+            },
+            &rules,
+            obs::RecorderConfig::enabled(),
+        );
+        let mut artifacts = String::new();
+        for rec in &recordings {
+            for c in &rec.captures {
+                artifacts.push_str(&c.file_name());
+                artifacts.push('\n');
+                artifacts.push_str(&c.to_jsonl());
+            }
+            artifacts.push_str(&rec.postmortem.to_json_string());
+            artifacts.push('\n');
+        }
+        (report.to_json().to_string(), score.to_json(), artifacts)
+    };
+    let (plain_report, plain_score) = run_chaos_scored(
+        &ChaosConfig {
+            trials: 6,
+            seed: 7,
+            engine: EngineMode::LegacyHeap,
+        },
+        &rules,
+    );
+    let (ref_report, ref_score, ref_artifacts) = recorded(EngineMode::LegacyHeap);
+    assert_eq!(
+        ref_report,
+        plain_report.to_json().to_string(),
+        "arming the recorder perturbed chaos_report.json"
+    );
+    assert_eq!(
+        ref_score,
+        plain_score.to_json(),
+        "arming the recorder perturbed watch_score.json"
+    );
+    assert!(
+        ref_artifacts.contains("prs-capture-v1") && ref_artifacts.contains("prs-postmortem-v1"),
+        "the seed-7 grid must emit captures and postmortems"
+    );
+    for mode in [EngineMode::Calendar, EngineMode::Parallel] {
+        let (report, score, artifacts) = recorded(mode);
+        assert_eq!(report, ref_report, "recorded chaos report diverged under {mode}");
+        assert_eq!(score, ref_score, "recorded watch score diverged under {mode}");
+        assert_eq!(artifacts, ref_artifacts, "captures/postmortems diverged under {mode}");
+    }
+    let (_, _, repeat) = recorded(EngineMode::LegacyHeap);
+    assert_eq!(repeat, ref_artifacts, "recorded artifacts are not repeat-stable");
+}
