@@ -12,7 +12,7 @@
 
 #![warn(missing_docs)]
 
-use prs_core::{DeviceClass, IterativeApp, Key, SpmdApp};
+use prs_core::{CheckpointableApp, DeviceClass, IterativeApp, Key, SpmdApp};
 use roofline::schedule::Workload;
 use serde::Serialize;
 use std::ops::Range;
@@ -73,6 +73,16 @@ impl IterativeApp for SyntheticApp {
     fn update(&self, _outputs: &[(Key, ())]) -> bool {
         false // run to the configured iteration cap
     }
+}
+
+// The stand-in carries no model state, so checkpoints are empty bytes;
+// this is what lets the resilient and elastic drivers bench the
+// machinery's own cost with zero app-serialization noise.
+impl CheckpointableApp for SyntheticApp {
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+    fn restore_state(&self, _bytes: &[u8]) {}
 }
 
 /// The workload scale factor from `PRS_SCALE` (default 1.0).

@@ -88,6 +88,11 @@ pub struct RunOptions {
     /// Write the full observability bundle (events.jsonl, metrics.prom,
     /// decisions.jsonl, trace.json) into this directory.
     pub obs_out: Option<String>,
+    /// Run through the elastic driver with this membership plan TOML
+    /// (scale-out / drain / evict events in virtual time).
+    pub membership: Option<String>,
+    /// Attach the hysteresis autoscaler (default policy) to the run.
+    pub autoscale: bool,
     /// Emit machine-readable JSON instead of prose.
     pub json: bool,
 }
@@ -107,6 +112,8 @@ impl Default for RunOptions {
             timeline: false,
             trace_out: None,
             obs_out: None,
+            membership: None,
+            autoscale: false,
             json: false,
         }
     }
@@ -223,7 +230,7 @@ pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
     let known = [
         "app", "nodes", "profile", "profile-file", "mode", "iterations", "points", "dims",
         "clusters", "seed", "gpus", "streams", "blocks-per-core", "trace", "obs", "calibrate",
-        "engine", "record-window", "record-budget",
+        "engine", "record-window", "record-budget", "membership",
     ];
     for k in kv.keys() {
         if !known.contains(&k.as_str()) {
@@ -231,7 +238,7 @@ pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
         }
     }
     for f in &flags {
-        if !["timeline", "json", "record"].contains(&f.as_str()) {
+        if !["timeline", "json", "record", "autoscale"].contains(&f.as_str()) {
             return Err(format!("unknown flag --{f}"));
         }
     }
@@ -271,6 +278,16 @@ pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
     opts.json = flags.iter().any(|f| f == "json");
     opts.trace_out = kv.get("trace").cloned();
     opts.obs_out = kv.get("obs").cloned();
+    opts.membership = kv.get("membership").cloned();
+    opts.autoscale = flags.iter().any(|f| f == "autoscale");
+    // The elastic driver checkpoints and rebases the running app across
+    // epochs; only checkpointable iterative apps qualify (C-means today).
+    if (opts.membership.is_some() || opts.autoscale) && opts.app != AppKind::Cmeans {
+        return Err(
+            "--membership / --autoscale require a checkpointable iterative app (--app cmeans)"
+                .to_string(),
+        );
+    }
     if flags.iter().any(|f| f == "record")
         || kv.contains_key("record-window")
         || kv.contains_key("record-budget")
@@ -381,6 +398,24 @@ mod tests {
         assert!(implied.config.recorder.is_enabled());
         assert!(parse_run(&argv("--record-budget 0")).is_err());
         assert!(parse_run(&argv("--record-window -1")).is_err());
+    }
+
+    #[test]
+    fn membership_and_autoscale_grammar() {
+        let opts = parse_run(&argv("--app cmeans --membership /tmp/plan.toml")).unwrap();
+        assert_eq!(opts.membership.as_deref(), Some("/tmp/plan.toml"));
+        assert!(!opts.autoscale);
+        let auto = parse_run(&argv("--autoscale")).unwrap();
+        assert!(auto.autoscale, "default app is cmeans, so --autoscale stands alone");
+        assert_eq!(auto.membership, None);
+        let both = parse_run(&argv("--membership p.toml --autoscale")).unwrap();
+        assert!(both.autoscale && both.membership.is_some());
+        let plain = parse_run(&argv("--app cmeans")).unwrap();
+        assert_eq!(plain.membership, None);
+        assert!(!plain.autoscale);
+        // Elastic runs need a checkpointable iterative app.
+        assert!(parse_run(&argv("--app gemv --membership p.toml")).is_err());
+        assert!(parse_run(&argv("--app kmeans --autoscale")).is_err());
     }
 
     #[test]

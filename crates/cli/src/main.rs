@@ -120,7 +120,11 @@ USAGE:
                           --record arms the bounded-memory flight recorder
                           per trial and writes incident captures +
                           postmortems under --record-out <dir>
-                          (chaos_records))
+                          (chaos_records);
+                          --churn instead runs the elastic-membership grid
+                          — seeded scale-out/drain/evict plans composed
+                          with crashes through the elastic driver — and
+                          writes churn_report.json)
   prs postmortem <d>      assemble the incident postmortem of a recorded
                           dir: joins capture-*.jsonl with incidents.jsonl,
                           decisions.jsonl and stacks.jsonl, writes
@@ -164,6 +168,12 @@ RUN OPTIONS (defaults in parentheses):
   --record-window <s>         recorder retention window in virtual
                               seconds ({rec_window})
   --record-budget <n>         max resident recorder events ({rec_budget})
+  --membership <toml>         run through the elastic driver with this
+                              membership plan (scale-out / drain / evict
+                              events in virtual time; app must be cmeans,
+                              see docs/elasticity.md)
+  --autoscale                 attach the hysteresis autoscaler (default
+                              policy); composes with --membership
   --json                      machine-readable output
 
 ADVISE OPTIONS:
@@ -1246,6 +1256,13 @@ fn bench_suite() -> Vec<(&'static str, RunOptions)> {
     // host-only and must stay off the virtual clock.
     let mut cmeans_ckpt = cmeans_static.clone();
     cmeans_ckpt.config = cmeans_ckpt.config.with_checkpoint_interval(1);
+    // Names ending in `_elastic` route through the elastic membership
+    // driver with an *empty* plan: contractually bit-identical to the
+    // fixed-cluster run (docs/elasticity.md), so it shares `_ckpt`'s
+    // tighter envelope and any drift is membership-plumbing cost leaking
+    // onto the virtual clock.
+    let mut cmeans_elastic = cmeans_static.clone();
+    cmeans_elastic.config = cmeans_elastic.config.with_checkpoint_interval(1);
     // The cluster-scale scenario: 1000 micro nodes under the parallel
     // engine, one iteration. Sized so every node gets a few map blocks;
     // what the entry really measures is engine throughput (sim events per
@@ -1269,6 +1286,7 @@ fn bench_suite() -> Vec<(&'static str, RunOptions)> {
         ("gemv_2node", gemv_gpu),
         ("wordcount_2node", wordcount),
         ("cmeans_2node_ckpt", cmeans_ckpt),
+        ("cmeans_2node_elastic", cmeans_elastic),
         ("cmeans_1000node", cmeans_1000),
     ]
 }
@@ -1409,6 +1427,8 @@ fn cmd_bench(args: &[String]) -> i32 {
             let t0 = std::time::Instant::now();
             let outcome = if name.ends_with("_ckpt") {
                 run_checkpointed_bench(&opts, &spec)
+            } else if name.ends_with("_elastic") {
+                run_elastic_bench(&opts, &spec)
             } else {
                 dispatch(&opts, &spec, Obs::disabled())
                     .map(|(m, _, _)| (m.total_seconds, m.sim_events, phase_breakdown(&m)))
@@ -1508,7 +1528,11 @@ fn cmd_bench(args: &[String]) -> i32 {
                     // Checkpoint-enabled scenarios get a tighter envelope:
                     // store writes are host-only, so their virtual makespan
                     // must track the baseline closely.
-                    let tolerance = if name.ends_with("_ckpt") { 1.05 } else { 1.10 };
+                    let tolerance = if name.ends_with("_ckpt") || name.ends_with("_elastic") {
+                        1.05
+                    } else {
+                        1.10
+                    };
                     match baseline {
                         Some(b) if fresh > b * tolerance => {
                             eprintln!(
@@ -1687,6 +1711,27 @@ fn run_checkpointed_bench(
         .map_err(|e| e.to_string())
 }
 
+/// The `_elastic` bench flavour: the same C-means scenario through
+/// `run_elastic` with an empty membership plan and no autoscaler — the
+/// driver delegates to the resilient path, so the virtual makespan must
+/// match the fixed-cluster baseline bit for bit.
+fn run_elastic_bench(
+    opts: &RunOptions,
+    spec: &ClusterSpec,
+) -> Result<(f64, u64, std::collections::BTreeMap<&'static str, f64>), String> {
+    let k = opts.clusters.max(1);
+    let pts = Arc::new(clustering_workload(opts.points, opts.dims, k, opts.seed).points);
+    let app = Arc::new(CMeans::new(pts, k, 2.0, 1e-3, opts.seed));
+    let store: Arc<dyn prs_core::CheckpointStore> = Arc::new(prs_core::MemStore::new());
+    let plan = prs_core::MembershipPlan::seeded(opts.seed);
+    prs_core::run_elastic(spec, app, opts.config, store, &plan, None)
+        .map(|outcome| {
+            let phases = phase_breakdown(&outcome.metrics);
+            (outcome.total_virtual_secs, outcome.metrics.sim_events, phases)
+        })
+        .map_err(|e| e.to_string())
+}
+
 /// `prs chaos [--trials <n>] [--seed <n>] [--out <file>] [--json]`:
 /// sample seeded fault plans across a cluster/workload grid, run each
 /// through the resilient driver, and assert the recovery invariants
@@ -1697,7 +1742,7 @@ fn run_checkpointed_bench(
 fn cmd_chaos(args: &[String]) -> i32 {
     let parsed = parse_kv(args).and_then(|(kv, flags)| {
         for f in &flags {
-            if f != "json" && f != "score-watch" && f != "record" {
+            if f != "json" && f != "score-watch" && f != "record" && f != "churn" {
                 return Err(format!("unknown flag --{f}"));
             }
         }
@@ -1741,6 +1786,17 @@ fn cmd_chaos(args: &[String]) -> i32 {
         if record && !score_watch {
             return Err("--record requires --score-watch (captures are incident-triggered)".to_string());
         }
+        let churn = flags.iter().any(|f| f == "churn");
+        if churn && (score_watch || record) {
+            return Err(
+                "--churn runs the elastic-membership grid and cannot combine with \
+                 --score-watch / --record"
+                    .to_string(),
+            );
+        }
+        if churn && !kv.contains_key("out") {
+            out_path = "churn_report.json".to_string();
+        }
         Ok((
             cfg,
             out_path,
@@ -1749,15 +1805,57 @@ fn cmd_chaos(args: &[String]) -> i32 {
             watch_out,
             rules_path,
             record.then_some(record_out),
+            churn,
         ))
     });
-    let (cfg, out_path, json, score_watch, watch_out, rules_path, record_out) = match parsed {
+    let (cfg, out_path, json, score_watch, watch_out, rules_path, record_out, churn) = match parsed
+    {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
             return 2;
         }
     };
+    if churn {
+        let report = prs_core::run_chaos_churn(&cfg);
+        let doc = report.to_json();
+        if let Err(e) = std::fs::write(&out_path, serde_json::to_string_pretty(&doc).unwrap() + "\n")
+        {
+            eprintln!("error writing {out_path}: {e}");
+            return 1;
+        }
+        if json {
+            say!("{}", serde_json::to_string_pretty(&doc).unwrap());
+        } else {
+            say!(
+                "churn: {} trials (seed {}) — {} scale-out, {} drain, {} evict, {} with crashes, \
+                 {} deadline handoff(s)",
+                report.trials.len(),
+                report.seed,
+                report.scale_out_trials(),
+                report.drain_trials(),
+                report.evict_trials(),
+                report.crash_trials(),
+                report.handoffs_total()
+            );
+            for t in report.trials.iter().filter(|t| !t.passed()) {
+                say!(
+                    "FAIL trial {}: identical={} flows={} ledger={} size={} clock={}",
+                    t.index,
+                    t.result_identical,
+                    t.flow_conserved,
+                    t.ledger_reconciled,
+                    t.size_conserved,
+                    t.clock_monotone
+                );
+            }
+            say!(
+                "{} — report written to {out_path}",
+                if report.all_passed() { "all invariants hold" } else { "INVARIANT VIOLATIONS" }
+            );
+        }
+        return if report.all_passed() { 0 } else { 1 };
+    }
     let rules = match &rules_path {
         Some(path) => {
             let text = match std::fs::read_to_string(path) {
@@ -2086,6 +2184,26 @@ fn cmd_run(args: &[String]) -> i32 {
         netsim::NetworkParams::infiniband_qdr(),
     );
 
+    // An elastic run loads its churn plan up front so a bad plan file
+    // fails like any other argument error, before the cluster spins up.
+    let elastic = opts.membership.is_some() || opts.autoscale;
+    let mplan = if let Some(path) = &opts.membership {
+        let loaded = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}"))
+            .and_then(|text| {
+                prs_core::MembershipPlan::from_toml(&text).map_err(|e| format!("{path}: {e}"))
+            });
+        match loaded {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        }
+    } else {
+        prs_core::MembershipPlan::seeded(opts.seed)
+    };
+
     // With `--record` the flight recorder rides along: shadow mode when an
     // `--obs` bundle is requested (the export needs the full bus), bounded
     // mode otherwise so the run stays O(budget) in resident events.
@@ -2101,7 +2219,11 @@ fn cmd_run(args: &[String]) -> i32 {
     } else {
         Obs::disabled()
     };
-    let outcome = dispatch(&opts, &spec, obs.clone());
+    let outcome = if elastic {
+        dispatch_elastic(&opts, &spec, &mplan, obs.clone())
+    } else {
+        dispatch(&opts, &spec, obs.clone())
+    };
     let (result, label, extra) = match outcome {
         Ok(v) => v,
         Err(e) => {
@@ -2269,6 +2391,50 @@ fn write_obs_bundle(dir: &str, obs: &Obs, timeline: &[device::Interval]) -> Resu
 }
 
 type RunOutcome = Result<(prs_core::JobMetrics, String, String), String>;
+
+/// Runs C-means through the elastic membership driver: the loaded plan
+/// (and/or the default hysteresis autoscaler) governs epoch boundaries,
+/// and a fresh in-memory store carries checkpoints across them.
+fn dispatch_elastic(
+    opts: &RunOptions,
+    spec: &ClusterSpec,
+    mplan: &prs_core::MembershipPlan,
+    obs: Obs,
+) -> RunOutcome {
+    let k = opts.clusters.max(1);
+    let pts = Arc::new(clustering_workload(opts.points, opts.dims, k, opts.seed).points);
+    let app = Arc::new(CMeans::new(pts, k, 2.0, 1e-3, opts.seed));
+    let store: Arc<dyn prs_core::CheckpointStore> = Arc::new(prs_core::MemStore::new());
+    let policy = prs_core::AutoscalePolicy::default();
+    let out = prs_core::run_elastic_observed(
+        spec,
+        app.clone(),
+        opts.config,
+        store,
+        mplan,
+        opts.autoscale.then_some(&policy),
+        obs,
+    )
+    .map_err(|e| e.to_string())?;
+    let m = &out.membership;
+    let final_nodes = out.cluster_sizes.last().map(|&(_, n)| n).unwrap_or(spec.len());
+    let obj = app.objective_history().last().copied().unwrap_or(0.0);
+    let extra = format!(
+        "elastic: {} epoch(s), {} -> {} node(s), joins={} (retries={}) drains={} evicts={} \
+         handoffs={} grow={} shrink={}; final J_m = {obj:.4e}",
+        out.attempts.len(),
+        spec.len(),
+        final_nodes,
+        m.joins,
+        m.join_retries,
+        m.drains,
+        m.evictions,
+        m.handoffs,
+        m.grow_decisions,
+        m.shrink_decisions,
+    );
+    Ok((out.metrics, "C-means (elastic)".into(), extra))
+}
 
 /// Builds the requested app, runs it (with the given observability
 /// bundle attached), and summarizes app-specific results.

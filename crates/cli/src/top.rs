@@ -183,6 +183,32 @@ pub fn render_frame_with_captures(
         inflight.len()
     );
 
+    // Elastic membership lane: cluster size at t plus the transition
+    // ledger seen so far. Only elastic bundles emit the `membership`
+    // lane, so fixed-cluster frames render byte-identically to before.
+    if events.iter().any(|e| e.lane == "membership") {
+        let memb: Vec<&TraceEvent> = seen.iter().filter(|e| e.lane == "membership").collect();
+        let size = memb
+            .iter()
+            .filter(|e| e.kind == "cluster-size")
+            .max_by(|a, b| a.t.total_cmp(&b.t))
+            .and_then(|e| e.attr("n"));
+        let count = |kind: &str| memb.iter().filter(|e| e.kind == kind).count();
+        let _ = writeln!(
+            out,
+            "\ncluster size: {}  (joins {}, drains {}, evicts {}, handoffs {})",
+            size.map(|n| format!("{n:.0} node(s)")).unwrap_or_else(|| "?".to_string()),
+            count("join"),
+            count("drain"),
+            count("evict"),
+            count("handoff"),
+        );
+        for e in memb.iter().filter(|e| e.kind != "cluster-size") {
+            let node = e.attr("node").map(|n| format!(" node{n:.0}")).unwrap_or_default();
+            let _ = writeln!(out, "  t={:.6} {}{}", e.t, e.kind, node);
+        }
+    }
+
     // Alert lane: the watchdog's verdict over everything seen so far.
     let watched = watch::watch(&to_rollup_events(&seen), decisions, &watch::WatchConfig::default());
     let firing: Vec<_> = watched
@@ -334,6 +360,32 @@ mod tests {
         let plain = render_frame_with_captures(&events, &[], &BTreeMap::new(), 2.5, 0.5);
         assert_eq!(plain, render_frame(&events, &[], 2.5, 0.5));
         assert!(!plain.contains("capture-0.jsonl"));
+    }
+
+    #[test]
+    fn membership_lane_renders_only_on_elastic_bundles() {
+        let plain = render_frame(&sample(), &[], 0.2, 0.5);
+        assert!(!plain.contains("cluster size:"), "fixed-cluster frame grew a lane:\n{plain}");
+
+        let mut events = sample();
+        let mut size0 = ev("membership", "cluster-size", 0.0, None, None);
+        size0.attrs.insert("n".into(), 2.0);
+        let mut drain = ev("membership", "drain", 0.15, None, None);
+        drain.attrs.insert("node".into(), 1.0);
+        let mut size1 = ev("membership", "cluster-size", 0.15, None, None);
+        size1.attrs.insert("n".into(), 1.0);
+        events.extend([size0, drain, size1]);
+
+        let frame = render_frame(&events, &[], 0.2, 0.5);
+        assert!(
+            frame.contains("cluster size: 1 node(s)  (joins 0, drains 1, evicts 0, handoffs 0)"),
+            "{frame}"
+        );
+        assert!(frame.contains("t=0.150000 drain node1"), "{frame}");
+
+        // Before the drain the observer still sees the original size.
+        let early = render_frame(&events, &[], 0.1, 0.5);
+        assert!(early.contains("cluster size: 2 node(s)"), "{early}");
     }
 
     #[test]

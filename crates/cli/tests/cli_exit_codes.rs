@@ -99,7 +99,12 @@ fn usage_errors_exit_two() {
         vec!["postmortem", "x", "--bogus"],
         vec!["chaos", "--record"],           // captures need the scored grid
         vec!["chaos", "--record-out", "d"],  // needs --record
+        vec!["chaos", "--churn", "--score-watch"], // churn grid stands alone
+        vec!["chaos", "--churn", "--record", "--score-watch"],
         vec!["run", "--record-budget", "0"], // budget must be at least 1
+        vec!["run", "--membership", "p.toml", "--app", "gemv"], // elastic needs cmeans
+        vec!["run", "--autoscale", "--app", "kmeans"],
+        vec!["run", "--membership", "/nonexistent/plan.toml"], // unreadable plan file
         vec!["definitely-not-a-subcommand"],
     ] {
         let out = prs(&cmd);
@@ -149,6 +154,54 @@ fn recorded_run_feeds_the_postmortem_reader() {
     // A healthy bundle has no captures, so the standalone reader says so.
     let pm = prs(&["postmortem", d]);
     assert_eq!(pm.status.code(), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn membership_run_writes_audited_decisions() {
+    // A drain plan through the real binary: the run succeeds, reports the
+    // elastic epoch count, and the --obs bundle's decision audit carries
+    // the membership scale lines.
+    let dir = tmp_dir("membership");
+    let plan = dir.join("plan.toml");
+    std::fs::write(&plan, "seed = 11\n\n[[drain]]\nnode = 1\nat_s = 0.05\ndeadline_s = 10.0\n")
+        .expect("write plan");
+    let d = dir.to_str().expect("utf-8 temp path");
+    let out = prs(&[
+        "run", "--nodes", "2", "--points", "20000", "--iterations", "3",
+        "--membership", plan.to_str().expect("utf-8 plan path"), "--obs", d,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("elastic:"), "run summary lacks the elastic line: {stdout}");
+    let events = std::fs::read_to_string(dir.join("events.jsonl")).expect("events.jsonl");
+    assert!(
+        events.contains("\"membership\""),
+        "event bus lacks the membership lane:\n{events}"
+    );
+    let metrics = std::fs::read_to_string(dir.join("metrics.prom")).expect("metrics.prom");
+    assert!(
+        metrics.contains("prs_membership_total"),
+        "membership counters missing from metrics.prom"
+    );
+    // A malformed plan is a usage error, caught before any run starts.
+    std::fs::write(&plan, "[[drain]]\nnode = 1\nwhen = 0.5\n").expect("rewrite plan");
+    let bad = prs(&["run", "--membership", plan.to_str().expect("utf-8 plan path")]);
+    assert_eq!(bad.status.code(), Some(2), "malformed plan must exit 2");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn churn_grid_passes_and_writes_its_report() {
+    let dir = tmp_dir("churn");
+    let out_file = dir.join("churn.json");
+    let out = prs(&[
+        "chaos", "--churn", "--trials", "3",
+        "--out", out_file.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let report = std::fs::read_to_string(&out_file).expect("churn report written");
+    assert!(report.contains("\"all_passed\": true"), "grid should pass:\n{report}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -25,6 +25,7 @@ use crate::cluster::ClusterSpec;
 use crate::config::JobConfig;
 use crate::faults::{splitmix64, FaultPlan};
 use crate::job::{run_iterative, run_iterative_observed};
+use crate::membership::{run_elastic_observed, MembershipCounters, MembershipPlan};
 use crate::metrics::RecoveryCounters;
 use crate::resilient::{run_resilient_observed, ResilientOutcome};
 use obs::rollup::RollupEvent;
@@ -644,6 +645,361 @@ fn run_chaos_inner(
     )
 }
 
+/// One churn trial: the sampled shape, the injected membership plan and
+/// crash faults, and the elastic invariant verdicts. Extends the base
+/// chaos grid with churn×fault coverage: the same derived-seed
+/// discipline, but the run goes through [`run_elastic_observed`] with a
+/// sampled [`MembershipPlan`] alongside (sometimes) a crash plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnTrial {
+    /// Trial index within the run.
+    pub index: usize,
+    /// Initial node count sampled for this trial.
+    pub nodes: usize,
+    /// Input items.
+    pub items: usize,
+    /// Distinct reduce keys.
+    pub keys: usize,
+    /// Iteration cap.
+    pub iterations: usize,
+    /// True when the trial used dynamic (polling) scheduling.
+    pub dynamic: bool,
+    /// Checkpoint cadence (iterations).
+    pub checkpoint_interval: usize,
+    /// Nodes the plan admits via scale-out.
+    pub planned_joins: usize,
+    /// Graceful drains scheduled.
+    pub planned_drains: usize,
+    /// Forced evictions scheduled.
+    pub planned_evicts: usize,
+    /// Worker-node crashes injected alongside the churn.
+    pub node_crashes: usize,
+    /// Master crashes injected alongside the churn.
+    pub master_crashes: usize,
+    /// Epochs the elastic driver ran (1 = nothing fired).
+    pub epochs: usize,
+    /// The membership state machine's ledger for the run.
+    pub membership: MembershipCounters,
+    /// Merged recovery counters of the churned run.
+    pub recovery: RecoveryCounters,
+    /// Invariant 1: outputs and final model state match the fixed-cluster
+    /// fault-free baseline (the app's reduce is partition-invariant, so
+    /// any cluster-size history must converge to the same bits).
+    pub result_identical: bool,
+    /// Invariant 2: per-flow send/recv counts balance on the event bus.
+    pub flow_conserved: bool,
+    /// Invariant 3: every membership counter matches the epoch
+    /// dispositions that actually fired, and restores reconcile with
+    /// rollback-causing departures.
+    pub ledger_reconciled: bool,
+    /// Invariant 4: the cluster-size trace conserves node count
+    /// (initial + joins − drains − evictions − handoffs − crashes).
+    pub size_conserved: bool,
+    /// Invariant 5: epoch base times strictly increase and the size
+    /// trace's timestamps never run backwards.
+    pub clock_monotone: bool,
+}
+
+impl ChurnTrial {
+    /// All invariants hold.
+    pub fn passed(&self) -> bool {
+        self.result_identical
+            && self.flow_conserved
+            && self.ledger_reconciled
+            && self.size_conserved
+            && self.clock_monotone
+    }
+}
+
+/// The full churn chaos run: every trial plus coverage aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnReport {
+    /// Root seed the grid derives from.
+    pub seed: u64,
+    /// Per-trial records, in index order.
+    pub trials: Vec<ChurnTrial>,
+}
+
+impl ChurnReport {
+    /// Trials that scheduled at least one scale-out.
+    pub fn scale_out_trials(&self) -> usize {
+        self.trials.iter().filter(|t| t.planned_joins > 0).count()
+    }
+
+    /// Trials that scheduled at least one graceful drain.
+    pub fn drain_trials(&self) -> usize {
+        self.trials.iter().filter(|t| t.planned_drains > 0).count()
+    }
+
+    /// Trials that scheduled at least one forced eviction.
+    pub fn evict_trials(&self) -> usize {
+        self.trials.iter().filter(|t| t.planned_evicts > 0).count()
+    }
+
+    /// Trials that composed churn with at least one crash.
+    pub fn crash_trials(&self) -> usize {
+        self.trials
+            .iter()
+            .filter(|t| t.node_crashes + t.master_crashes > 0)
+            .count()
+    }
+
+    /// Drain deadlines that blew and took the checkpoint-handoff path.
+    pub fn handoffs_total(&self) -> u64 {
+        self.trials.iter().map(|t| t.membership.handoffs).sum()
+    }
+
+    /// Trials with at least one invariant violated.
+    pub fn failures(&self) -> usize {
+        self.trials.iter().filter(|t| !t.passed()).count()
+    }
+
+    /// Every trial passed every invariant.
+    pub fn all_passed(&self) -> bool {
+        self.failures() == 0
+    }
+
+    /// Deterministic JSON rendering (same contract as
+    /// [`ChaosReport::to_json`]: a pure function of `(trials, seed)`,
+    /// byte-identical whatever engine ran the grid).
+    pub fn to_json(&self) -> Value {
+        json!({
+            "seed": self.seed,
+            "trials": self.trials.len(),
+            "scale_out_trials": self.scale_out_trials(),
+            "drain_trials": self.drain_trials(),
+            "evict_trials": self.evict_trials(),
+            "crash_trials": self.crash_trials(),
+            "handoffs_total": self.handoffs_total(),
+            "failures": self.failures(),
+            "all_passed": self.all_passed(),
+            "results": self.trials.iter().map(|t| json!({
+                "index": t.index,
+                "nodes": t.nodes,
+                "items": t.items,
+                "keys": t.keys,
+                "iterations": t.iterations,
+                "scheduling": if t.dynamic { "dynamic" } else { "static" },
+                "checkpoint_interval": t.checkpoint_interval,
+                "planned_joins": t.planned_joins,
+                "planned_drains": t.planned_drains,
+                "planned_evicts": t.planned_evicts,
+                "node_crashes": t.node_crashes,
+                "master_crashes": t.master_crashes,
+                "epochs": t.epochs,
+                "joins": t.membership.joins,
+                "join_retries": t.membership.join_retries,
+                "drains": t.membership.drains,
+                "evictions": t.membership.evictions,
+                "handoffs": t.membership.handoffs,
+                "secs_waiting_joins": t.membership.secs_waiting_joins,
+                "checkpoints_written": t.recovery.checkpoints_written,
+                "restores": t.recovery.restores,
+                "result_identical": t.result_identical,
+                "flow_conserved": t.flow_conserved,
+                "ledger_reconciled": t.ledger_reconciled,
+                "size_conserved": t.size_conserved,
+                "clock_monotone": t.clock_monotone,
+                "passed": t.passed(),
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+/// Runs the churn chaos grid: every trial runs the chaos app through
+/// the elastic driver with a seeded [`MembershipPlan`] (scale-out,
+/// drain, and evict events inside the fault-free span), and a sampled
+/// subset of trials composes the churn with worker/master crashes.
+/// Trial 0 always forces the hardest composition — a crash landing
+/// mid-drain, which must cancel the pending drain and recover through
+/// the checkpoint. Like [`run_chaos`], the report is a pure function of
+/// `(trials, seed)` and invariant violations are recorded, not panicked.
+pub fn run_chaos_churn(cfg: &ChaosConfig) -> ChurnReport {
+    let mut trials = Vec::with_capacity(cfg.trials);
+    for index in 0..cfg.trials {
+        // The same derived-seed discipline as the base grid, salted so a
+        // churn trial never replays its fault-grid sibling's draws.
+        let mut s = cfg
+            .seed
+            .wrapping_add((index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            ^ 0x6368_7572_6e21_0001;
+        let draw = |s: &mut u64, m: u64| splitmix64(s) % m;
+        let unit = |s: &mut u64| (splitmix64(s) >> 11) as f64 / (1u64 << 53) as f64;
+
+        // Trial 0 pins three nodes so a drain and a crash can coexist
+        // under the survivor check; later trials sample freely.
+        let nodes = if index == 0 { 3 } else { 2 + draw(&mut s, 2) as usize };
+        let items = 64 + 32 * draw(&mut s, 4) as usize;
+        let keys = 3 + draw(&mut s, 3) as usize;
+        let iterations = 5 + draw(&mut s, 3) as usize;
+        let dynamic = draw(&mut s, 2) == 1;
+        let checkpoint_interval = 1 + draw(&mut s, 2) as usize;
+
+        let config = if dynamic {
+            JobConfig::dynamic(16)
+        } else {
+            JobConfig::static_analytic()
+        }
+        .with_iterations(iterations)
+        .with_engine(cfg.engine);
+
+        // Fixed-cluster fault-free baseline: reference outputs/state,
+        // the span churn times are scheduled against, and the iteration
+        // boundaries trial 0 aims its mid-drain crash between.
+        let baseline_app = Arc::new(ChaosApp::new(items, keys, 0));
+        let baseline = run_iterative(&ClusterSpec::delta(nodes), baseline_app.clone(), config)
+            .expect("churn baseline run");
+        let span = baseline.metrics.total_seconds;
+
+        let mut mplan = MembershipPlan::seeded(cfg.seed ^ index as u64);
+        let mut plan = FaultPlan::seeded(cfg.seed ^ index as u64);
+        let mut node_crashes = 0;
+        let mut master_crashes = 0;
+        // Distinct-victim pool: a node leaves at most once per trial.
+        let mut pool: Vec<usize> = (0..nodes).collect();
+        let pick = |s: &mut u64, pool: &mut Vec<usize>| -> usize {
+            pool.remove(draw(s, pool.len() as u64) as usize)
+        };
+
+        if index == 0 {
+            // Forced crash-mid-drain: the node dies at the very instant
+            // its drain is scheduled. The crash-abort check runs before
+            // the graceful-pause check at every boundary, so whatever
+            // boundary first reaches the instant sees the crash, cancels
+            // the pending drain, and recovers via the checkpoint.
+            let victim = pick(&mut s, &mut pool);
+            let at = 0.45 * span;
+            mplan = mplan.drain(victim, at, span);
+            plan = plan.crash_node(victim, at);
+            node_crashes += 1;
+        } else {
+            if draw(&mut s, 2) == 0 {
+                mplan = mplan.scale_out(1, (0.2 + 0.3 * unit(&mut s)) * span);
+            }
+            // At least one initial node must survive every removal, and
+            // the driver counts drains, evicts, and crashes against the
+            // same survivor budget.
+            let mut budget = nodes - 1;
+            if budget > 0 && draw(&mut s, 2) == 0 {
+                let deadline = if draw(&mut s, 4) == 0 { 0.0 } else { span };
+                mplan = mplan.drain(pick(&mut s, &mut pool), (0.25 + 0.35 * unit(&mut s)) * span, deadline);
+                budget -= 1;
+            }
+            if budget > 0 && draw(&mut s, 2) == 0 {
+                mplan = mplan.evict(pick(&mut s, &mut pool), (0.3 + 0.4 * unit(&mut s)) * span);
+                budget -= 1;
+            }
+            if budget > 0 && draw(&mut s, 3) == 0 {
+                plan = plan.crash_node(pick(&mut s, &mut pool), (0.25 + 0.4 * unit(&mut s)) * span);
+                node_crashes += 1;
+            }
+            if draw(&mut s, 4) == 0 {
+                plan = plan.crash_master((0.3 + 0.4 * unit(&mut s)) * span);
+                master_crashes += 1;
+            }
+        }
+
+        let planned_joins = mplan.total_scale_out();
+        let planned_drains = mplan.drains.len();
+        let planned_evicts = mplan.evicts.len();
+
+        let churn_app = Arc::new(ChaosApp::new(items, keys, 0));
+        let store = Arc::new(MemStore::new());
+        let obs = Obs::recording();
+        let outcome = run_elastic_observed(
+            &ClusterSpec::delta(nodes).with_faults(plan),
+            churn_app.clone(),
+            config.with_checkpoint_interval(checkpoint_interval),
+            store,
+            &mplan,
+            None,
+            obs.clone(),
+        )
+        .expect("churn elastic run");
+
+        let mem = outcome.membership;
+        let rec = outcome.metrics.recovery;
+        let disp = |name: &str| -> u64 {
+            outcome
+                .attempts
+                .iter()
+                .filter(|a| a.disposition == name)
+                .count() as u64
+        };
+        let result_identical = outcome.outputs == baseline.outputs
+            && churn_app.save_state() == baseline_app.save_state();
+        let flow_conserved = flows_conserved(&obs);
+        // An event scheduled past the job's (possibly shortened) end
+        // never fires, so the ledger reconciles against dispositions
+        // that actually happened, never against the plan.
+        let ledger_reconciled = mem.drains == disp("drain")
+            && mem.evictions == disp("evict")
+            && mem.handoffs == disp("handoff")
+            && mem.joins == disp("scale-out")
+            && rec.node_crashes == disp("node-crash")
+            && rec.master_failovers == disp("master-failover")
+            && rec.restores == rec.node_crashes + rec.master_failovers + mem.evictions + mem.handoffs
+            && disp("completed") == 1
+            && outcome
+                .attempts
+                .last()
+                .is_some_and(|a| a.disposition == "completed");
+        let expected_size = nodes + mem.joins as usize
+            - (mem.drains + mem.evictions + mem.handoffs + rec.node_crashes) as usize;
+        let size_conserved = outcome
+            .cluster_sizes
+            .last()
+            .is_some_and(|&(_, n)| n == expected_size)
+            && outcome.cluster_sizes.iter().all(|&(_, n)| n >= 1)
+            && outcome.cluster_sizes.len() as u64
+                == 1 + disp("scale-out")
+                    + disp("drain")
+                    + disp("evict")
+                    + disp("handoff")
+                    + disp("node-crash");
+        let clock_monotone = outcome
+            .attempts
+            .windows(2)
+            .all(|w| w[1].base_secs > w[0].base_secs)
+            && outcome.attempts.iter().all(|a| a.end_secs >= a.base_secs)
+            && outcome
+                .attempts
+                .last()
+                .is_some_and(|a| a.end_secs == outcome.total_virtual_secs)
+            && outcome
+                .cluster_sizes
+                .windows(2)
+                .all(|w| w[1].0 >= w[0].0);
+
+        trials.push(ChurnTrial {
+            index,
+            nodes,
+            items,
+            keys,
+            iterations,
+            dynamic,
+            checkpoint_interval,
+            planned_joins,
+            planned_drains,
+            planned_evicts,
+            node_crashes,
+            master_crashes,
+            epochs: outcome.attempts.len(),
+            membership: mem,
+            recovery: rec,
+            result_identical,
+            flow_conserved,
+            ledger_reconciled,
+            size_conserved,
+            clock_monotone,
+        });
+    }
+    ChurnReport {
+        seed: cfg.seed,
+        trials,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -678,6 +1034,45 @@ mod tests {
         assert_eq!(v["speculation_reconciles"], serde_json::json!(true));
         let (l, w, x) = report.speculation_totals();
         assert_eq!(l, w + x);
+    }
+
+    #[test]
+    fn churn_grid_passes_all_invariants() {
+        let report = run_chaos_churn(&ChaosConfig { trials: 8, seed: 7, ..Default::default() });
+        assert_eq!(report.trials.len(), 8);
+        for t in &report.trials {
+            assert!(t.passed(), "churn trial {} violated an invariant: {t:?}", t.index);
+        }
+        // Coverage: the sampled grid must exercise every churn kind and
+        // compose churn with crashes at least once.
+        assert!(report.scale_out_trials() >= 1);
+        assert!(report.drain_trials() >= 1);
+        assert!(report.evict_trials() >= 1);
+        assert!(report.crash_trials() >= 1);
+    }
+
+    #[test]
+    fn churn_trial_zero_forces_crash_mid_drain() {
+        let report = run_chaos_churn(&ChaosConfig { trials: 1, seed: 7, ..Default::default() });
+        let t = &report.trials[0];
+        assert!(t.passed(), "trial 0 violated an invariant: {t:?}");
+        // The drain was scheduled but the crash landed first and
+        // cancelled it: recovery went through the checkpoint path and
+        // the membership ledger records no drain.
+        assert_eq!(t.planned_drains, 1);
+        assert_eq!(t.node_crashes, 1);
+        assert_eq!(t.membership.drains, 0);
+        assert_eq!(t.recovery.node_crashes, 1);
+        assert_eq!(t.recovery.restores, 1);
+        assert!(t.epochs >= 2);
+    }
+
+    #[test]
+    fn churn_report_is_deterministic() {
+        let cfg = ChaosConfig { trials: 4, seed: 42, ..Default::default() };
+        let a = run_chaos_churn(&cfg).to_json().to_string();
+        let b = run_chaos_churn(&cfg).to_json().to_string();
+        assert_eq!(a, b);
     }
 
     #[test]

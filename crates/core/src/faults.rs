@@ -85,8 +85,8 @@ pub struct NodeStall {
 /// [`crate::resilient::run_resilient`]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NodeCrash {
-    /// Node rank (at the time the crash fires; earlier crashes shift
-    /// later ranks down as nodes are removed).
+    /// Stable node id: a node keeps its id for the job's whole lifetime,
+    /// however many other nodes crash or drain before this one fires.
     pub node: usize,
     /// Crash time (virtual seconds, cumulative across recovery epochs).
     pub at_secs: f64,
@@ -107,7 +107,7 @@ pub struct MasterCrash {
 pub enum CrashEvent {
     /// A whole worker node dies at the given virtual time.
     Node {
-        /// Node rank in the current (post-removal) rank space.
+        /// Stable node id (see [`NodeCrash::node`]).
         node: usize,
         /// Crash time, virtual seconds.
         at_secs: f64,
@@ -527,46 +527,45 @@ impl FaultPlan {
         out
     }
 
-    /// Removes the crashed node `rank` from the plan: its remaining faults
-    /// are dropped (the hardware no longer exists) and faults on higher
-    /// ranks shift down by one to match the surviving cluster's new rank
-    /// space. Link-fault wildcards (`None`) are preserved.
-    pub fn without_node(&self, rank: usize) -> FaultPlan {
-        let remap = |n: usize| -> Option<usize> {
-            match n.cmp(&rank) {
-                std::cmp::Ordering::Less => Some(n),
-                std::cmp::Ordering::Equal => None,
-                std::cmp::Ordering::Greater => Some(n - 1),
-            }
-        };
+    /// Removes the departed node `id` from the plan: its remaining faults
+    /// are dropped (the hardware no longer exists) while every other
+    /// node's faults keep their ids. Node references in a plan live in
+    /// the *stable id* space — a node keeps its id for the job's whole
+    /// lifetime, however many lower-id nodes crash or drain before it —
+    /// so removing one node never shifts the attribution of later events
+    /// (the driver projects stable ids onto each attempt's contiguous
+    /// rank space with [`FaultPlan::project`]). Link-fault wildcards
+    /// (`None`) are preserved.
+    pub fn without_node(&self, id: usize) -> FaultPlan {
+        let keep = |n: usize| -> Option<usize> { (n != id).then_some(n) };
         let mut out = FaultPlan::seeded(self.seed);
         for c in &self.gpu_crashes {
-            if let Some(node) = remap(c.node) {
+            if let Some(node) = keep(c.node) {
                 out.gpu_crashes.push(GpuCrash { node, ..*c });
             }
         }
         for s in &self.cpu_slowdowns {
-            if let Some(node) = remap(s.node) {
+            if let Some(node) = keep(s.node) {
                 out.cpu_slowdowns.push(CpuSlowdown { node, ..*s });
             }
         }
         for s in &self.gpu_slowdowns {
-            if let Some(node) = remap(s.node) {
+            if let Some(node) = keep(s.node) {
                 out.gpu_slowdowns.push(GpuSlowdown { node, ..*s });
             }
         }
         for s in &self.node_stalls {
-            if let Some(node) = remap(s.node) {
+            if let Some(node) = keep(s.node) {
                 out.node_stalls.push(NodeStall { node, ..*s });
             }
         }
         for f in &self.link_faults {
             let src = match f.src {
-                Some(s) => remap(s).map(Some),
+                Some(s) => keep(s).map(Some),
                 None => Some(None),
             };
             let dst = match f.dst {
-                Some(d) => remap(d).map(Some),
+                Some(d) => keep(d).map(Some),
                 None => Some(None),
             };
             if let (Some(src), Some(dst)) = (src, dst) {
@@ -574,7 +573,58 @@ impl FaultPlan {
             }
         }
         for c in &self.node_crashes {
-            if let Some(node) = remap(c.node) {
+            if let Some(node) = keep(c.node) {
+                out.node_crashes.push(NodeCrash { node, ..*c });
+            }
+        }
+        out.master_crashes = self.master_crashes.clone();
+        out
+    }
+
+    /// Projects a stable-id plan onto one attempt's contiguous rank
+    /// space: `node_ids[rank]` is the stable id simulated at `rank`, so a
+    /// fault on stable id `n` lands on `node_ids.position(n)`. Faults
+    /// referencing ids no longer (or not yet) in the cluster are dropped.
+    /// With the identity mapping `[0, 1, ..., n-1]` the projection is the
+    /// plan itself — plain fixed-cluster runs are untouched.
+    pub fn project(&self, node_ids: &[usize]) -> FaultPlan {
+        let pos = |n: usize| -> Option<usize> { node_ids.iter().position(|&id| id == n) };
+        let mut out = FaultPlan::seeded(self.seed);
+        for c in &self.gpu_crashes {
+            if let Some(node) = pos(c.node) {
+                out.gpu_crashes.push(GpuCrash { node, ..*c });
+            }
+        }
+        for s in &self.cpu_slowdowns {
+            if let Some(node) = pos(s.node) {
+                out.cpu_slowdowns.push(CpuSlowdown { node, ..*s });
+            }
+        }
+        for s in &self.gpu_slowdowns {
+            if let Some(node) = pos(s.node) {
+                out.gpu_slowdowns.push(GpuSlowdown { node, ..*s });
+            }
+        }
+        for s in &self.node_stalls {
+            if let Some(node) = pos(s.node) {
+                out.node_stalls.push(NodeStall { node, ..*s });
+            }
+        }
+        for f in &self.link_faults {
+            let src = match f.src {
+                Some(s) => pos(s).map(Some),
+                None => Some(None),
+            };
+            let dst = match f.dst {
+                Some(d) => pos(d).map(Some),
+                None => Some(None),
+            };
+            if let (Some(src), Some(dst)) = (src, dst) {
+                out.link_faults.push(LinkFault { src, dst, ..*f });
+            }
+        }
+        for c in &self.node_crashes {
+            if let Some(node) = pos(c.node) {
                 out.node_crashes.push(NodeCrash { node, ..*c });
             }
         }
@@ -814,7 +864,7 @@ mod tests {
     }
 
     #[test]
-    fn without_node_drops_and_remaps() {
+    fn without_node_drops_without_remapping() {
         let plan = FaultPlan::seeded(9)
             .crash_gpu(1, 0, 1.0)
             .crash_gpu(2, 1, 2.0)
@@ -826,17 +876,42 @@ mod tests {
             .crash_node(2, 4.0)
             .crash_master(5.0);
         let r = plan.without_node(1);
-        // Node 1's faults vanish; node 2 becomes node 1.
+        // Node 1's faults vanish; node 2 keeps its stable id, so the
+        // later crash's blame never shifts onto a surviving node.
+        assert_eq!(r.gpu_crashes.len(), 1);
+        assert_eq!(r.gpu_crashes[0].node, 2);
+        assert_eq!(r.cpu_slowdowns.len(), 1);
+        assert_eq!(r.cpu_slowdowns[0].node, 0);
+        assert!(r.node_stalls.is_empty());
+        assert_eq!(r.link_faults.len(), 1);
+        assert_eq!(r.link_faults[0].src, Some(2));
+        assert_eq!(r.node_crashes.len(), 1);
+        assert_eq!(r.node_crashes[0].node, 2);
+        assert_eq!(r.master_crashes.len(), 1);
+        assert_eq!(r.max_node_ref(), Some(2));
+    }
+
+    #[test]
+    fn project_maps_stable_ids_to_attempt_ranks() {
+        let plan = FaultPlan::seeded(9)
+            .crash_gpu(2, 1, 2.0)
+            .slow_cpu(0, 0.0, 1.0, 2.0)
+            .slow_cpu(1, 0.0, 1.0, 3.0) // id 1 is gone: dropped
+            .jitter_link(Some(2), None, 0.0, 1.0, 0.01)
+            .crash_node(2, 4.0)
+            .crash_master(5.0);
+        // Survivors are stable ids 0 and 2, simulated at ranks 0 and 1.
+        let r = plan.project(&[0, 2]);
         assert_eq!(r.gpu_crashes.len(), 1);
         assert_eq!(r.gpu_crashes[0].node, 1);
         assert_eq!(r.cpu_slowdowns.len(), 1);
         assert_eq!(r.cpu_slowdowns[0].node, 0);
-        assert!(r.node_stalls.is_empty());
         assert_eq!(r.link_faults.len(), 1);
         assert_eq!(r.link_faults[0].src, Some(1));
         assert_eq!(r.node_crashes.len(), 1);
         assert_eq!(r.node_crashes[0].node, 1);
         assert_eq!(r.master_crashes.len(), 1);
-        assert_eq!(r.max_node_ref(), Some(1));
+        // The identity projection is the plan itself.
+        assert_eq!(plan.project(&[0, 1, 2]), plan);
     }
 }

@@ -134,6 +134,8 @@ struct Collected<O> {
     cpu_map_tasks: u64,
     gpu_map_tasks: u64,
     interrupted: bool,
+    handoff: bool,
+    paused: bool,
 }
 
 /// Rank 0's per-iteration decision, broadcast so every node agrees on
@@ -144,9 +146,14 @@ enum Verdict {
     Continue,
     /// Converged: this iteration's outputs are final.
     Converged,
-    /// The attempt hit its scheduled crash time: the iteration's update is
-    /// discarded and the resilient driver takes over.
+    /// The attempt hit its scheduled crash time (or blew a drain
+    /// deadline): the iteration's update is discarded and the
+    /// resilient/elastic driver takes over.
     Aborted,
+    /// The attempt reached a scheduled membership boundary gracefully:
+    /// the iteration's update *was* applied and the elastic driver
+    /// continues from the live model state on the new cluster.
+    Paused,
 }
 
 /// Checkpoint cadence and sink for one attempt, armed by the resilient
@@ -183,6 +190,23 @@ pub(crate) struct RunHooks {
     pub abort_at: Option<f64>,
     /// Checkpointing, when armed.
     pub checkpoint: Option<CheckpointHooks>,
+    /// Pause the attempt at the first iteration boundary at or after this
+    /// virtual time (attempt-local seconds) — how a scheduled membership
+    /// change (drain start, scale-out admission) manifests inside one
+    /// epoch. Unlike `abort_at`, the boundary's model update is applied
+    /// before the pause.
+    pub finish_at: Option<f64>,
+    /// Drain deadline (attempt-local seconds): a paused boundary *past*
+    /// this instant means the drain overran its grace window, so the
+    /// attempt aborts instead (checkpoint handoff) and the update is
+    /// discarded.
+    pub finish_deadline: Option<f64>,
+    /// Stable node id simulated at each rank. `None` means the identity
+    /// mapping (a fixed cluster). Lane names, stack frames, and audit
+    /// rows use the stable id so evicted nodes never shift the
+    /// attribution of later events; collectives and channels stay in the
+    /// contiguous rank space.
+    pub node_ids: Option<Arc<Vec<usize>>>,
 }
 
 /// A recovery (or resilience-bookkeeping) action taken by the runtime.
@@ -501,11 +525,21 @@ pub(crate) fn run_with_update<A: SpmdApp>(
         lookahead: spec.network.conservative_lookahead(),
     });
 
+    // Stable node ids: lane names and attribution follow the id, while
+    // channels/collectives use the contiguous rank. Identity on plain
+    // fixed-cluster runs, so their artifacts are byte-unchanged.
+    let node_ids: Vec<usize> = match &hooks.node_ids {
+        Some(ids) => {
+            assert_eq!(ids.len(), n, "node_ids must map every rank exactly once");
+            ids.as_ref().clone()
+        }
+        None => (0..n).collect(),
+    };
     let nodes: Vec<Arc<FatNode>> = spec
         .nodes
         .iter()
         .enumerate()
-        .map(|(rank, prof)| FatNode::new(rank, prof.clone(), spec.overheads))
+        .map(|(rank, prof)| FatNode::new(node_ids[rank], prof.clone(), spec.overheads))
         .collect();
     let timeline = config.record_timeline.then(device::Timeline::new);
     if let Some(t) = &timeline {
@@ -551,6 +585,8 @@ pub(crate) fn run_with_update<A: SpmdApp>(
         cpu_map_tasks: 0,
         gpu_map_tasks: 0,
         interrupted: false,
+        handoff: false,
+        paused: false,
     }));
 
     // Master: the first-level task scheduler. Every partition assignment
@@ -807,6 +843,8 @@ pub(crate) fn run_with_update<A: SpmdApp>(
         timeline: timeline.map(|t| t.intervals()).unwrap_or_default(),
         recovery: *recovery.lock(),
         interrupted: collected.interrupted,
+        handoff: collected.handoff,
+        paused: collected.paused,
     };
     if obs.metrics.is_enabled() {
         fill_registry(&obs, &nodes, &metrics);
@@ -825,8 +863,11 @@ pub(crate) fn run_with_update<A: SpmdApp>(
 fn fill_registry(obs: &Obs, nodes: &[Arc<FatNode>], metrics: &JobMetrics) {
     let m = &obs.metrics;
     let total = metrics.total_seconds;
-    for (r, node) in nodes.iter().enumerate() {
+    for node in nodes.iter() {
         let cpu = node.cpu.stats();
+        // Stable node id, not the positional rank: on an elastic cluster
+        // the summary series must name the same device the event lanes do.
+        let r = node.rank;
         let name = format!("node{r}-cpu");
         m.counter_add("prs_tasks_total", &[("device", &name)], cpu.tasks as f64);
         m.counter_add("prs_flops_total", &[("device", &name)], cpu.flops);
@@ -1312,9 +1353,12 @@ fn worker_body<A: SpmdApp>(
     let coll = comm.collectives(&seq);
     let dispatch = node.overheads.task_dispatch;
     let latency = comm.params().latency;
-    // The sub-task scheduler's own event lane and metric label.
-    let sched_lane = format!("node{rank}-sched");
-    let rank_label = rank.to_string();
+    // The sub-task scheduler's own event lane and metric label, keyed by
+    // the stable node id (== rank on a fixed cluster) so attribution
+    // survives elastic membership changes.
+    let node_id = node.rank;
+    let sched_lane = format!("node{node_id}-sched");
+    let rank_label = node_id.to_string();
 
     // ---- Setup: receive partition assignments from the master,
     // acknowledge each one (an active stall window delays the ack — how a
@@ -1494,7 +1538,7 @@ fn worker_body<A: SpmdApp>(
             calibrated,
             &workload,
             &config,
-            rank,
+            node_id,
             iter,
             gpu_usable,
             p_eff,
@@ -1875,13 +1919,22 @@ fn worker_body<A: SpmdApp>(
         // update and, on the configured cadence, serializes a checkpoint
         // (host-side only — writing costs no virtual time).
         let verdict = if rank == 0 {
-            let v = if hooks
-                .abort_at
-                .is_some_and(|t| ctx.now().as_secs_f64() >= t)
-            {
+            let now_s = ctx.now().as_secs_f64();
+            let membership_due = hooks.finish_at.is_some_and(|t| now_s >= t);
+            let v = if hooks.abort_at.is_some_and(|t| now_s >= t) {
+                // A crash beats a pending drain: a node can die mid-drain
+                // and the elastic driver must see the crash, not the
+                // graceful departure.
+                Verdict::Aborted
+            } else if membership_due && hooks.finish_deadline.is_some_and(|d| now_s > d) {
+                // The drain overran its grace window: abort (the update is
+                // discarded) and checkpoint-hand-off to the survivors.
+                collect.lock().handoff = true;
                 Verdict::Aborted
             } else if update(&global) {
                 Verdict::Converged
+            } else if membership_due {
+                Verdict::Paused
             } else {
                 Verdict::Continue
             };
@@ -1980,6 +2033,16 @@ fn worker_body<A: SpmdApp>(
 
         if verdict == Verdict::Converged || iter + 1 == config.max_iterations {
             final_outputs = Some(global);
+            break;
+        }
+
+        // A graceful membership pause: the update above was applied (and
+        // recorded), so the elastic driver resumes from the live model
+        // state — no rollback, no recovery delay.
+        if verdict == Verdict::Paused {
+            if rank == 0 {
+                collect.lock().paused = true;
+            }
             break;
         }
     }

@@ -18,6 +18,9 @@
 //!   plus in-memory and on-disk stores.
 //! - [`resilient`] — the epoch-based driver that survives node and master
 //!   crashes by restoring the last checkpoint on the surviving nodes.
+//! - [`membership`] — elastic cluster membership: seeded churn plans
+//!   (scale-out / drain / evict), the join handshake, and the
+//!   hysteresis-based autoscaler.
 //! - [`chaos`] — a seeded chaos harness sampling fault plans across
 //!   cluster shapes and asserting recovery invariants.
 //!
@@ -67,14 +70,15 @@ pub mod cluster;
 pub mod config;
 pub mod faults;
 pub mod job;
+pub mod membership;
 pub mod metrics;
 pub mod resilient;
 mod task;
 
 pub use api::{CheckpointableApp, DeviceClass, IterativeApp, Key, SpmdApp};
 pub use chaos::{
-    ground_truth_from_plan, run_chaos, run_chaos_recorded, run_chaos_scored, ChaosConfig,
-    ChaosReport, ChaosTrial, TrialRecording,
+    ground_truth_from_plan, run_chaos, run_chaos_churn, run_chaos_recorded, run_chaos_scored,
+    ChaosConfig, ChaosReport, ChaosTrial, ChurnReport, ChurnTrial, TrialRecording,
 };
 pub use checkpoint::{Checkpoint, CheckpointStore, DirStore, MemStore};
 pub use cluster::ClusterSpec;
@@ -86,6 +90,10 @@ pub use faults::{
 };
 pub use job::{
     run_iterative, run_iterative_observed, run_job, run_job_observed, JobError, JobResult,
+};
+pub use membership::{
+    run_elastic, run_elastic_observed, AutoscalePolicy, Drain, ElasticEpoch, ElasticOutcome,
+    Evict, MembershipCounters, MembershipEvent, MembershipPlan, ScaleOut,
 };
 pub use metrics::{JobMetrics, RecoveryCounters, StageTimes};
 pub use resilient::{run_resilient, run_resilient_observed, AttemptSummary, ResilientOutcome};

@@ -160,6 +160,14 @@ pub struct JobMetrics {
     /// and `outputs` are empty. The resilient driver resumes such runs
     /// from the last checkpoint.
     pub interrupted: bool,
+    /// True when `interrupted` was caused by a drain deadline expiring
+    /// rather than a crash: the departing node checkpoint-handed-off its
+    /// work, so the elastic driver restores without a detection delay.
+    pub handoff: bool,
+    /// True when the attempt stopped gracefully at a membership boundary
+    /// (drain or scale-out): the final iteration's update *was* applied
+    /// and the elastic driver continues from the live model state.
+    pub paused: bool,
 }
 
 impl JobMetrics {

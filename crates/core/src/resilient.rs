@@ -127,6 +127,10 @@ pub fn run_resilient_observed<A: CheckpointableApp>(
     let initial_state = app.save_state();
 
     let mut profiles = spec.nodes.clone();
+    // Stable id simulated at each rank: ids never shift as nodes are
+    // removed, so fault plans, lane names, and blame stay attributed to
+    // the same physical node across epochs.
+    let mut node_ids: Vec<usize> = (0..profiles.len()).collect();
     let mut plan = spec.faults.clone();
     let mut base_iteration: u64 = 0;
     let mut base_secs: f64 = 0.0;
@@ -143,7 +147,7 @@ pub fn run_resilient_observed<A: CheckpointableApp>(
             nodes: profiles.clone(),
             network: spec.network,
             overheads: spec.overheads,
-            faults: plan.sans_crashes(),
+            faults: plan.sans_crashes().project(&node_ids),
         };
         let remaining = config.max_iterations - base_iteration as usize;
         let mut attempt_config = config;
@@ -173,6 +177,8 @@ pub fn run_resilient_observed<A: CheckpointableApp>(
         let hooks = RunHooks {
             abort_at: crash.map(|c| c.at_secs()),
             checkpoint,
+            node_ids: Some(Arc::new(node_ids.clone())),
+            ..RunHooks::default()
         };
         let update_app = app.clone();
         let update: UpdateFn<A> = Arc::new(move |outputs| update_app.update(outputs));
@@ -241,7 +247,12 @@ pub fn run_resilient_observed<A: CheckpointableApp>(
             CrashEvent::Node { node, .. } => {
                 merged.node_crashes += 1;
                 plan = plan.without_node(node);
-                profiles.remove(node);
+                let pos = node_ids
+                    .iter()
+                    .position(|&id| id == node)
+                    .expect("crashed node is in the surviving set");
+                profiles.remove(pos);
+                node_ids.remove(pos);
                 "node-crash"
             }
             CrashEvent::Master { .. } => {

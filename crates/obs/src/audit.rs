@@ -163,6 +163,10 @@ impl DecisionRecord {
 #[derive(Clone, Default)]
 pub struct AuditLog {
     inner: Option<Arc<Mutex<Vec<DecisionRecord>>>>,
+    /// Autoscaler / membership decisions, already rendered as JSON lines.
+    /// These carry no `node`/`iter` keys, so [`AuditLog::parse_jsonl`]
+    /// skips them and trace tooling sees only scheduling decisions.
+    scale: Option<Arc<Mutex<Vec<String>>>>,
 }
 
 impl AuditLog {
@@ -170,6 +174,7 @@ impl AuditLog {
     pub fn recording() -> Self {
         Self {
             inner: Some(Arc::new(Mutex::new(Vec::new()))),
+            scale: Some(Arc::new(Mutex::new(Vec::new()))),
         }
     }
 
@@ -209,6 +214,23 @@ impl AuditLog {
         self.inner.as_ref().map_or_else(Vec::new, |i| i.lock().clone())
     }
 
+    /// Appends a pre-rendered autoscaler/membership decision line. The
+    /// caller is responsible for deterministic key order (a
+    /// `BTreeMap`-backed [`Value::Object`]); lines are exported in append
+    /// order after the canonical scheduling decisions. No-op when
+    /// disabled.
+    pub fn scale_line(&self, line: String) {
+        if let Some(scale) = &self.scale {
+            scale.lock().push(line);
+        }
+    }
+
+    /// Snapshot of the autoscaler/membership decision lines, in append
+    /// order.
+    pub fn scale_lines(&self) -> Vec<String> {
+        self.scale.as_ref().map_or_else(Vec::new, |s| s.lock().clone())
+    }
+
     /// Canonical JSONL export, sorted by `(iteration, node, bytes)` so
     /// identical runs render byte-identically regardless of the order
     /// worker processes appended.
@@ -219,8 +241,9 @@ impl AuditLog {
             .map(|r| (r.iteration, r.node, r.to_value().to_json_string()))
             .collect();
         lines.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let scale = self.scale_lines();
         let mut out = String::new();
-        if !lines.is_empty() {
+        if !lines.is_empty() || !scale.is_empty() {
             let mut meta = BTreeMap::new();
             meta.insert(
                 "schema".to_string(),
@@ -231,6 +254,10 @@ impl AuditLog {
             out.push('\n');
         }
         for (_, _, l) in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        for l in scale {
             out.push_str(&l);
             out.push('\n');
         }
@@ -299,6 +326,27 @@ mod tests {
         let parsed = AuditLog::parse_jsonl(&jsonl);
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0], log.records()[0]);
+    }
+
+    #[test]
+    fn scale_lines_export_after_decisions_and_parse_skips_them() {
+        let log = AuditLog::recording();
+        log.begin(rec(0, 0)).unwrap();
+        log.scale_line(r#"{"action":"grow","mean_iter_s":0.5}"#.to_string());
+        log.scale_line(r#"{"action":"hold","mean_iter_s":0.1}"#.to_string());
+        let jsonl = log.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Meta counts only canonical scheduling decisions.
+        assert!(lines[0].contains("\"decisions\":1"));
+        assert!(lines[2].contains("\"action\":\"grow\""));
+        assert!(lines[3].contains("\"action\":\"hold\""));
+        // Trace tooling sees only the scheduling decision.
+        assert_eq!(AuditLog::parse_jsonl(&jsonl).len(), 1);
+        // A disabled log swallows scale lines too.
+        let off = AuditLog::disabled();
+        off.scale_line("{}".to_string());
+        assert_eq!(off.to_jsonl(), "");
     }
 
     #[test]

@@ -341,6 +341,20 @@ mod tests {
             "recorder family escapes lane labels, got: {text}"
         );
         assert_eq!(MetricsRegistry::parse_samples(&text).len(), 3);
+        // Membership families: the event label is runtime-chosen today but
+        // plan files could grow free-form names, so escaping must hold.
+        let m = MetricsRegistry::recording();
+        m.counter_add("prs_membership_total", &[("event", tricky)], 1.0);
+        m.counter_add("prs_membership_total", &[("event", "drain")], 2.0);
+        m.gauge_set("prs_cluster_size", &[], 3.0);
+        let text = m.to_prometheus();
+        assert!(
+            text.contains(r#"prs_membership_total{event="a\"b\\c\nd"} 1"#),
+            "membership family escapes event labels, got: {text}"
+        );
+        assert!(text.contains(r#"prs_membership_total{event="drain"} 2"#));
+        assert!(text.contains("prs_cluster_size 3"));
+        assert_eq!(MetricsRegistry::parse_samples(&text).len(), 3);
     }
 
     #[test]
@@ -393,13 +407,18 @@ mod tests {
                         m.gauge_set("prs_recorder_events_folded", &[], 512.0);
                         m.gauge_set("prs_recorder_bytes", &[], 65_536.0);
                     }
+                    6 => {
+                        m.counter_add("prs_membership_total", &[("event", "join")], 1.0);
+                        m.counter_add("prs_membership_total", &[("event", "drain")], 1.0);
+                        m.gauge_set("prs_cluster_size", &[], 3.0);
+                    }
                     _ => m.observe("h_seconds", &[("d", "gpu")], 0.1),
                 }
             }
         };
         let (m1, m2) = (MetricsRegistry::recording(), MetricsRegistry::recording());
-        fill(&m1, &[0, 1, 2, 3, 4, 5, 6]);
-        fill(&m2, &[6, 5, 4, 3, 2, 1, 0]);
+        fill(&m1, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        fill(&m2, &[7, 6, 5, 4, 3, 2, 1, 0]);
         let text = m1.to_prometheus();
         assert_eq!(text, m2.to_prometheus(), "insert order must not leak");
         assert_eq!(text, m1.to_prometheus(), "repeated renders identical");
@@ -408,10 +427,12 @@ mod tests {
             type_lines,
             [
                 "# TYPE a_total counter",
+                "# TYPE prs_membership_total counter",
                 "# TYPE prs_watch_alerts_total counter",
                 "# TYPE prs_watch_incidents_total counter",
                 "# TYPE z_total counter",
                 "# TYPE m_gauge gauge",
+                "# TYPE prs_cluster_size gauge",
                 "# TYPE prs_recorder_bytes gauge",
                 "# TYPE prs_recorder_events_folded gauge",
                 "# TYPE prs_recorder_events_retained gauge",

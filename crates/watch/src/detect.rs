@@ -23,6 +23,13 @@
 //!   the node's *own* earlier error? The ratio is self-relative, so a
 //!   model that is consistently biased stays quiet and only a change in
 //!   prediction quality fires.
+//! - [`DetectorKind::MembershipFlap`] — are elastic-membership
+//!   transitions (joins, drains, evictions, deadline handoffs) clustering
+//!   in time? A planned drain or scale-out is one event per window and
+//!   stays quiet; an autoscaler oscillating or an operator fat-fingering
+//!   a plan shows up as several transitions inside one window. The
+//!   `membership` lane only exists on elastic runs, so fixed-cluster
+//!   bundles can never alert here.
 //!
 //! Detectors never alert by themselves: they emit every sample and leave
 //! thresholding, burn rates, and streak logic to [`crate::slo`].
@@ -48,6 +55,8 @@ pub enum DetectorKind {
     CommStall,
     /// Roofline prediction error drifting out of regime (Eq 8).
     RegimeShift,
+    /// Burst of elastic-membership transitions inside one window.
+    MembershipFlap,
 }
 
 impl DetectorKind {
@@ -60,6 +69,7 @@ impl DetectorKind {
             DetectorKind::ThroughputDrop => "throughput-drop",
             DetectorKind::CommStall => "comm-stall",
             DetectorKind::RegimeShift => "regime-shift",
+            DetectorKind::MembershipFlap => "membership-flap",
         }
     }
 
@@ -72,6 +82,7 @@ impl DetectorKind {
             "throughput-drop" => DetectorKind::ThroughputDrop,
             "comm-stall" => DetectorKind::CommStall,
             "regime-shift" => DetectorKind::RegimeShift,
+            "membership-flap" => DetectorKind::MembershipFlap,
             _ => return None,
         })
     }
@@ -186,7 +197,47 @@ pub fn signals_for_rule(
         DetectorKind::ThroughputDrop => throughput_drop(events, decisions, horizon, rule),
         DetectorKind::CommStall => comm_stall(events, decisions, horizon, rule),
         DetectorKind::RegimeShift => regime_shift(events, decisions, rule),
+        DetectorKind::MembershipFlap => membership_flap(events, horizon, rule),
     }
+}
+
+/// Membership-lane transition kinds that count toward a flap. The
+/// `cluster-size` gauge event rides along with every transition and is
+/// excluded so a single drain is one count, not two.
+const FLAP_KINDS: [&str; 4] = ["join", "drain", "evict", "handoff"];
+
+/// Membership flap: count of membership-lane transitions per fixed
+/// window (same bucketing as [`recovery_storm`]). The lane is only
+/// emitted by the elastic driver, so the detector is silent on every
+/// fixed-cluster bundle.
+fn membership_flap(events: &[RollupEvent], horizon: f64, rule: &SloRule) -> Vec<Signal> {
+    let w = if rule.window_s > 0.0 {
+        rule.window_s
+    } else {
+        RollupConfig::auto(horizon.max(1e-9)).window_secs
+    };
+    let mut buckets: BTreeMap<usize, (usize, f64)> = BTreeMap::new();
+    for e in events {
+        if e.lane != "membership" || !FLAP_KINDS.contains(&e.kind.as_str()) {
+            continue;
+        }
+        let k = (e.t / w) as usize;
+        let entry = buckets.entry(k).or_insert((0, e.t));
+        entry.0 += 1;
+        if e.t < entry.1 {
+            entry.1 = e.t;
+        }
+    }
+    buckets
+        .into_iter()
+        .map(|(k, (count, first_t))| Signal {
+            t: ((k + 1) as f64 * w).min(horizon.max(first_t)),
+            t_cause: first_t,
+            node: None,
+            class: LaneClass::Cluster,
+            value: count as f64,
+        })
+        .collect()
 }
 
 /// Cross-sectional latency drift: per-node EWMA of seconds-per-flop on
@@ -532,6 +583,39 @@ mod tests {
         let sig = throughput_drop(&events, &[], 5.0, &rule);
         let worst = sig.iter().map(|s| s.value).fold(0.0, f64::max);
         assert!(worst > 100.0, "idle window vs busy baseline: {worst}");
+    }
+
+    #[test]
+    fn membership_flap_counts_transitions_per_window() {
+        let events = vec![
+            ev("membership", "drain", 0.1, None, &[("node", 2.0)]),
+            ev("membership", "cluster-size", 0.1, None, &[("nodes", 2.0)]), // gauge: excluded
+            ev("membership", "join", 0.3, None, &[("node", 3.0)]),
+            ev("membership", "evict", 0.6, None, &[("node", 1.0)]),
+            ev("resilience", "node-crash", 0.7, None, &[]), // wrong lane
+            ev("membership", "handoff", 1.4, None, &[("node", 0.0)]),
+        ];
+        let mut rule = rule_for(DetectorKind::MembershipFlap);
+        rule.window_s = 1.0;
+        let sig = membership_flap(&events, 2.0, &rule);
+        assert_eq!(sig.len(), 2);
+        assert_eq!(sig[0].value, 3.0, "drain+join+evict in window 0");
+        assert!((sig[0].t_cause - 0.1).abs() < 1e-12);
+        assert_eq!(sig[0].class, LaneClass::Cluster);
+        assert_eq!(sig[1].value, 1.0, "lone handoff in window 1");
+    }
+
+    #[test]
+    fn membership_flap_is_silent_without_the_lane() {
+        // A fixed-cluster bundle full of recovery traffic: no membership
+        // lane, no signals, zero fault-free flap alerts by construction.
+        let events = vec![
+            ev("node0-sched", "retry", 0.1, None, &[]),
+            ev("resilience", "node-crash", 0.5, None, &[]),
+            ev("node0-cpu-c0", "cpu-task", 1.0, Some(0.5), &[]),
+        ];
+        let rule = rule_for(DetectorKind::MembershipFlap);
+        assert!(membership_flap(&events, 2.0, &rule).is_empty());
     }
 
     #[test]

@@ -69,6 +69,9 @@ pub enum FaultHint {
     CpuSlowdown,
     /// A node's GPU kernels are running slow relative to peers.
     GpuSlowdown,
+    /// Elastic membership transitions are clustering in time (an
+    /// oscillating autoscaler or an over-eager churn plan).
+    MembershipFlap,
     /// Something is wrong but the detector cannot name the fault.
     Unknown,
 }
@@ -81,6 +84,7 @@ impl FaultHint {
             FaultHint::MasterCrash => "master-crash",
             FaultHint::CpuSlowdown => "cpu-slowdown",
             FaultHint::GpuSlowdown => "gpu-slowdown",
+            FaultHint::MembershipFlap => "membership-flap",
             FaultHint::Unknown => "unknown",
         }
     }
@@ -92,6 +96,9 @@ impl FaultHint {
             FaultHint::MasterCrash => Some(FaultKind::MasterCrash),
             FaultHint::CpuSlowdown => Some(FaultKind::CpuSlowdown),
             FaultHint::GpuSlowdown => Some(FaultKind::GpuSlowdown),
+            // Flapping is a policy problem, not an injectable fault: the
+            // chaos scorer has no ground-truth kind to join it against.
+            FaultHint::MembershipFlap => None,
             FaultHint::Unknown => None,
         }
     }

@@ -164,6 +164,18 @@ impl Default for WatchConfig {
         r.min_samples = 3;
         rules.push(r);
 
+        let mut r = SloRule::new(
+            "membership-flap",
+            DetectorKind::MembershipFlap,
+            Some(LaneClass::Cluster),
+        );
+        // A planned drain / scale-out is one transition per window; three
+        // or more in a single window means the cluster is flapping. The
+        // membership lane only exists on elastic runs, so this rule can
+        // never fire on a fixed-cluster bundle.
+        r.threshold = 3.0;
+        rules.push(r);
+
         WatchConfig { rules, merge_gap_s: 0.0 }
     }
 }
@@ -317,6 +329,7 @@ fn hint_for(detector: DetectorKind, class: LaneClass) -> FaultHint {
         (DetectorKind::HeartbeatGap, LaneClass::Master) => FaultHint::MasterCrash,
         (DetectorKind::LatencyDrift, LaneClass::Cpu) => FaultHint::CpuSlowdown,
         (DetectorKind::LatencyDrift, LaneClass::Gpu) => FaultHint::GpuSlowdown,
+        (DetectorKind::MembershipFlap, LaneClass::Cluster) => FaultHint::MembershipFlap,
         _ => FaultHint::Unknown,
     }
 }

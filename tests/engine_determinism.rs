@@ -18,12 +18,16 @@
 //!    `watch_score.json`, byte for byte;
 //! 7. the profiler's `stacks.jsonl` / `profile.folded` / `profile.json`
 //!    and the differential attribution's `diff.json`, byte for byte;
-//! 8. repeated runs under one mode (no hidden global state).
+//! 8. repeated runs under one mode (no hidden global state);
+//! 9. the elastic-membership driver: a non-empty churn plan (and the
+//!    churn chaos grid's `churn_report.json`) renders byte-identical
+//!    artifacts, epoch ledgers and cluster-size traces on every engine.
 
 use obs::Obs;
 use prs_core::{
-    run_chaos, run_chaos_scored, run_iterative_observed, ChaosConfig, ClusterSpec, DeviceClass,
-    EngineMode, FaultPlan, IterativeApp, JobConfig, Key, SpmdApp,
+    run_chaos, run_chaos_churn, run_chaos_scored, run_elastic_observed, run_iterative,
+    run_iterative_observed, ChaosConfig, CheckpointableApp, ClusterSpec, DeviceClass, EngineMode,
+    FaultPlan, IterativeApp, JobConfig, Key, MemStore, MembershipPlan, SpmdApp,
 };
 use roofline::model::DataResidency;
 use roofline::schedule::Workload;
@@ -70,6 +74,16 @@ impl IterativeApp for HistApp {
     fn update(&self, _outputs: &[(Key, u64)]) -> bool {
         false
     }
+}
+
+// The histogram app carries no mutable model state, so checkpoints are
+// empty — which makes it ideal for the elastic property: any divergence
+// is the driver's, not the app's.
+impl CheckpointableApp for HistApp {
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+    fn restore_state(&self, _bytes: &[u8]) {}
 }
 
 fn hist() -> Arc<HistApp> {
@@ -441,4 +455,139 @@ fn recorded_captures_and_postmortems_byte_identical_across_engines() {
     }
     let (_, _, repeat) = recorded(EngineMode::LegacyHeap);
     assert_eq!(repeat, ref_artifacts, "recorded artifacts are not repeat-stable");
+}
+
+/// Runs the elastic-membership driver through a non-empty churn plan
+/// (scale-out, graceful drain, forced evict) and collects the same
+/// artifact bundle as `run_under`, plus the membership ledger and the
+/// cluster-size trace rendered to comparable strings.
+fn run_elastic_under(mode: EngineMode) -> (RunArtifacts, String, String) {
+    let spec = ClusterSpec::delta(3);
+    let config = JobConfig::static_analytic()
+        .with_iterations(3)
+        .with_checkpoint_interval(1)
+        .with_engine(mode);
+    // Schedule the churn relative to the fixed-cluster span so every
+    // event lands mid-run regardless of workload constants.
+    let span = run_iterative(&spec, hist(), config)
+        .expect("fixed-cluster baseline must complete")
+        .metrics
+        .total_seconds;
+    let plan = MembershipPlan::seeded(9)
+        .scale_out(1, 0.25 * span)
+        .drain(2, 0.45 * span, 10.0 * span)
+        .evict(1, 0.70 * span);
+    let obs = Obs::recording();
+    let out = run_elastic_observed(
+        &spec,
+        hist(),
+        config,
+        Arc::new(MemStore::new()),
+        &plan,
+        None,
+        obs.clone(),
+    )
+    .expect("churn scenario must complete under every engine");
+    let roll_events: Vec<obs::rollup::RollupEvent> =
+        obs.bus.events().iter().map(Into::into).collect();
+    let watched = watch::watch(&roll_events, &obs.audit.records(), &watch::WatchConfig::default());
+    let set = obs::FrameSet::from_stack(&obs.stack);
+    let horizon = insight::from_bus(&obs.bus)
+        .iter()
+        .map(insight::TraceEvent::end)
+        .fold(0.0, f64::max);
+    let prof = obs::profile(&set, horizon, obs::profile::DEFAULT_PERIOD_S);
+    let artifacts = RunArtifacts {
+        makespan_bits: out.total_virtual_secs.to_bits(),
+        sim_events: out.metrics.sim_events,
+        outputs: out.outputs,
+        events_jsonl: obs.bus.to_jsonl(),
+        metrics_prom: obs.metrics.to_prometheus(),
+        decisions_jsonl: obs.audit.to_jsonl(),
+        alerts_jsonl: watched.alerts_jsonl(),
+        incidents_jsonl: watched.incidents_jsonl(),
+        stacks_jsonl: set.to_stacks_jsonl(),
+        profile_folded: prof.to_folded(),
+        profile_json: prof.to_json(),
+    };
+    // Bit-exact renderings: clock values go through `to_bits` so the
+    // comparison cannot be forgiving about last-ulp drift.
+    let ledger = format!("{:?}", out.membership);
+    let mut trace = String::new();
+    for (t, n) in &out.cluster_sizes {
+        trace.push_str(&format!("{:016x}:{n} ", t.to_bits()));
+    }
+    for e in &out.attempts {
+        trace.push_str(&format!(
+            "[{} n={} it={} {:016x}..{:016x} {}] ",
+            e.epoch,
+            e.nodes,
+            e.base_iteration,
+            e.base_secs.to_bits(),
+            e.end_secs.to_bits(),
+            e.disposition
+        ));
+    }
+    (artifacts, ledger, trace)
+}
+
+/// The elastic driver under a non-empty churn plan is part of the same
+/// determinism contract: every rendered artifact, the membership ledger
+/// and the cluster-size/epoch trace are bit-identical on every engine
+/// and across repeated runs.
+#[test]
+fn elastic_churn_run_bit_identical_across_engines() {
+    let (reference, ref_ledger, ref_trace) = run_elastic_under(EngineMode::LegacyHeap);
+    // The plan must actually exercise churn, or the property is vacuous.
+    assert!(
+        ref_ledger.contains("joins: 1") && ref_ledger.contains("drains: 1"),
+        "seed-9 plan must admit one joiner and drain one node: {ref_ledger}"
+    );
+    assert!(
+        ref_trace.contains("evict"),
+        "seed-9 plan must force one eviction: {ref_trace}"
+    );
+    assert!(
+        reference.events_jsonl.contains("\"membership\""),
+        "elastic run must emit the membership lane"
+    );
+    for mode in [EngineMode::Calendar, EngineMode::Parallel] {
+        let (got, ledger, trace) = run_elastic_under(mode);
+        assert_identical("elastic-churn", mode, &got, &reference);
+        assert_eq!(ledger, ref_ledger, "[elastic-churn/{mode}] membership ledger diverged");
+        assert_eq!(trace, ref_trace, "[elastic-churn/{mode}] cluster-size trace diverged");
+    }
+    let (repeat, repeat_ledger, repeat_trace) = run_elastic_under(EngineMode::LegacyHeap);
+    assert_identical("elastic-churn-repeat", EngineMode::LegacyHeap, &repeat, &reference);
+    assert_eq!(repeat_ledger, ref_ledger, "membership ledger is not repeat-stable");
+    assert_eq!(repeat_trace, ref_trace, "cluster-size trace is not repeat-stable");
+}
+
+/// Same contract for the churn chaos grid: `churn_report.json` is a pure
+/// function of `(trials, seed)` — the engine that executed the grid must
+/// not leak into the rendered report.
+#[test]
+fn churn_report_byte_identical_across_engines() {
+    let report = |engine: EngineMode| {
+        run_chaos_churn(&ChaosConfig {
+            trials: 4,
+            seed: 7,
+            engine,
+        })
+        .to_json()
+        .to_string()
+    };
+    let reference = report(EngineMode::LegacyHeap);
+    assert!(
+        reference.contains("\"all_passed\":true"),
+        "the seed-7 churn grid must converge on the reference engine"
+    );
+    for mode in [EngineMode::Calendar, EngineMode::Parallel] {
+        assert_eq!(
+            report(mode),
+            reference,
+            "churn_report.json diverged under the {mode} engine"
+        );
+    }
+    assert_eq!(report(EngineMode::LegacyHeap), reference, "churn_report.json is not repeat-stable");
 }
